@@ -1,0 +1,125 @@
+#ifndef XSB_BENCH_BENCH_UTIL_H_
+#define XSB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace xsb::bench {
+
+// Wall-clock seconds for one run of `fn`.
+inline double TimeOnce(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Runs `fn` repeatedly until at least `min_seconds` of total time or
+// `max_repeats` runs, and returns the *minimum* per-run time (least noisy).
+inline double TimeBest(const std::function<void()>& fn,
+                       double min_seconds = 0.05, int max_repeats = 7) {
+  double best = 1e30;
+  double total = 0;
+  for (int i = 0; i < max_repeats; ++i) {
+    double t = TimeOnce(fn);
+    if (t < best) best = t;
+    total += t;
+    if (total >= min_seconds && i >= 1) break;
+  }
+  return best;
+}
+
+// --- Paper-style table printing ----------------------------------------------
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<std::string>& cells,
+                     int label_width = 26, int cell_width = 12) {
+  std::printf("%-*s", label_width, label.c_str());
+  for (const std::string& cell : cells) {
+    std::printf("%*s", cell_width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+inline std::string FmtMs(double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", seconds * 1e3);
+  return buffer;
+}
+
+// --- Workload generators -------------------------------------------------------
+
+// edge(1,2). ... edge(N,1).  (the paper's cycle structures)
+inline std::string CycleEdges(int n, const std::string& pred = "edge") {
+  std::string text;
+  for (int i = 1; i <= n; ++i) {
+    text += pred + "(" + std::to_string(i) + "," +
+            std::to_string(i % n + 1) + ").\n";
+  }
+  return text;
+}
+
+// edge(1,1). edge(1,2). ... edge(1,N).  (the paper's fanout structures)
+inline std::string FanoutEdges(int n, const std::string& pred = "edge") {
+  std::string text;
+  for (int i = 1; i <= n; ++i) {
+    text += pred + "(1," + std::to_string(i) + ").\n";
+  }
+  return text;
+}
+
+// edge(1,2). ... edge(N-1,N).  (chains)
+inline std::string ChainEdges(int n, const std::string& pred = "edge") {
+  std::string text;
+  for (int i = 1; i < n; ++i) {
+    text += pred + "(" + std::to_string(i) + "," + std::to_string(i + 1) +
+            ").\n";
+  }
+  return text;
+}
+
+// move facts of a complete binary tree of `height`: root 1, children 2i,2i+1.
+inline std::string BinaryTreeMoves(int height,
+                                   const std::string& pred = "move") {
+  std::string text;
+  int internal = (1 << height) - 1;
+  for (int i = 1; i <= internal; ++i) {
+    text += pred + "(" + std::to_string(i) + "," + std::to_string(2 * i) +
+            ").\n" + pred + "(" + std::to_string(i) + "," +
+            std::to_string(2 * i + 1) + ").\n";
+  }
+  return text;
+}
+
+// Binary tree as edges for path queries (edge from parent to children).
+inline std::string BinaryTreeEdges(int height,
+                                   const std::string& pred = "edge") {
+  return BinaryTreeMoves(height, pred);
+}
+
+// [1,2,...,N] as Prolog list text.
+inline std::string ListText(int n) {
+  std::string text = "[";
+  for (int i = 1; i <= n; ++i) {
+    if (i > 1) text += ",";
+    text += std::to_string(i);
+  }
+  return text + "]";
+}
+
+}  // namespace xsb::bench
+
+#endif  // XSB_BENCH_BENCH_UTIL_H_

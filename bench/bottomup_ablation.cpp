@@ -1,0 +1,86 @@
+// Ablation A2 (DESIGN.md): what the bottom-up baseline's own optimizations
+// are worth — naive vs semi-naive iteration, and magic sets on/off — so the
+// Figure 5 comparison is against the baseline at its best.
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bottomup/magic.h"
+#include "bottomup/seminaive.h"
+
+namespace {
+
+using xsb::datalog::DatalogProgram;
+using xsb::datalog::EvalOptions;
+using xsb::datalog::Evaluation;
+using xsb::datalog::Literal;
+using xsb::datalog::MagicRewrite;
+using xsb::datalog::ParseDatalog;
+using xsb::datalog::ParseQuery;
+
+constexpr char kTc[] =
+    "path(X,Y) :- edge(X,Y).\n"
+    "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+
+double TimeEval(const std::string& text, bool seminaive, bool magic,
+                uint64_t* tuples) {
+  DatalogProgram base;
+  if (!ParseDatalog(text, &base).ok()) std::abort();
+  double t = xsb::bench::TimeBest([&]() {
+    DatalogProgram program = base;
+    auto query = ParseQuery("path(1, X)", &program);
+    Literal target = query.value();
+    if (magic) {
+      auto rewritten = MagicRewrite(&program, query.value());
+      if (!rewritten.ok()) std::abort();
+      target = rewritten.value();
+    }
+    EvalOptions options;
+    options.seminaive = seminaive;
+    Evaluation eval(&program);
+    if (!eval.Run(options).ok()) std::abort();
+    (void)eval.Select(target);
+    *tuples = eval.stats().tuples_inserted;
+  });
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("bottom-up ablation: ?- path(1,X), two disconnected chains");
+  PrintRow("config", {"ms", "tuples derived"}, 34, 16);
+
+  // Two chains of 300; only one is reachable from the query constant.
+  std::string text = kTc;
+  text += xsb::bench::ChainEdges(300);
+  for (int i = 0; i < 300; ++i) {
+    text += "edge(" + std::to_string(10000 + i) + "," +
+            std::to_string(10001 + i) + ").\n";
+  }
+
+  struct Config {
+    const char* name;
+    bool seminaive;
+    bool magic;
+  };
+  for (const Config& c :
+       {Config{"naive, no magic", false, false},
+        Config{"semi-naive, no magic", true, false},
+        Config{"naive + magic", false, true},
+        Config{"semi-naive + magic (CORAL-def)", true, true}}) {
+    uint64_t tuples = 0;
+    double t = TimeEval(text, c.seminaive, c.magic, &tuples);
+    PrintRow(c.name, {FmtMs(t), std::to_string(tuples)}, 34, 16);
+  }
+
+  std::printf(
+      "\nExpected: semi-naive beats naive by avoiding rederivation; magic\n"
+      "cuts derived tuples to the reachable half and, combined, gives the\n"
+      "configuration Figure 5 calls CORAL-def.\n");
+  return 0;
+}

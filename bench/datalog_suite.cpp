@@ -1,0 +1,136 @@
+// Section 5's "generally similar ratios hold" paragraph: XSB vs the
+// bottom-up baseline over the standard datalog suite — linear right
+// recursion, double recursion, same_generation, and the stratified win/1
+// game. Each entry reports XSB (tabled) and bottom-up (semi-naive; with
+// magic where the program is positive) times and their ratio.
+
+#include <functional>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "bottomup/magic.h"
+#include "bottomup/seminaive.h"
+#include "xsb/engine.h"
+
+namespace {
+
+using xsb::datalog::DatalogProgram;
+using xsb::datalog::Evaluation;
+using xsb::datalog::Literal;
+using xsb::datalog::MagicRewrite;
+using xsb::datalog::ParseDatalog;
+using xsb::datalog::ParseQuery;
+
+double TimeXsb(const std::string& program, const std::string& goal) {
+  xsb::Engine engine;
+  if (!engine.ConsultString(program).ok()) std::abort();
+  return xsb::bench::TimeBest([&]() {
+    engine.AbolishAllTables();
+    auto n = engine.Count(goal);
+    if (!n.ok()) std::abort();
+  });
+}
+
+double TimeBottomUp(const std::string& program, const std::string& query,
+                    bool magic) {
+  DatalogProgram base;
+  if (!ParseDatalog(program, &base).ok()) std::abort();
+  return xsb::bench::TimeBest([&]() {
+    DatalogProgram copy = base;
+    auto q = ParseQuery(query, &copy);
+    Literal target = q.value();
+    if (magic) {
+      auto rewritten = MagicRewrite(&copy, q.value());
+      if (!rewritten.ok()) std::abort();
+      target = rewritten.value();
+    }
+    Evaluation eval(&copy);
+    if (!eval.Run().ok()) std::abort();
+    (void)eval.Select(target);
+  });
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::ChainEdges;
+  using xsb::bench::Fmt;
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("Section 5 datalog suite: XSB vs bottom-up baseline");
+  PrintRow("workload", {"XSB ms", "bottom-up ms", "ratio"}, 30, 14);
+
+  struct Case {
+    std::string name;
+    std::string xsb_program;
+    std::string xsb_goal;
+    std::string datalog_program;
+    std::string datalog_query;
+    bool magic;
+  };
+
+  std::string chain = ChainEdges(400);
+  std::string cyl = xsb::bench::CycleEdges(96);
+
+  // same_generation over a two-level wide tree.
+  std::string par;
+  for (int g = 0; g < 20; ++g) {
+    for (int c = 0; c < 20; ++c) {
+      par += "par(c" + std::to_string(g * 20 + c) + ",g" +
+             std::to_string(g) + ").\n";
+    }
+    par += "par(g" + std::to_string(g) + ",root).\n";
+  }
+
+  std::string tree = xsb::bench::BinaryTreeMoves(9);
+
+  std::vector<Case> cases{
+      {"right-rec TC, chain 400",
+       ":- table path/2.\npath(X,Y) :- edge(X,Y).\n"
+       "path(X,Y) :- edge(X,Z), path(Z,Y).\n" + chain,
+       "path(1, X)",
+       "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n" +
+           chain,
+       "path(1, X)", true},
+      {"double-rec TC, cycle 96",
+       ":- table path/2.\npath(X,Y) :- edge(X,Y).\n"
+       "path(X,Y) :- path(X,Z), path(Z,Y).\n" + cyl,
+       "path(1, X)",
+       "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\n" +
+           cyl,
+       "path(1, X)", true},
+      {"same_generation 400 kids",
+       ":- table sg/2.\nsg(X,X).\n"
+       "sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).\n" + par,
+       "sg(c0, X)",
+       "sg(X,Y) :- par(X,P), par(Y,P).\n"
+       "sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).\n" + par,
+       "sg(c0, X)", true},
+      {"win/1, tree h=9 (negation)",
+       ":- table win/1.\nwin(X) :- move(X,Y), tnot win(Y).\n" + tree,
+       "win(1)",
+       // Bottom-up: stratified layers cannot express win directly (negation
+       // through recursion); the standard encoding unrolls by depth, which
+       // magic cannot help — evaluated without magic over the full tree.
+       "pos(X) :- move(X,Y).\npos(Y) :- move(X,Y).\n"
+       "lose(X) :- pos(X), not haswin(X).\n"
+       "haswin(X) :- move(X,Y).\n" + tree,
+       "lose(1)", false},
+  };
+
+  for (const Case& c : cases) {
+    double a = TimeXsb(c.xsb_program, c.xsb_goal);
+    double b = TimeBottomUp(c.datalog_program, c.datalog_query, c.magic);
+    PrintRow(c.name, {FmtMs(a), FmtMs(b), Fmt(b / a, 1)}, 30, 14);
+  }
+
+  std::printf(
+      "\nPaper: XSB at least an order of magnitude faster than CORAL on\n"
+      "these programs (win/1 included). The last row's bottom-up column is\n"
+      "a weaker stratified approximation: full win/1 is not stratified, so\n"
+      "the set-at-a-time engine cannot run it at all — which is itself the\n"
+      "point the paper makes with modularly stratified SLG.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 2 of the paper: which win/1 subgoals are visited when the query
+// win(1) runs over a complete binary tree.
+//
+//   * SLDNF visits G(n) = 2^(floor(n/2)+2) - 3 + 2*(n/2 - floor(n/2))
+//     subgoals (the circled nodes of Figure 2) — about sqrt(2)^n;
+//   * default SLG evaluates the whole tree: 2^(n+1) - 1 subgoals;
+//   * existential negation matches the SLDNF frontier.
+//
+// We count actual calls (SLDNF) and tables created (SLG variants).
+
+#include <cmath>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+double PaperFormula(int n) {
+  // G(n) = 2^(floor(n/2)+2) - 3 + 2(n/2 - floor(n/2)).
+  return std::pow(2.0, n / 2 + 2) - 3.0 + 2.0 * (n / 2.0 - n / 2);
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("Figure 2: win/1 subgoals visited over a binary tree");
+  PrintRow("height n", {"2", "4", "6", "8", "10", "12"},
+           /*label_width=*/22, /*cell_width=*/10);
+
+  std::vector<std::string> sldnf_calls, slg_tables, eneg_tables, formula,
+      total;
+  for (int h : {2, 4, 6, 8, 10, 12}) {
+    // SLDNF: count calls to swin/1.
+    {
+      xsb::Engine engine;
+      (void)engine.ConsultString("swin(X) :- move(X,Y), \\+ swin(Y).\n" +
+                                 xsb::bench::BinaryTreeMoves(h));
+      auto& symbols = engine.symbols();
+      engine.machine().set_counted_functor(
+          symbols.InternFunctor(symbols.InternAtom("swin"), 1));
+      (void)engine.Holds("swin(1)");
+      sldnf_calls.push_back(
+          std::to_string(engine.machine().stats().counted_calls));
+    }
+    // Default SLG: tables created.
+    {
+      xsb::Engine engine;
+      (void)engine.ConsultString(":- table win/1.\n"
+                                 "win(X) :- move(X,Y), tnot win(Y).\n" +
+                                 xsb::bench::BinaryTreeMoves(h));
+      (void)engine.Holds("win(1)");
+      slg_tables.push_back(std::to_string(
+          engine.evaluator().tables().stats().subgoals_created));
+    }
+    // Existential negation: tables created (incl. disposed ones).
+    {
+      xsb::Engine engine;
+      (void)engine.ConsultString(":- table win/1.\n"
+                                 "win(X) :- move(X,Y), e_tnot win(Y).\n" +
+                                 xsb::bench::BinaryTreeMoves(h));
+      (void)engine.Holds("win(1)");
+      eneg_tables.push_back(std::to_string(
+          engine.evaluator().tables().stats().subgoals_created));
+    }
+    formula.push_back(std::to_string(
+        static_cast<long long>(PaperFormula(h))));
+    total.push_back(std::to_string((1LL << (h + 1)) - 1));
+  }
+
+  PrintRow("SLDNF calls", sldnf_calls, 22, 10);
+  PrintRow("paper G(n)", formula, 22, 10);
+  PrintRow("SLG tables (tnot)", slg_tables, 22, 10);
+  PrintRow("tree nodes 2^(n+1)-1", total, 22, 10);
+  PrintRow("e_tnot tables", eneg_tables, 22, 10);
+
+  std::printf(
+      "\nExpected shape: SLDNF calls == G(n) (13 of 31 nodes at n=4, as in\n"
+      "Figure 2); default SLG touches every node; e_tnot tracks G(n).\n");
+  return 0;
+}

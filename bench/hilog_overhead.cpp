@@ -1,0 +1,66 @@
+// Section 5 / 4.7: "HiLog predicates ... execute only marginally slower
+// than non-parameterized Prolog predicates." Three tiers of the same
+// transitive closure:
+//   1. first-order path/2 (tabled),
+//   2. HiLog path(Graph)(X,Y) compiled to apply/3 (tabled),
+//   3. the same after compile-time specialization of known calls
+//      (apply$path, section 4.7's optimization).
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+double TimeEngine(const std::string& program, const std::string& goal,
+                  bool specialize) {
+  xsb::Engine engine;
+  if (!engine.ConsultString(program).ok()) std::abort();
+  if (specialize) {
+    if (!engine.SpecializeHiLog().ok()) std::abort();
+  }
+  return xsb::bench::TimeBest([&]() {
+    engine.AbolishAllTables();
+    auto n = engine.Count(goal);
+    if (!n.ok()) std::abort();
+  });
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::Fmt;
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("HiLog overhead: parameterized path vs first-order path");
+  PrintRow("cycle size", {"first-order", "HiLog", "specialized"}, 22, 14);
+
+  for (int n : {64, 256, 1024}) {
+    std::string edges = xsb::bench::CycleEdges(n);
+    std::string first_order =
+        ":- table path/2.\n"
+        "path(X,Y) :- edge(X,Y).\n"
+        "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges;
+    std::string hilog =
+        ":- table apply/3.\n"
+        "path(G)(X,Y) :- G(X,Y).\n"
+        "path(G)(X,Y) :- path(G)(X,Z), G(Z,Y).\n" + edges;
+
+    double fo = TimeEngine(first_order, "path(1, X)", false);
+    double hi = TimeEngine(hilog, "path(edge)(1, X)", false);
+    double sp = TimeEngine(hilog, "path(edge)(1, X)", true);
+    PrintRow(std::to_string(n), {FmtMs(fo), FmtMs(hi), FmtMs(sp)}, 22, 14);
+    PrintRow("  (ratio vs first-order)",
+             {"1.00", Fmt(hi / fo, 2), Fmt(sp / fo, 2)}, 22, 14);
+  }
+
+  std::printf(
+      "\nPaper: after specialization the parameterized predicate is 'not\n"
+      "much less efficient' than the first-order one — the residual cost is\n"
+      "the extra Graph argument and one extra level of the discrimination\n"
+      "graph (Figure 4).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation A1 (DESIGN.md): the section 4.5 indexing machinery.
+//   * clause access: no index vs first-argument hash vs first-string trie,
+//     on a relation keyed by compound terms (where the trie discriminates
+//     below the outer symbol and hashing cannot);
+//   * answer tables: hash dedup vs trie dedup (the "trie-based indexing ...
+//     being developed for answer clauses" of section 4.5).
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+std::string CompoundFacts(int n) {
+  // p(g(K), f(I)) with K in 0..49: hashing on arg 1 buckets by g/1 only
+  // (all clauses collide); the first string g K f I discriminates fully.
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += "p(g(" + std::to_string(i % 50) + "),f(" + std::to_string(i) +
+            ")).\n";
+  }
+  return text;
+}
+
+double TimeLookups(const std::string& index_directive, int n) {
+  xsb::Engine engine;
+  std::string program = CompoundFacts(n) + index_directive +
+                        "probe(K, V) :- p(g(K), f(V)).\n"
+                        "drive(I) :- I >= 0, K is I mod 50, probe(K, _), "
+                        "J is I - 1, drive(J).\n"
+                        "drive(I) :- I < 0.\n";
+  if (!engine.ConsultString(program).ok()) std::abort();
+  return xsb::bench::TimeBest([&]() {
+    auto r = engine.Holds("drive(2000)");
+    if (!r.ok() || !r.value()) std::abort();
+  });
+}
+
+double TimeTabled(bool answer_trie, int n) {
+  xsb::Engine::Options options;
+  options.answer_trie = answer_trie;
+  xsb::Engine engine(options);
+  std::string program = ":- table path/2.\n"
+                        "path(X,Y) :- edge(X,Y).\n"
+                        "path(X,Y) :- path(X,Z), edge(Z,Y).\n" +
+                        xsb::bench::CycleEdges(n);
+  if (!engine.ConsultString(program).ok()) std::abort();
+  return xsb::bench::TimeBest([&]() {
+    engine.AbolishAllTables();
+    auto r = engine.Count("path(X, Y)");  // all n^2 answers
+    if (!r.ok()) std::abort();
+  });
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::Fmt;
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("clause indexing: 2000 bound probes into p/2 (compound keys)");
+  PrintRow("facts", {"no index", "hash arg1", "first-string"}, 14, 14);
+  for (int n : {500, 2000, 8000}) {
+    double none = TimeLookups(":- index(p/2, 0).\n", n);
+    double hash = TimeLookups("", n);  // default first-arg hash
+    double trie = TimeLookups(":- index(p/2, trie).\n", n);
+    PrintRow(std::to_string(n),
+             {FmtMs(none), FmtMs(hash), FmtMs(trie)}, 14, 14);
+  }
+  std::printf(
+      "hash on arg 1 keys only the outer symbol g/1 here (all clauses in\n"
+      "one bucket); the first-string trie discriminates inside the term.\n");
+
+  PrintHeader("answer-table index: hash set vs answer trie (all-pairs TC)");
+  PrintRow("cycle", {"hash ms", "trie ms", "trie/hash"}, 14, 14);
+  for (int n : {64, 128, 256}) {
+    double hash = TimeTabled(false, n);
+    double trie = TimeTabled(true, n);
+    PrintRow(std::to_string(n),
+             {FmtMs(hash), FmtMs(trie), Fmt(trie / hash, 2)}, 14, 14);
+  }
+  std::printf(
+      "\nSection 4.5: answer tables need duplicate checks on every derived\n"
+      "answer; the trie integrates storage with indexing (space) at some\n"
+      "per-insert cost vs the flat hash.\n");
+  return 0;
+}

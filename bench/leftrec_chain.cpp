@@ -1,0 +1,67 @@
+// Section 5's "SLG at the speed of compiled Prolog" experiment: the
+// left-recursive tabled path/2 vs its right-recursive SLD form over chains
+// and binary trees (no redundant paths, so SLD is linear and loop-free).
+// The paper measures left-recursive SLG at about 20-25% slower than
+// right-recursive SLD, the difference being answer-copying into table space
+// and table reclamation.
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+double TimeQuery(const std::string& program, const std::string& goal,
+                 bool abolish) {
+  xsb::Engine engine;
+  if (!engine.ConsultString(program).ok()) std::abort();
+  return xsb::bench::TimeBest([&]() {
+    if (abolish) engine.AbolishAllTables();
+    auto n = engine.Count(goal);
+    if (!n.ok()) std::abort();
+  });
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::Fmt;
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  constexpr char kSlgLeft[] =
+      ":- table path/2.\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+  constexpr char kSldRight[] =
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Y) :- edge(X,Z), path(Z,Y).\n";
+
+  PrintHeader("left-recursive SLG vs right-recursive SLD: ?- path(1,X)");
+  PrintRow("structure", {"SLD ms", "SLG ms", "SLG/SLD"}, 26, 12);
+
+  struct Case {
+    const char* name;
+    std::string edges;
+  };
+  std::vector<Case> cases{
+      {"chain 512", xsb::bench::ChainEdges(512)},
+      {"chain 2048", xsb::bench::ChainEdges(2048)},
+      {"binary tree h=9", xsb::bench::BinaryTreeEdges(9, "edge")},
+      {"binary tree h=11", xsb::bench::BinaryTreeEdges(11, "edge")},
+  };
+  for (const Case& c : cases) {
+    double sld = TimeQuery(kSldRight + c.edges, "path(1, X)", false);
+    double slg = TimeQuery(kSlgLeft + c.edges, "path(1, X)", true);
+    PrintRow(c.name, {FmtMs(sld), FmtMs(slg), Fmt(slg / sld, 2)}, 26, 12);
+  }
+
+  std::printf(
+      "\nPaper: left-recursive SLG takes ~1.20-1.25x the right-recursive\n"
+      "SLD time on chains and trees, including answer copying to table\n"
+      "space and table reclamation. SLG additionally terminates on cycles\n"
+      "where SLD cannot.\n");
+  return 0;
+}

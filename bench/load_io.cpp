@@ -1,0 +1,85 @@
+// Section 4.6: bulk I/O paths. The paper reports the formatted read at
+// about a millisecond per fact on a Sparc2 (including index maintenance) —
+// "roughly equivalent to the data load times of other deductive database
+// systems" — and object-file loading at about 12x faster than formatted
+// read + assert. We compare all three load paths on a 100k-tuple relation:
+//   1. the general reader (full HiLog parser + assert),
+//   2. the formatted read,
+//   3. binary object files.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+int main() {
+  using xsb::bench::Fmt;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  constexpr int kTuples = 100000;
+
+  // Prepare the three input files.
+  std::string prolog_path = "/tmp/xsb_load_bench.P";
+  std::string formatted_path = "/tmp/xsb_load_bench.dat";
+  std::string object_path = "/tmp/xsb_load_bench.xob";
+  {
+    std::ofstream prolog(prolog_path);
+    std::ofstream formatted(formatted_path);
+    for (int i = 0; i < kTuples; ++i) {
+      prolog << "rel(" << i << ",k" << (i % 977) << "," << (i * 7 % 10007)
+             << ").\n";
+      formatted << i << ",k" << (i % 977) << "," << (i * 7 % 10007) << "\n";
+    }
+  }
+  {
+    xsb::Engine engine;
+    auto loaded = engine.LoadFactsFormattedFile(formatted_path, "rel", 3);
+    if (!loaded.ok()) std::abort();
+    if (!engine.SaveObjectFile(object_path).ok()) std::abort();
+  }
+
+  double general = xsb::bench::TimeOnce([&]() {
+    xsb::Engine engine;
+    if (!engine.ConsultFile(prolog_path).ok()) std::abort();
+  });
+  double formatted = xsb::bench::TimeOnce([&]() {
+    xsb::Engine engine;
+    auto loaded = engine.LoadFactsFormattedFile(formatted_path, "rel", 3);
+    if (!loaded.ok() || loaded.value() != kTuples) std::abort();
+  });
+  double object = xsb::bench::TimeOnce([&]() {
+    xsb::Engine engine;
+    auto loaded = engine.LoadObjectFile(object_path);
+    if (!loaded.ok() || loaded.value() != kTuples) std::abort();
+  });
+
+  PrintHeader("bulk loading a 100k-tuple relation (first-arg index built)");
+  PrintRow("path", {"total ms", "us/fact", "speedup"}, 26, 12);
+  PrintRow("general reader + assert",
+           {Fmt(general * 1e3, 1), Fmt(general / kTuples * 1e6, 2), "1.0"},
+           26, 12);
+  PrintRow("formatted read",
+           {Fmt(formatted * 1e3, 1), Fmt(formatted / kTuples * 1e6, 2),
+            Fmt(general / formatted, 1)},
+           26, 12);
+  PrintRow("object file",
+           {Fmt(object * 1e3, 1), Fmt(object / kTuples * 1e6, 2),
+            Fmt(general / object, 1)},
+           26, 12);
+  std::printf("object file vs formatted read: %.1fx faster\n",
+              formatted / object);
+
+  std::printf(
+      "\nPaper (Sparc2): formatted read ~1 ms/fact incl. index upkeep;\n"
+      "object files ~12x faster than formatted read + assert. On modern\n"
+      "hardware absolute times shrink; the ordering and the order-of-\n"
+      "magnitude gap between parsing and binary loading are the shape.\n");
+
+  std::remove(prolog_path.c_str());
+  std::remove(formatted_path.c_str());
+  std::remove(object_path.c_str());
+  return 0;
+}

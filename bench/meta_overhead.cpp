@@ -1,0 +1,100 @@
+// Section 3.2: "The SLG-WAM ... is roughly 100 times faster than its
+// meta-interpreter running on a similar emulator."
+//
+// The meta-interpreter here is written in the object language itself and
+// executed by this engine's SLD machinery: tabled answers live in an
+// asserted ans/1 relation and the fixpoint is driven by repeated passes —
+// the interpretive strategy one is forced into without engine support
+// (section 3.2's discussion of why interpreters/preprocessors are slow).
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+constexpr char kMetaInterpreter[] = R"PROGRAM(
+    % Object program, represented as mi_clause(Head, Body) facts.
+    mi_clause(path(X,Y), edge(X,Y)).
+    mi_clause(path(X,Y), (path(X,Z), edge(Z,Y))).
+
+    :- dynamic(ans/1).
+    :- dynamic(mi_changed/0).
+
+    % One bottom-up pass of SLG-style answer derivation.
+    mi_pass :-
+        mi_clause(H, B),
+        mi_prove(B),
+        \+ ans(H),
+        assert(ans(H)),
+        ( mi_changed -> true ; assert(mi_changed) ),
+        fail.
+    mi_pass.
+
+    mi_prove(true) :- !.
+    mi_prove((A, B)) :- !, mi_prove(A), mi_prove(B).
+    mi_prove(path(X,Y)) :- !, ans(path(X,Y)).   % tabled: read the table
+    mi_prove(G) :- call(G).
+
+    mi_fixpoint :-
+        retractall(mi_changed),
+        mi_pass,
+        ( mi_changed -> mi_fixpoint ; true ).
+
+    mi_solve(G) :- retractall(ans(_)), mi_fixpoint, ans(G).
+)PROGRAM";
+
+}  // namespace
+
+int main() {
+  using xsb::bench::Fmt;
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("engine SLG vs meta-interpreted SLG: ?- path(1,X) on a cycle");
+  PrintRow("cycle size", {"engine ms", "meta ms", "meta/engine"}, 18, 14);
+
+  for (int n : {8, 12, 16}) {
+    std::string edges = xsb::bench::CycleEdges(n);
+
+    xsb::Engine engine;
+    if (!engine
+             .ConsultString(":- table path/2.\n"
+                            "path(X,Y) :- edge(X,Y).\n"
+                            "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges)
+             .ok()) {
+      std::abort();
+    }
+    double native = xsb::bench::TimeBest([&]() {
+      engine.AbolishAllTables();
+      auto r = engine.Count("path(1, X)");
+      if (!r.ok()) std::abort();
+    });
+
+    xsb::Engine meta;
+    if (!meta.ConsultString(std::string(kMetaInterpreter) + edges).ok()) {
+      std::abort();
+    }
+    double interpreted = xsb::bench::TimeBest(
+        [&]() {
+          auto r = meta.Count("mi_solve(path(1, X))");
+          if (!r.ok()) std::abort();
+        },
+        /*min_seconds=*/0.05, /*max_repeats=*/3);
+
+    PrintRow(std::to_string(n),
+             {FmtMs(native), FmtMs(interpreted), Fmt(interpreted / native, 0)},
+             18, 14);
+  }
+
+  std::printf(
+      "\nPaper: the engine is roughly two orders of magnitude faster than\n"
+      "the meta-interpreter — the gap that justified building the SLG-WAM\n"
+      "instead of interpreting or preprocessing (section 3.2). Our\n"
+      "assert-based meta-interpreter recomputes whole passes per fixpoint\n"
+      "round, so its gap *grows* with the cycle length; at small sizes it\n"
+      "sits in the paper's hundreds-of-x regime.\n");
+  return 0;
+}

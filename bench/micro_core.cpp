@@ -1,0 +1,124 @@
+// Micro-benchmarks of the engine's primitive operations, on
+// google-benchmark: unification, flattening (the table-space copy path),
+// index probes, clause resolution, and answer insertion. These are the
+// constants behind every macro number in the other bench binaries.
+
+#include <benchmark/benchmark.h>
+
+#include "db/loader.h"
+#include "engine/machine.h"
+#include "parser/reader.h"
+#include "tabling/table_space.h"
+#include "term/flat.h"
+#include "term/store.h"
+
+namespace xsb {
+namespace {
+
+struct Fixture {
+  Fixture() : store(&symbols), program(&symbols) {}
+  Word Parse(const std::string& text) {
+    Result<Word> r = ParseTermString(&store, program.ops(), text);
+    if (!r.ok()) std::abort();
+    return r.value();
+  }
+  SymbolTable symbols;
+  TermStore store;
+  Program program;
+};
+
+void BM_UnifyFlatTerms(benchmark::State& state) {
+  Fixture f;
+  Word a = f.Parse("f(g(1,2), h(X, [a,b,c]), Y)");
+  Word b = f.Parse("f(g(1,2), h(q, [a,b,c]), r(s))");
+  for (auto _ : state) {
+    size_t trail = f.store.TrailMark();
+    benchmark::DoNotOptimize(f.store.Unify(a, b));
+    f.store.UndoTrail(trail);
+  }
+}
+BENCHMARK(BM_UnifyFlatTerms);
+
+void BM_FlattenTerm(benchmark::State& state) {
+  Fixture f;
+  Word t = f.Parse("path(edge(a,b), [1,2,3,4,5], g(h(i(j))))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Flatten(f.store, t));
+  }
+}
+BENCHMARK(BM_FlattenTerm);
+
+void BM_UnflattenTerm(benchmark::State& state) {
+  Fixture f;
+  FlatTerm flat =
+      Flatten(f.store, f.Parse("path(edge(a,b), [1,2,3,4,5], g(h(X)))"));
+  for (auto _ : state) {
+    size_t heap = f.store.HeapMark();
+    benchmark::DoNotOptimize(Unflatten(&f.store, flat));
+    f.store.TruncateHeap(heap);
+  }
+}
+BENCHMARK(BM_UnflattenTerm);
+
+void BM_FirstArgIndexProbe(benchmark::State& state) {
+  Fixture f;
+  Loader loader(&f.store, &f.program);
+  std::string text;
+  for (int i = 0; i < 1000; ++i) {
+    text += "e(" + std::to_string(i) + "," + std::to_string(i + 1) + "). ";
+  }
+  if (!loader.ConsultString(text).ok()) std::abort();
+  Predicate* pred = f.program.Lookup(
+      f.symbols.InternFunctor(f.symbols.InternAtom("e"), 2));
+  Word goal = f.Parse("e(500, X)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred->Candidates(f.store, goal));
+  }
+}
+BENCHMARK(BM_FirstArgIndexProbe);
+
+void BM_ClauseResolutionStep(benchmark::State& state) {
+  Fixture f;
+  Loader loader(&f.store, &f.program);
+  if (!loader.ConsultString("e(1,2). e(2,3). e(3,4).").ok()) std::abort();
+  Machine machine(&f.store, &f.program);
+  Word goal = f.Parse("e(2, X)");
+  for (auto _ : state) {
+    size_t trail = f.store.TrailMark();
+    Result<bool> r = machine.SolveOnce(goal);
+    benchmark::DoNotOptimize(r);
+    f.store.UndoTrail(trail);
+  }
+}
+BENCHMARK(BM_ClauseResolutionStep);
+
+void BM_AnswerInsertHash(benchmark::State& state) {
+  Fixture f;
+  int i = 0;
+  TableSpace tables(/*answer_trie=*/false);
+  auto [id, created] = tables.LookupOrCreate(
+      Flatten(f.store, f.Parse("p(X)")), 0, 0);
+  for (auto _ : state) {
+    FlatTerm answer = Flatten(f.store, IntCell(i++ % 4096));
+    benchmark::DoNotOptimize(tables.AddAnswer(id, std::move(answer)));
+  }
+}
+BENCHMARK(BM_AnswerInsertHash);
+
+void BM_AnswerInsertTrie(benchmark::State& state) {
+  Fixture f;
+  int i = 0;
+  TableSpace tables(/*answer_trie=*/true);
+  auto [id, created] = tables.LookupOrCreate(
+      Flatten(f.store, f.Parse("p(X)")), 0, 0);
+  for (auto _ : state) {
+    FlatTerm answer = Flatten(f.store, IntCell(i++ % 4096));
+    benchmark::DoNotOptimize(tables.AddAnswer(id, std::move(answer)));
+  }
+}
+BENCHMARK(BM_AnswerInsertTrie);
+
+}  // namespace
+}  // namespace xsb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Section 3.2: "Using the SLG-WAM to execute Prolog's SLD resolution incurs
+// only minimal overhead ... usually less than 10% slower than PSB-Prolog's
+// WAM." The analogous measurement here: classic Prolog programs (no tabled
+// predicates) run on the machine with the SLG machinery armed (evaluator
+// attached, per-call tabled check active) vs the same machine with tabling
+// structurally ignored — the cost of being a tabling engine when no tabling
+// happens.
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+constexpr char kNrev[] =
+    "app([], L, L).\n"
+    "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+    "nrev([], []).\n"
+    "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n";
+
+double TimeGoal(xsb::Engine* engine, const std::string& goal) {
+  return xsb::bench::TimeBest([&]() {
+    auto r = engine->Count(goal);
+    if (!r.ok()) std::abort();
+  });
+}
+
+}  // namespace
+
+int main() {
+  using xsb::bench::Fmt;
+  using xsb::bench::FmtMs;
+  using xsb::bench::PrintHeader;
+  using xsb::bench::PrintRow;
+
+  PrintHeader("SLD code on the SLG engine: tabling hooks armed vs ignored");
+  PrintRow("program", {"armed ms", "ignored ms", "overhead"}, 30, 12);
+
+  struct Case {
+    std::string name;
+    std::string program;
+    std::string goal;
+  };
+  std::vector<Case> cases{
+      {"nrev(30 elements)", kNrev,
+       "nrev(" + xsb::bench::ListText(30) + ", _)"},
+      {"right-rec path, chain 1024",
+       "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n" +
+           xsb::bench::ChainEdges(1024),
+       "path(1, X)"},
+      {"naive member x2000",
+       "mem(X,[X|_]). mem(X,[_|T]) :- mem(X,T).\n"
+       "drive(0) :- !.\n"
+       "drive(N) :- mem(" + std::to_string(25) + ", " +
+           xsb::bench::ListText(25) + "), M is N - 1, drive(M).\n",
+       "drive(2000)"},
+  };
+
+  for (const Case& c : cases) {
+    xsb::Engine armed;  // evaluator attached (the default)
+    if (!armed.ConsultString(c.program).ok()) std::abort();
+    double with_hooks = TimeGoal(&armed, c.goal);
+
+    xsb::Engine plain;
+    if (!plain.ConsultString(c.program).ok()) std::abort();
+    plain.machine().set_ignore_tabling(true);
+    plain.machine().set_tabled_handler(nullptr);
+    double without_hooks = TimeGoal(&plain, c.goal);
+
+    double overhead = (with_hooks / without_hooks - 1.0) * 100.0;
+    PrintRow(c.name,
+             {FmtMs(with_hooks), FmtMs(without_hooks),
+              Fmt(overhead, 1) + "%"},
+             30, 12);
+  }
+
+  std::printf(
+      "\nPaper: the SLG-WAM runs plain Prolog at most ~10%% slower than the\n"
+      "WAM it derives from (the cost was trailing/testing extra pointers).\n"
+      "Here the hook is a per-call predicate-flag test, so the overhead\n"
+      "should be near zero — same conclusion, cheaper mechanism.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The stalemate game of Example 4.1: win(X) :- move(X,Y), tnot win(Y).
+//
+// Three evaluations side by side:
+//   * SLG negation (tnot) on an acyclic game — modularly stratified;
+//   * existential negation (e_tnot) — same answers, fewer tables;
+//   * the well-founded model for a *cyclic* game, where positions on the
+//     cycle are neither won nor lost (undefined) — the case the engine
+//     rejects as non-modularly-stratified and XSB routes to its
+//     well-founded meta-evaluator.
+//
+//   $ ./win_game
+
+#include <iostream>
+#include <string>
+
+#include "wfs/wfs.h"
+#include "xsb/engine.h"
+
+int main() {
+  xsb::Engine engine;
+  xsb::Status status = engine.ConsultString(R"PROGRAM(
+      :- table win/1.  :- table ewin/1.
+      win(X)  :- move(X, Y), tnot win(Y).
+      ewin(X) :- move(X, Y), e_tnot ewin(Y).
+
+      % A small acyclic game tree.
+      move(a, b). move(a, c).
+      move(b, d). move(b, e).
+      move(c, f).
+      move(f, g).
+  )PROGRAM");
+  if (!status.ok()) {
+    std::cerr << "load failed: " << status.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "Acyclic game, SLG negation vs existential negation:\n";
+  for (std::string node : {"a", "b", "c", "d", "f", "g"}) {
+    bool w = engine.Holds("win(" + node + ")").value();
+    bool e = engine.Holds("ewin(" + node + ")").value();
+    std::cout << "  " << node << ": win=" << (w ? "yes" : "no ")
+              << "  ewin=" << (e ? "yes" : "no ")
+              << (w == e ? "" : "  MISMATCH!") << "\n";
+  }
+  std::cout << "  tables disposed by e_tnot: "
+            << engine.evaluator().tables().stats().subgoals_disposed << "\n";
+
+  // A cyclic game: the engine correctly refuses (not modularly stratified).
+  xsb::Engine cyclic;
+  (void)cyclic.ConsultString(
+      ":- table win/1.\n"
+      "win(X) :- move(X,Y), tnot win(Y).\n"
+      "move(p, q). move(q, p).\n");
+  xsb::Result<bool> refused = cyclic.Holds("win(p)");
+  std::cout << "\nCyclic game through the engine: "
+            << (refused.ok() ? "unexpectedly answered"
+                             : refused.status().ToString())
+            << "\n";
+
+  // The well-founded evaluator handles it three-valuedly.
+  xsb::datalog::DatalogProgram program;
+  status = xsb::datalog::ParseDatalog(
+      "move(p, q). move(q, p).\n"
+      "win(X) :- move(X, Y), not win(Y).\n",
+      &program);
+  if (!status.ok()) {
+    std::cerr << "datalog load failed: " << status.ToString() << "\n";
+    return 1;
+  }
+  auto model = xsb::wfs::ComputeWellFounded(&program);
+  if (!model.ok()) {
+    std::cerr << "wfs failed: " << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "\nWell-founded model of the cyclic game:\n";
+  auto win = program.InternPred("win", 1);
+  for (const char* node : {"p", "q"}) {
+    xsb::datalog::Tuple args{program.consts().Symbol(node)};
+    const char* verdict = "undefined";
+    switch (model.value().TruthOf(win, args)) {
+      case xsb::wfs::Truth::kTrue:
+        verdict = "won";
+        break;
+      case xsb::wfs::Truth::kFalse:
+        verdict = "lost";
+        break;
+      case xsb::wfs::Truth::kUndefined:
+        break;
+    }
+    std::cout << "  win(" << node << "): " << verdict << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// An interactive read-eval-print shell over the engine, in the spirit of
+// the paper's section 4.2 ("XSB is normally invoked using its
+// read-eval-print loop interpreter").
+//
+//   $ ./xsb_shell [file.P ...]
+//   ?- path(1, X).
+//   X = 2 ;
+//   ...
+//
+// Meta-commands: :load FILE, :tables, :stats, :abolish, :halt.
+
+#include <iostream>
+#include <string>
+
+#include "xsb/engine.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout << "Enter goals ending in '.'; meta-commands:\n"
+               "  :load FILE    consult a source file\n"
+               "  :tables       table-space statistics\n"
+               "  :stats        machine statistics\n"
+               "  :abolish      drop all tables\n"
+               "  :help         this text\n"
+               "  :halt         exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xsb::Engine engine;
+  for (int i = 1; i < argc; ++i) {
+    xsb::Status s = engine.ConsultFile(argv[i]);
+    if (!s.ok()) {
+      std::cerr << argv[i] << ": " << s.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "% consulted " << argv[i] << "\n";
+  }
+
+  std::cout << "xsb-engine shell (SLG resolution; :help for commands)\n";
+  std::string line;
+  std::string pending;
+  while (true) {
+    std::cout << (pending.empty() ? "?- " : "   ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+
+    if (pending.empty() && !line.empty() && line[0] == ':') {
+      if (line == ":halt" || line == ":q") break;
+      if (line == ":help") {
+        PrintHelp();
+      } else if (line == ":tables") {
+        const auto& stats = engine.evaluator().tables().stats();
+        std::cout << "subgoals created:   " << stats.subgoals_created << "\n"
+                  << "subgoals disposed:  " << stats.subgoals_disposed << "\n"
+                  << "answers inserted:   " << stats.answers_inserted << "\n"
+                  << "duplicate answers:  " << stats.duplicate_answers << "\n"
+                  << "consumer suspends:  " << stats.consumer_suspensions
+                  << "\n"
+                  << "consumer resumes:   " << stats.consumer_resumptions
+                  << "\n";
+      } else if (line == ":stats") {
+        const auto& stats = engine.machine().stats();
+        std::cout << "user calls:         " << stats.user_calls << "\n"
+                  << "builtin calls:      " << stats.builtin_calls << "\n"
+                  << "choice points:      " << stats.choice_points << "\n"
+                  << "head unifications:  " << stats.head_unifications
+                  << "\n";
+      } else if (line == ":abolish") {
+        engine.AbolishAllTables();
+        std::cout << "tables dropped.\n";
+      } else if (line.rfind(":load ", 0) == 0) {
+        xsb::Status s = engine.ConsultFile(line.substr(6));
+        std::cout << (s.ok() ? "loaded." : s.ToString()) << "\n";
+      } else {
+        std::cout << "unknown command; :help\n";
+      }
+      continue;
+    }
+
+    pending += line;
+    // A goal is complete at a terminating period.
+    std::string trimmed = pending;
+    while (!trimmed.empty() && std::isspace(
+               static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty()) {
+      pending.clear();
+      continue;
+    }
+    if (trimmed.back() != '.') {
+      pending += "\n";
+      continue;  // keep reading the multi-line goal
+    }
+    trimmed.pop_back();
+    pending.clear();
+
+    size_t answers = 0;
+    xsb::Status status =
+        engine.ForEach(trimmed, [&answers](const xsb::Answer& answer) {
+          ++answers;
+          std::cout << answer.ToString() << " ;\n";
+          return answers < 64;  // cap runaway enumerations interactively
+        });
+    if (!status.ok()) {
+      std::cout << "error: " << status.ToString() << "\n";
+    } else if (answers == 0) {
+      std::cout << "no.\n";
+    } else {
+      std::cout << "yes (" << answers << " answer"
+                << (answers == 1 ? "" : "s") << ").\n";
+    }
+  }
+  return 0;
+}

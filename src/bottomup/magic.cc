@@ -1,0 +1,223 @@
+#include "bottomup/magic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace xsb::datalog {
+namespace {
+
+// An adornment: one char per argument, 'b' (bound) or 'f' (free).
+std::string AdornmentFor(const Literal& literal,
+                         const std::set<VarId>& bound_vars) {
+  std::string a;
+  a.reserve(literal.args.size());
+  for (const Arg& arg : literal.args) {
+    bool bound = !arg.is_var || bound_vars.count(arg.id) > 0;
+    a.push_back(bound ? 'b' : 'f');
+  }
+  return a;
+}
+
+std::vector<Arg> BoundArgs(const Literal& literal,
+                           const std::string& adornment) {
+  std::vector<Arg> out;
+  for (size_t i = 0; i < literal.args.size(); ++i) {
+    if (adornment[i] == 'b') out.push_back(literal.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Literal> MagicRewrite(DatalogProgram* program, const Literal& query) {
+  for (const Rule& rule : program->rules()) {
+    for (const Literal& literal : rule.body) {
+      if (literal.negated) {
+        return InvalidError(
+            "magic rewriting here supports positive programs only");
+      }
+    }
+  }
+
+  const std::vector<Rule> original_rules = program->rules();
+  std::vector<Rule> rewritten;
+
+  // Adorned predicate bookkeeping: (pred, adornment) -> new ids.
+  std::map<std::pair<PredId, std::string>, PredId> adorned_ids;
+  std::map<std::pair<PredId, std::string>, PredId> magic_ids;
+  std::vector<std::pair<PredId, std::string>> worklist;
+  std::set<std::pair<PredId, std::string>> seen;
+
+  auto adorned_pred = [&](PredId pred, const std::string& a) {
+    auto key = std::make_pair(pred, a);
+    auto it = adorned_ids.find(key);
+    if (it != adorned_ids.end()) return it->second;
+    PredId id = program->InternPred(program->PredName(pred) + "__" + a,
+                                    program->PredArity(pred));
+    adorned_ids.emplace(key, id);
+    return id;
+  };
+  auto magic_pred = [&](PredId pred, const std::string& a) {
+    auto key = std::make_pair(pred, a);
+    auto it = magic_ids.find(key);
+    if (it != magic_ids.end()) return it->second;
+    int bound = static_cast<int>(std::count(a.begin(), a.end(), 'b'));
+    PredId id = program->InternPred(
+        "m_" + program->PredName(pred) + "__" + a, bound);
+    magic_ids.emplace(key, id);
+    return id;
+  };
+
+  // Seed with the query's adornment.
+  std::string query_adornment = AdornmentFor(query, {});
+  worklist.emplace_back(query.pred, query_adornment);
+  seen.insert(worklist.back());
+
+  while (!worklist.empty()) {
+    auto [pred, adornment] = worklist.back();
+    worklist.pop_back();
+
+    for (const Rule& rule : original_rules) {
+      if (rule.head.pred != pred) continue;
+
+      // Head-bound variables: those under a 'b' in the adornment.
+      std::set<VarId> bound_vars;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (adornment[i] == 'b' && rule.head.args[i].is_var) {
+          bound_vars.insert(rule.head.args[i].id);
+        }
+      }
+
+      Rule out;
+      out.num_vars = rule.num_vars;
+      out.head = rule.head;
+      out.head.pred = adorned_pred(pred, adornment);
+
+      // The magic guard.
+      Literal guard;
+      guard.pred = magic_pred(pred, adornment);
+      guard.args = BoundArgs(rule.head, adornment);
+      out.body.push_back(guard);
+
+      // Left-to-right SIPS through the body.
+      for (const Literal& literal : rule.body) {
+        if (program->IsIdb(literal.pred)) {
+          std::string a = AdornmentFor(literal, bound_vars);
+          // Magic rule: m_q__a(bound args) :- <prefix so far>.
+          Rule magic_rule;
+          magic_rule.num_vars = rule.num_vars;
+          magic_rule.head.pred = magic_pred(literal.pred, a);
+          magic_rule.head.args = BoundArgs(literal, a);
+          magic_rule.body = out.body;  // guard + processed prefix
+          rewritten.push_back(std::move(magic_rule));
+          if (seen.insert({literal.pred, a}).second) {
+            worklist.emplace_back(literal.pred, a);
+          }
+          Literal adorned = literal;
+          adorned.pred = adorned_pred(literal.pred, a);
+          out.body.push_back(adorned);
+        } else {
+          out.body.push_back(literal);
+        }
+        for (const Arg& arg : literal.args) {
+          if (arg.is_var) bound_vars.insert(arg.id);
+        }
+      }
+      rewritten.push_back(std::move(out));
+    }
+  }
+
+  // Seed fact: the magic tuple of the query's constants.
+  Tuple seed;
+  for (size_t i = 0; i < query.args.size(); ++i) {
+    if (query_adornment[i] == 'b') seed.push_back(query.args[i].id);
+  }
+  program->AddFact(magic_pred(query.pred, query_adornment), std::move(seed));
+
+  program->rules() = std::move(rewritten);
+
+  Literal adorned_query = query;
+  adorned_query.pred = adorned_pred(query.pred, query_adornment);
+  return adorned_query;
+}
+
+Result<Literal> FactorRewrite(DatalogProgram* program, const Literal& query) {
+  // Pattern: query p(c, Var); rules {p(X,Y) :- e(X,Y).
+  //                                  p(X,Y) :- p(X,Z), e(Z,Y).}
+  if (query.args.size() != 2 || query.args[0].is_var ||
+      !query.args[1].is_var) {
+    return InvalidError("factoring needs a p(const, Var) query");
+  }
+  const Rule* base = nullptr;
+  const Rule* rec = nullptr;
+  for (const Rule& rule : program->rules()) {
+    if (rule.head.pred != query.pred) continue;
+    if (rule.body.size() == 1 && !program->IsIdb(rule.body[0].pred)) {
+      base = &rule;
+    } else if (rule.body.size() == 2 &&
+               rule.body[0].pred == query.pred &&
+               !program->IsIdb(rule.body[1].pred)) {
+      rec = &rule;
+    } else {
+      return InvalidError("factoring pattern mismatch");
+    }
+  }
+  if (base == nullptr || rec == nullptr) {
+    return InvalidError("factoring needs base + left-linear rules");
+  }
+  // Shape checks: p(X,Y) :- e(X,Y) and p(X,Y) :- p(X,Z), e(Z,Y).
+  auto head_vars_distinct = [](const Rule& r) {
+    return r.head.args.size() == 2 && r.head.args[0].is_var &&
+           r.head.args[1].is_var && !(r.head.args[0] == r.head.args[1]);
+  };
+  if (!head_vars_distinct(*base) || !head_vars_distinct(*rec)) {
+    return InvalidError("factoring pattern mismatch");
+  }
+  const Literal& b0 = base->body[0];
+  if (b0.args.size() != 2 || !(b0.args[0] == base->head.args[0]) ||
+      !(b0.args[1] == base->head.args[1])) {
+    return InvalidError("factoring pattern mismatch");
+  }
+  const Literal& r0 = rec->body[0];
+  const Literal& r1 = rec->body[1];
+  if (r0.args.size() != 2 || r1.args.size() != 2 ||
+      !(r0.args[0] == rec->head.args[0]) ||
+      !(r1.args[1] == rec->head.args[1]) || !(r0.args[1] == r1.args[0])) {
+    return InvalidError("factoring pattern mismatch");
+  }
+
+  PredId edge = b0.pred;
+  PredId factored = program->InternPred(
+      "f_" + program->PredName(query.pred), 1);
+
+  std::vector<Rule> rewritten;
+  {
+    // f_p(Y) :- e(c, Y).
+    Rule rule;
+    rule.num_vars = 1;
+    rule.head = Literal{factored, false, {Arg::Var(0)}};
+    rule.body.push_back(
+        Literal{edge, false, {Arg::Const(query.args[0].id), Arg::Var(0)}});
+    rewritten.push_back(std::move(rule));
+  }
+  {
+    // f_p(Y) :- f_p(Z), e(Z, Y).
+    Rule rule;
+    rule.num_vars = 2;
+    rule.head = Literal{factored, false, {Arg::Var(0)}};
+    rule.body.push_back(Literal{factored, false, {Arg::Var(1)}});
+    rule.body.push_back(
+        Literal{edge, false, {Arg::Var(1), Arg::Var(0)}});
+    rewritten.push_back(std::move(rule));
+  }
+  program->rules() = std::move(rewritten);
+
+  Literal factored_query;
+  factored_query.pred = factored;
+  factored_query.args = {query.args[1]};
+  return factored_query;
+}
+
+}  // namespace xsb::datalog

@@ -1,0 +1,34 @@
+#ifndef XSB_BOTTOMUP_MAGIC_H_
+#define XSB_BOTTOMUP_MAGIC_H_
+
+#include "base/status.h"
+#include "bottomup/rules.h"
+
+namespace xsb::datalog {
+
+// Magic-sets rewriting with adornments and a left-to-right sideways
+// information passing strategy — the goal-directedness transformation the
+// bottom-up systems of Table 1 (CORAL, LDL, Aditi) rely on, and the method
+// the paper contrasts with SLG's tabled subgoals ("the magic facts ... appear
+// to correspond to the tabled subgoals of an SLG evaluation", section 2).
+//
+// Rewrites `program` in place: IDB rules are replaced by adorned rules plus
+// magic rules, and the magic seed fact for `query` is added. Returns the
+// adorned query literal to Select after evaluation.
+//
+// Restrictions: rules must be positive (magic with stratified negation needs
+// a doubled program; the rewritten program is rejected if negation occurs).
+Result<Literal> MagicRewrite(DatalogProgram* program, const Literal& query);
+
+// The factoring optimization of Naughton et al. (the paper's CORAL-fac
+// configuration): for a left-linear transitive closure
+//     p(X,Y) :- e(X,Y).      p(X,Y) :- p(X,Z), e(Z,Y).
+// queried as p(c, Y), the binary recursion factors into a unary one
+//     fp(Y) :- e(c,Y).       fp(Y) :- fp(Z), e(Z,Y).
+// Rewrites `program` in place and returns the factored query literal, or an
+// error when the pattern does not apply.
+Result<Literal> FactorRewrite(DatalogProgram* program, const Literal& query);
+
+}  // namespace xsb::datalog
+
+#endif  // XSB_BOTTOMUP_MAGIC_H_

@@ -1,0 +1,62 @@
+#include "bottomup/relation.h"
+
+namespace xsb::datalog {
+
+Value ConstPool::Int(int64_t value) {
+  auto it = int_ids_.find(value);
+  if (it != int_ids_.end()) return it->second;
+  Value id = static_cast<Value>(entries_.size());
+  entries_.push_back(Entry{true, value, std::string()});
+  int_ids_.emplace(value, id);
+  return id;
+}
+
+Value ConstPool::Symbol(std::string_view name) {
+  auto it = symbol_ids_.find(std::string(name));
+  if (it != symbol_ids_.end()) return it->second;
+  Value id = static_cast<Value>(entries_.size());
+  entries_.push_back(Entry{false, 0, std::string(name)});
+  symbol_ids_.emplace(entries_.back().name, id);
+  return id;
+}
+
+std::string ConstPool::ToString(Value v) const {
+  const Entry& e = entries_[v];
+  return e.is_int ? std::to_string(e.int_value) : e.name;
+}
+
+const std::vector<uint32_t> Relation::kEmptyRows;
+
+bool Relation::Insert(const Tuple& tuple) {
+  auto [it, inserted] =
+      dedup_.try_emplace(tuple, static_cast<uint32_t>(tuples_.size()));
+  if (!inserted) return false;
+  tuples_.push_back(tuple);
+  uint32_t row = static_cast<uint32_t>(tuples_.size() - 1);
+  for (auto& [column, index] : indexes_) {
+    index[tuple[column]].push_back(row);
+  }
+  return true;
+}
+
+const std::vector<uint32_t>& Relation::Probe(int column, Value v) {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    auto& index = indexes_[column];
+    for (uint32_t row = 0; row < tuples_.size(); ++row) {
+      index[tuples_[row][column]].push_back(row);
+    }
+    it = indexes_.find(column);
+  }
+  auto rows = it->second.find(v);
+  if (rows == it->second.end()) return kEmptyRows;
+  return rows->second;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  dedup_.clear();
+  indexes_.clear();
+}
+
+}  // namespace xsb::datalog

@@ -1,0 +1,89 @@
+#ifndef XSB_BOTTOMUP_RELATION_H_
+#define XSB_BOTTOMUP_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsb::datalog {
+
+// A datalog constant: an interned integer or symbol. The bottom-up engine is
+// deliberately independent of the tuple-at-a-time term machinery — it is the
+// stand-in for the set-at-a-time systems (CORAL, LDL) that section 5
+// compares against.
+using Value = uint32_t;
+
+// Interns datalog constants.
+class ConstPool {
+ public:
+  Value Int(int64_t value);
+  Value Symbol(std::string_view name);
+
+  bool IsInt(Value v) const { return entries_[v].is_int; }
+  int64_t IntOf(Value v) const { return entries_[v].int_value; }
+  const std::string& NameOf(Value v) const { return entries_[v].name; }
+  std::string ToString(Value v) const;
+
+ private:
+  struct Entry {
+    bool is_int;
+    int64_t int_value;
+    std::string name;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<int64_t, Value> int_ids_;
+  std::unordered_map<std::string, Value> symbol_ids_;
+};
+
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (Value v : t) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// A set of same-arity tuples with duplicate elimination and lazily built
+// per-column hash indexes (the join indexes a set-at-a-time engine uses).
+class Relation {
+ public:
+  explicit Relation(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  // Returns true if the tuple was new.
+  bool Insert(const Tuple& tuple);
+  bool Contains(const Tuple& tuple) const {
+    return dedup_.count(tuple) > 0;
+  }
+
+  // Builds (once) and uses a hash index on `column`; returns the row ids
+  // whose `column` equals `v`.
+  const std::vector<uint32_t>& Probe(int column, Value v);
+
+  void Clear();
+
+ private:
+  static const std::vector<uint32_t> kEmptyRows;
+
+  int arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> dedup_;
+  // indexes_[c] maps value -> row ids; absent until first probe on c.
+  std::unordered_map<int, std::unordered_map<Value, std::vector<uint32_t>>>
+      indexes_;
+};
+
+}  // namespace xsb::datalog
+
+#endif  // XSB_BOTTOMUP_RELATION_H_

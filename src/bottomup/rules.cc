@@ -1,0 +1,261 @@
+#include "bottomup/rules.h"
+
+#include <cctype>
+
+namespace xsb::datalog {
+
+PredId DatalogProgram::InternPred(std::string_view name, int arity) {
+  std::string key = std::string(name) + "/" + std::to_string(arity);
+  auto it = pred_ids_.find(key);
+  if (it != pred_ids_.end()) return it->second;
+  PredId id = static_cast<PredId>(preds_.size());
+  preds_.push_back(PredInfo{std::string(name), arity});
+  pred_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+bool DatalogProgram::IsIdb(PredId pred) const {
+  for (const Rule& rule : rules_) {
+    if (rule.head.pred == pred) return true;
+  }
+  return false;
+}
+
+Status DatalogProgram::CheckSafety() const {
+  for (const Rule& rule : rules_) {
+    std::vector<bool> positive(rule.num_vars, false);
+    for (const Literal& literal : rule.body) {
+      if (literal.negated) continue;
+      for (const Arg& arg : literal.args) {
+        if (arg.is_var) positive[arg.id] = true;
+      }
+    }
+    for (const Arg& arg : rule.head.args) {
+      if (arg.is_var && !positive[arg.id]) {
+        return InvalidError("unsafe rule (head variable not bound): " +
+                            RuleToString(rule));
+      }
+    }
+    for (const Literal& literal : rule.body) {
+      if (!literal.negated) continue;
+      for (const Arg& arg : literal.args) {
+        if (arg.is_var && !positive[arg.id]) {
+          return InvalidError("unsafe negation: " + RuleToString(rule));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string DatalogProgram::LiteralToString(const Literal& literal) const {
+  std::string out;
+  if (literal.negated) out += "not ";
+  out += PredName(literal.pred);
+  if (!literal.args.empty()) {
+    out += '(';
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      if (i > 0) out += ',';
+      const Arg& arg = literal.args[i];
+      if (arg.is_var) {
+        out += "V" + std::to_string(arg.id);
+      } else {
+        out += consts_.ToString(arg.id);
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
+std::string DatalogProgram::RuleToString(const Rule& rule) const {
+  std::string out = LiteralToString(rule.head);
+  if (!rule.body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += LiteralToString(rule.body[i]);
+    }
+  }
+  return out + ".";
+}
+
+namespace {
+
+// A minimal recursive-descent parser for the datalog subset.
+class DatalogParser {
+ public:
+  DatalogParser(std::string_view text, DatalogProgram* program)
+      : text_(text), program_(program) {}
+
+  Status ParseProgram() {
+    SkipLayout();
+    while (pos_ < text_.size()) {
+      Status s = ParseClause();
+      if (!s.ok()) return s;
+      SkipLayout();
+    }
+    return Status::Ok();
+  }
+
+  Result<Literal> ParseSingleLiteral() {
+    SkipLayout();
+    std::unordered_map<std::string, VarId> vars;
+    uint32_t next_var = 0;
+    Result<Literal> lit = ParseLiteral(&vars, &next_var);
+    return lit;
+  }
+
+ private:
+  void SkipLayout() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(char c) {
+    SkipLayout();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatWord(std::string_view word) {
+    SkipLayout();
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipLayout();
+    if (pos_ >= text_.size() ||
+        (!std::isalpha(static_cast<unsigned char>(text_[pos_])) &&
+         text_[pos_] != '_')) {
+      return ParseError("expected identifier in datalog source");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Literal> ParseLiteral(std::unordered_map<std::string, VarId>* vars,
+                               uint32_t* next_var) {
+    bool negated = EatWord("not ");
+    Result<std::string> name = ParseIdent();
+    if (!name.ok()) return name.status();
+    std::vector<Arg> args;
+    if (Eat('(')) {
+      while (true) {
+        SkipLayout();
+        if (pos_ >= text_.size()) return ParseError("unterminated literal");
+        char c = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+          bool negative = c == '-';
+          if (negative) ++pos_;
+          int64_t v = 0;
+          while (pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            v = v * 10 + (text_[pos_++] - '0');
+          }
+          args.push_back(Arg::Const(program_->consts().Int(negative ? -v
+                                                                    : v)));
+        } else if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+          Result<std::string> vn = ParseIdent();
+          if (!vn.ok()) return vn.status();
+          if (vn.value() == "_") {
+            args.push_back(Arg::Var((*next_var)++));
+          } else {
+            auto [it, inserted] = vars->try_emplace(vn.value(), *next_var);
+            if (inserted) ++(*next_var);
+            args.push_back(Arg::Var(it->second));
+          }
+        } else if (std::islower(static_cast<unsigned char>(c))) {
+          Result<std::string> sym = ParseIdent();
+          if (!sym.ok()) return sym.status();
+          args.push_back(Arg::Const(program_->consts().Symbol(sym.value())));
+        } else {
+          return ParseError("bad argument in datalog literal");
+        }
+        if (Eat(',')) continue;
+        if (Eat(')')) break;
+        return ParseError("expected ',' or ')' in datalog literal");
+      }
+    }
+    Literal literal;
+    literal.pred = program_->InternPred(name.value(),
+                                        static_cast<int>(args.size()));
+    literal.negated = negated;
+    literal.args = std::move(args);
+    return literal;
+  }
+
+  Status ParseClause() {
+    std::unordered_map<std::string, VarId> vars;
+    uint32_t next_var = 0;
+    Result<Literal> head = ParseLiteral(&vars, &next_var);
+    if (!head.ok()) return head.status();
+    if (head.value().negated) return ParseError("negated head");
+
+    if (Eat('.')) {
+      // A fact: all args must be constants.
+      Tuple tuple;
+      for (const Arg& arg : head.value().args) {
+        if (arg.is_var) return ParseError("non-ground fact");
+        tuple.push_back(arg.id);
+      }
+      program_->AddFact(head.value().pred, std::move(tuple));
+      return Status::Ok();
+    }
+    if (!EatWord(":-")) return ParseError("expected ':-' or '.'");
+
+    Rule rule;
+    rule.head = head.value();
+    while (true) {
+      Result<Literal> lit = ParseLiteral(&vars, &next_var);
+      if (!lit.ok()) return lit.status();
+      rule.body.push_back(lit.value());
+      if (Eat(',')) continue;
+      if (Eat('.')) break;
+      return ParseError("expected ',' or '.' after body literal");
+    }
+    rule.num_vars = next_var;
+    program_->AddRule(std::move(rule));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  DatalogProgram* program_;
+};
+
+}  // namespace
+
+Status ParseDatalog(std::string_view text, DatalogProgram* program) {
+  DatalogParser parser(text, program);
+  Status s = parser.ParseProgram();
+  if (!s.ok()) return s;
+  return program->CheckSafety();
+}
+
+Result<Literal> ParseQuery(std::string_view text, DatalogProgram* program) {
+  DatalogParser parser(text, program);
+  return parser.ParseSingleLiteral();
+}
+
+}  // namespace xsb::datalog

@@ -1,0 +1,98 @@
+#ifndef XSB_BOTTOMUP_RULES_H_
+#define XSB_BOTTOMUP_RULES_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "bottomup/relation.h"
+
+namespace xsb::datalog {
+
+using PredId = uint32_t;
+using VarId = uint32_t;
+
+// A rule argument: a variable or a constant.
+struct Arg {
+  bool is_var;
+  uint32_t id;  // VarId or Value
+
+  static Arg Var(VarId v) { return Arg{true, v}; }
+  static Arg Const(Value c) { return Arg{false, c}; }
+  bool operator==(const Arg& o) const {
+    return is_var == o.is_var && id == o.id;
+  }
+};
+
+struct Literal {
+  PredId pred;
+  bool negated = false;
+  std::vector<Arg> args;
+};
+
+struct Rule {
+  Literal head;
+  std::vector<Literal> body;
+  uint32_t num_vars = 0;  // variables are 0..num_vars-1
+};
+
+// A datalog program: predicate table, EDB relations, and IDB rules. This is
+// the input format of the bottom-up engine (the set-at-a-time baseline) and
+// of the well-founded-semantics evaluator.
+class DatalogProgram {
+ public:
+  PredId InternPred(std::string_view name, int arity);
+  const std::string& PredName(PredId p) const { return preds_[p].name; }
+  int PredArity(PredId p) const { return preds_[p].arity; }
+  size_t num_preds() const { return preds_.size(); }
+
+  ConstPool& consts() { return consts_; }
+  const ConstPool& consts() const { return consts_; }
+
+  void AddFact(PredId pred, Tuple tuple) { edb_[pred].emplace_back(tuple); }
+  void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::vector<Rule>& rules() { return rules_; }
+  const std::unordered_map<PredId, std::vector<Tuple>>& edb() const {
+    return edb_;
+  }
+
+  // True if some rule defines `pred` (it is an IDB predicate).
+  bool IsIdb(PredId pred) const;
+
+  // Basic range-restriction (safety) validation:
+  //  * every head variable occurs in a positive body literal,
+  //  * every variable of a negated literal occurs in a positive literal.
+  Status CheckSafety() const;
+
+  std::string LiteralToString(const Literal& literal) const;
+  std::string RuleToString(const Rule& rule) const;
+
+ private:
+  struct PredInfo {
+    std::string name;
+    int arity;
+  };
+  std::vector<PredInfo> preds_;
+  std::unordered_map<std::string, PredId> pred_ids_;
+  ConstPool consts_;
+  std::vector<Rule> rules_;
+  std::unordered_map<PredId, std::vector<Tuple>> edb_;
+};
+
+// Parses a textual datalog program:
+//   edge(1, 2).  path(X,Y) :- edge(X,Y).  path(X,Y) :- path(X,Z), edge(Z,Y).
+//   wins(X) :- move(X,Y), not wins(Y).
+// Variables are capitalized; `not ` marks negative literals; constants are
+// integers or lowercase symbols. Comments: % to end of line.
+Status ParseDatalog(std::string_view text, DatalogProgram* program);
+
+// Parses a single query literal such as "path(1, X)".
+Result<Literal> ParseQuery(std::string_view text, DatalogProgram* program);
+
+}  // namespace xsb::datalog
+
+#endif  // XSB_BOTTOMUP_RULES_H_

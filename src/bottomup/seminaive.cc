@@ -1,0 +1,290 @@
+#include "bottomup/seminaive.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xsb::datalog {
+
+Status Stratify(const DatalogProgram& program,
+                std::vector<int>* stratum_of_pred) {
+  size_t n = program.num_preds();
+  stratum_of_pred->assign(n, 0);
+  // Ullman's iterative algorithm: raise strata until fixpoint; more than n
+  // rounds of change means a negative cycle (not stratifiable).
+  for (size_t round = 0; round <= n + 1; ++round) {
+    bool changed = false;
+    for (const Rule& rule : program.rules()) {
+      int& head = (*stratum_of_pred)[rule.head.pred];
+      for (const Literal& literal : rule.body) {
+        int need = (*stratum_of_pred)[literal.pred] + (literal.negated ? 1 : 0);
+        if (head < need) {
+          head = need;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return Status::Ok();
+  }
+  return StratificationError(
+      "negation through recursion: the program is not stratified");
+}
+
+Relation& Evaluation::relation(PredId pred) {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) {
+    it = relations_
+             .emplace(pred, Relation(program_->PredArity(pred)))
+             .first;
+  }
+  return it->second;
+}
+
+void Evaluation::JoinFrom(const Rule& rule, const std::vector<int>& order,
+                          size_t idx, int delta_literal, Relation* delta_rel,
+                          std::vector<Value>* env, std::vector<bool>* bound,
+                          std::vector<Tuple>* out) {
+  if (idx == order.size()) {
+    ++stats_.rule_firings;
+    Tuple head(rule.head.args.size());
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      const Arg& arg = rule.head.args[i];
+      head[i] = arg.is_var ? (*env)[arg.id] : arg.id;
+    }
+    out->push_back(std::move(head));
+    return;
+  }
+  int body_index = order[idx];
+  const Literal& literal = rule.body[body_index];
+
+  if (literal.negated) {
+    // All variables are bound here (negations are ordered last and safety
+    // was checked); a membership test suffices — the stratum below is done.
+    Tuple probe(literal.args.size());
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      const Arg& arg = literal.args[i];
+      probe[i] = arg.is_var ? (*env)[arg.id] : arg.id;
+    }
+    if (!relation(literal.pred).Contains(probe)) {
+      JoinFrom(rule, order, idx + 1, delta_literal, delta_rel, env, bound,
+               out);
+    }
+    return;
+  }
+
+  Relation& rel = (body_index == delta_literal) ? *delta_rel
+                                                : relation(literal.pred);
+
+  // Pick the first bound column as the probe key.
+  int probe_column = -1;
+  Value probe_value = 0;
+  for (size_t i = 0; i < literal.args.size(); ++i) {
+    const Arg& arg = literal.args[i];
+    if (!arg.is_var) {
+      probe_column = static_cast<int>(i);
+      probe_value = arg.id;
+      break;
+    }
+    if ((*bound)[arg.id]) {
+      probe_column = static_cast<int>(i);
+      probe_value = (*env)[arg.id];
+      break;
+    }
+  }
+
+  auto match_row = [&](const Tuple& tuple) {
+    // Fixed-size scratch: literals have few arguments; avoids a per-row
+    // heap allocation in the innermost join loop.
+    VarId newly_bound[16];
+    size_t num_newly_bound = 0;
+    bool ok = true;
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      const Arg& arg = literal.args[i];
+      if (!arg.is_var) {
+        if (tuple[i] != arg.id) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      if ((*bound)[arg.id]) {
+        if ((*env)[arg.id] != tuple[i]) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      (*bound)[arg.id] = true;
+      (*env)[arg.id] = tuple[i];
+      if (num_newly_bound < 16) newly_bound[num_newly_bound++] = arg.id;
+    }
+    if (ok) {
+      JoinFrom(rule, order, idx + 1, delta_literal, delta_rel, env, bound,
+               out);
+    }
+    for (size_t k = 0; k < num_newly_bound; ++k) {
+      (*bound)[newly_bound[k]] = false;
+    }
+  };
+
+  if (probe_column >= 0) {
+    for (uint32_t row : rel.Probe(probe_column, probe_value)) {
+      match_row(rel.tuples()[row]);
+    }
+  } else {
+    for (const Tuple& tuple : rel.tuples()) match_row(tuple);
+  }
+}
+
+Status Evaluation::Run(const EvalOptions& options) {
+  Status safety = program_->CheckSafety();
+  if (!safety.ok()) return safety;
+  std::vector<int> stratum;
+  Status stratified = Stratify(*program_, &stratum);
+  if (!stratified.ok()) return stratified;
+
+  // Load the EDB.
+  for (const auto& [pred, tuples] : program_->edb()) {
+    Relation& rel = relation(pred);
+    for (const Tuple& tuple : tuples) {
+      if (rel.Insert(tuple)) {
+        ++stats_.tuples_inserted;
+      } else {
+        ++stats_.duplicate_tuples;
+      }
+    }
+  }
+
+  int max_stratum = 0;
+  for (const Rule& rule : program_->rules()) {
+    max_stratum = std::max(max_stratum, stratum[rule.head.pred]);
+  }
+
+  for (int s = 0; s <= max_stratum; ++s) {
+    std::vector<const Rule*> layer;
+    for (const Rule& rule : program_->rules()) {
+      if (stratum[rule.head.pred] == s) layer.push_back(&rule);
+    }
+    if (layer.empty()) continue;
+
+    // Evaluation order within a rule: positive literals as written, then
+    // negated literals (whose strata are already closed).
+    auto order_of = [](const Rule& rule) {
+      std::vector<int> order;
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!rule.body[i].negated) order.push_back(static_cast<int>(i));
+      }
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (rule.body[i].negated) order.push_back(static_cast<int>(i));
+      }
+      return order;
+    };
+
+    // Predicates that feed back into this stratum's rule bodies; only they
+    // need delta relations (a non-recursive head never re-fires a rule).
+    std::unordered_set<PredId> recursive;
+    for (const Rule* rule : layer) {
+      for (const Literal& literal : rule->body) {
+        if (!literal.negated) recursive.insert(literal.pred);
+      }
+    }
+
+    // Per-predicate deltas for this stratum.
+    std::unordered_map<PredId, Relation> delta;
+    auto flush = [&](const std::vector<std::pair<PredId, Tuple>>& derived,
+                     std::unordered_map<PredId, Relation>* next_delta) {
+      bool any = false;
+      for (const auto& [pred, tuple] : derived) {
+        if (relation(pred).Insert(tuple)) {
+          ++stats_.tuples_inserted;
+          if (recursive.count(pred) > 0) {
+            (*next_delta)[pred].Insert(tuple);
+            any = true;
+          }
+        } else {
+          ++stats_.duplicate_tuples;
+        }
+      }
+      return any;
+    };
+
+    // First round: evaluate every rule in full.
+    std::vector<std::pair<PredId, Tuple>> derived;
+    for (const Rule* rule : layer) {
+      std::vector<Value> env(rule->num_vars, 0);
+      std::vector<bool> bound(rule->num_vars, false);
+      std::vector<Tuple> out;
+      JoinFrom(*rule, order_of(*rule), 0, -1, nullptr, &env, &bound, &out);
+      for (Tuple& t : out) derived.emplace_back(rule->head.pred, std::move(t));
+    }
+    std::unordered_map<PredId, Relation> next_delta;
+    bool changed = flush(derived, &next_delta);
+    ++stats_.iterations;
+
+    // Fixpoint rounds.
+    while (changed) {
+      ++stats_.iterations;
+      delta = std::move(next_delta);
+      next_delta.clear();
+      derived.clear();
+      for (const Rule* rule : layer) {
+        std::vector<int> order = order_of(*rule);
+        if (options.seminaive) {
+          // One pass per recursive body occurrence, evaluated over delta.
+          for (size_t i = 0; i < rule->body.size(); ++i) {
+            const Literal& literal = rule->body[i];
+            if (literal.negated) continue;
+            auto it = delta.find(literal.pred);
+            if (it == delta.end() || it->second.empty()) continue;
+            std::vector<Value> env(rule->num_vars, 0);
+            std::vector<bool> bound(rule->num_vars, false);
+            std::vector<Tuple> out;
+            JoinFrom(*rule, order, 0, static_cast<int>(i), &it->second,
+                     &env, &bound, &out);
+            for (Tuple& t : out) {
+              derived.emplace_back(rule->head.pred, std::move(t));
+            }
+          }
+        } else {
+          std::vector<Value> env(rule->num_vars, 0);
+          std::vector<bool> bound(rule->num_vars, false);
+          std::vector<Tuple> out;
+          JoinFrom(*rule, order, 0, -1, nullptr, &env, &bound, &out);
+          for (Tuple& t : out) {
+            derived.emplace_back(rule->head.pred, std::move(t));
+          }
+        }
+      }
+      changed = flush(derived, &next_delta);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Tuple> Evaluation::Select(const Literal& query) {
+  std::vector<Tuple> out;
+  Relation& rel = relation(query.pred);
+  std::unordered_map<VarId, Value> seen;
+  for (const Tuple& tuple : rel.tuples()) {
+    bool ok = true;
+    seen.clear();
+    for (size_t i = 0; i < query.args.size(); ++i) {
+      const Arg& arg = query.args[i];
+      if (!arg.is_var) {
+        if (tuple[i] != arg.id) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      auto [it, inserted] = seen.try_emplace(arg.id, tuple[i]);
+      if (!inserted && it->second != tuple[i]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(tuple);
+  }
+  return out;
+}
+
+}  // namespace xsb::datalog

@@ -1,0 +1,60 @@
+#ifndef XSB_BOTTOMUP_SEMINAIVE_H_
+#define XSB_BOTTOMUP_SEMINAIVE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "bottomup/rules.h"
+
+namespace xsb::datalog {
+
+// Assigns a stratum to every predicate (EDB predicates get 0) or fails if
+// negation occurs inside a recursive component.
+Status Stratify(const DatalogProgram& program,
+                std::vector<int>* stratum_of_pred);
+
+struct EvalOptions {
+  bool seminaive = true;  // false: naive iteration (for the ablation bench)
+};
+
+struct EvalStats {
+  uint64_t iterations = 0;
+  uint64_t rule_firings = 0;     // rule body matches found
+  uint64_t tuples_inserted = 0;  // distinct derived tuples
+  uint64_t duplicate_tuples = 0;
+};
+
+// Stratified (semi-)naive bottom-up evaluation: the set-at-a-time fixpoint
+// engine that plays the role of CORAL/LDL in section 5's comparisons.
+class Evaluation {
+ public:
+  explicit Evaluation(DatalogProgram* program) : program_(program) {}
+
+  Status Run(const EvalOptions& options = EvalOptions());
+
+  // Derived (plus EDB) relation of `pred` after Run.
+  Relation& relation(PredId pred);
+
+  // All tuples of `query.pred` matching the query's constants.
+  std::vector<Tuple> Select(const Literal& query);
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  // Joins body literals [idx..] of `rule` given partial bindings, calling
+  // Emit on each complete match. `delta_literal` marks the body occurrence
+  // evaluated against `delta` instead of the full relation (-1: none).
+  void JoinFrom(const Rule& rule, const std::vector<int>& order, size_t idx,
+                int delta_literal, Relation* delta_rel,
+                std::vector<Value>* env, std::vector<bool>* bound,
+                std::vector<Tuple>* out);
+
+  DatalogProgram* program_;
+  std::unordered_map<PredId, Relation> relations_;
+  EvalStats stats_;
+};
+
+}  // namespace xsb::datalog
+
+#endif  // XSB_BOTTOMUP_SEMINAIVE_H_

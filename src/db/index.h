@@ -1,0 +1,83 @@
+#ifndef XSB_DB_INDEX_H_
+#define XSB_DB_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "term/flat.h"
+
+namespace xsb {
+
+using ClauseId = uint32_t;
+
+// --- Flat-stream helpers ----------------------------------------------------
+
+// Position just past the subterm starting at `pos` in a flattened stream.
+size_t SkipFlatSubterm(const SymbolTable& symbols,
+                       const std::vector<Word>& cells, size_t pos);
+
+// Index key of the cell at `pos`: the cell itself for atoms/ints, the
+// functor cell for structs (outer symbol only, as all XSB hash indexing
+// does), and 0 for variables ("matches anything").
+Word FlatArgKey(const std::vector<Word>& cells, size_t pos);
+
+// Start position of argument `arg` (0-based) of the struct whose functor
+// cell sits at `pos` in the stream.
+size_t FlatArgPos(const SymbolTable& symbols, const std::vector<Word>& cells,
+                  size_t pos, int arg);
+
+// --- Hash indexes ------------------------------------------------------------
+
+// Hash index on the outer symbol of one argument position. Clauses whose
+// indexed argument is a variable appear in every bucket (and in the bucket
+// seeded for keys unseen so far), preserving source clause order.
+class ArgHashIndex {
+ public:
+  explicit ArgHashIndex(int arg) : arg_(arg) {}
+
+  int arg() const { return arg_; }
+
+  // `key` = FlatArgKey of the clause head's indexed argument.
+  void Insert(ClauseId id, Word key);
+
+  // Candidate clauses for a call whose indexed argument has key `key`
+  // (0 = unbound: caller should scan all clauses instead).
+  const std::vector<ClauseId>& Lookup(Word key) const;
+
+  const std::vector<ClauseId>& var_clauses() const { return var_clauses_; }
+
+ private:
+  int arg_;
+  std::unordered_map<Word, std::vector<ClauseId>> buckets_;
+  std::vector<ClauseId> var_clauses_;
+};
+
+// A multi-field index: one combined hash over the outer symbols of a set of
+// argument positions (at most 3, as in the paper). Only usable when every
+// position in the set is bound in the call.
+class CombinedHashIndex {
+ public:
+  explicit CombinedHashIndex(std::vector<int> args) : args_(std::move(args)) {}
+
+  const std::vector<int>& args() const { return args_; }
+
+  void Insert(ClauseId id, const std::vector<Word>& keys);
+  // Returns nullptr if any key is unbound (index unusable) — the caller
+  // falls through to the next index in the declaration order.
+  const std::vector<ClauseId>* Lookup(const std::vector<Word>& keys) const;
+
+  // True if the clause can be keyed (no variable among indexed args).
+  static bool Keyable(const std::vector<Word>& keys);
+
+ private:
+  static uint64_t HashKeys(const std::vector<Word>& keys);
+
+  std::vector<int> args_;
+  std::unordered_map<uint64_t, std::vector<ClauseId>> buckets_;
+  std::vector<ClauseId> catch_all_;  // clauses with a variable in a keyed arg
+};
+
+}  // namespace xsb
+
+#endif  // XSB_DB_INDEX_H_

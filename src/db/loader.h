@@ -1,0 +1,68 @@
+#ifndef XSB_DB_LOADER_H_
+#define XSB_DB_LOADER_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "db/program.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// Consults source text into a Program: reads clauses, processes directives
+// (:- table, :- table_all, :- hilog, :- index, :- dynamic, :- module), and
+// asserts everything else. One Loader per consult unit; the paper's
+// `table_all` directive is scoped to the unit it appears in.
+class Loader {
+ public:
+  Loader(TermStore* store, Program* program)
+      : store_(store), program_(program) {}
+
+  Status ConsultString(std::string_view text);
+  Status ConsultFile(const std::string& path);
+
+  // Formatted bulk reader (section 4.6): each line is `v1,v2,...,vN` with
+  // integer or atom fields, asserted as name(v1..vN) with index maintenance.
+  // Orders of magnitude cheaper than the general reader. Returns the number
+  // of facts loaded.
+  Result<size_t> LoadFactsFormatted(std::istream& in, const std::string& name,
+                                    int arity);
+  Result<size_t> LoadFactsFormattedFile(const std::string& path,
+                                        const std::string& name, int arity);
+
+  // Functors defined (given clauses) by this consult unit, in order.
+  const std::vector<FunctorId>& defined() const { return defined_; }
+
+ private:
+  Status HandleDirective(Word directive);
+  Status HandleTableSpec(Word spec);
+  Status HandleIndexSpec(Word pred_spec, Word index_spec);
+  Result<FunctorId> ParsePredSpec(Word spec);  // name/arity
+
+  TermStore* store_;
+  Program* program_;
+  std::vector<FunctorId> defined_;
+  bool table_all_requested_ = false;
+};
+
+// Static cut-safety check (section 4.4): reports an error when a clause
+// body cuts after calling a tabled predicate — the cut could close a
+// partially computed table, so the compiler rejects it.
+Status CheckCutSafety(const Program& program,
+                      const std::vector<FunctorId>& scope);
+
+// The `:- table_all.` analysis (section 4.3): builds the call graph of the
+// in-scope predicates, finds its strongly connected components, and tables
+// every predicate on a cycle, which breaks all loops (favoring simplicity
+// over precision, as the paper does).
+//
+// Returns the functors that were newly tabled.
+std::vector<FunctorId> TableAllAnalysis(Program* program,
+                                        const std::vector<FunctorId>& scope);
+
+}  // namespace xsb
+
+#endif  // XSB_DB_LOADER_H_

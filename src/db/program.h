@@ -1,0 +1,166 @@
+#ifndef XSB_DB_PROGRAM_H_
+#define XSB_DB_PROGRAM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "db/index.h"
+#include "db/trie_index.h"
+#include "parser/ops.h"
+#include "term/flat.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// How a predicate's clauses are indexed.
+enum class IndexKind {
+  kNone,         // linear scan
+  kFirstArg,     // hash on the outer symbol of one argument (default: arg 1)
+  kMultiField,   // :- index(p/5, [1, 2, 3+5])
+  kFirstString,  // trie-based first-string indexing
+};
+
+// One stored clause. `term` is the flattened full clause: either a bare head
+// (a fact) or ':-'(Head, Body).
+struct Clause {
+  FlatTerm term;
+  bool is_rule = false;
+  bool erased = false;  // tombstone left by retract
+  size_t head_pos = 0;  // position of the head within term.cells
+};
+
+// A predicate: its clauses plus indexing and evaluation attributes.
+class Predicate {
+ public:
+  Predicate(FunctorId functor, AtomId module)
+      : functor_(functor), module_(module) {}
+
+  FunctorId functor() const { return functor_; }
+  AtomId module() const { return module_; }
+
+  bool tabled() const { return tabled_; }
+  void set_tabled(bool value) { tabled_ = value; }
+  bool dynamic() const { return dynamic_; }
+  void set_dynamic(bool value) { dynamic_ = value; }
+
+  IndexKind index_kind() const { return index_kind_; }
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  const Clause& clause(ClauseId id) const { return clauses_[id]; }
+  size_t num_live_clauses() const { return live_count_; }
+
+  // Appends (or prepends, for asserta) a clause and updates indexes.
+  // Prepended clauses force the index to rebuild.
+  ClauseId AddClause(const SymbolTable& symbols, Clause clause, bool front);
+
+  // Tombstones a clause (retract/1).
+  void EraseClause(ClauseId id);
+
+  // Drops all clauses and indexes (used by source-to-source transforms).
+  void ClearClauses();
+
+  // Declares the index layout. `fields`: list of field sets (1-based arg
+  // numbers); empty = no indexing. Rebuilds over existing clauses.
+  void SetHashIndex(const SymbolTable& symbols,
+                    std::vector<std::vector<int>> field_sets);
+  void SetFirstStringIndex(const SymbolTable& symbols);
+  void SetNoIndex();
+
+  // Candidate clauses for `goal` (a dereferenced heap term of this
+  // predicate), best available index first. The result is a superset of the
+  // clauses whose heads unify with the goal, in source order, and may
+  // include erased clauses (callers must check).
+  std::vector<ClauseId> Candidates(const TermStore& store, Word goal) const;
+
+  const FirstStringIndex* first_string_index() const { return trie_.get(); }
+
+ private:
+  void Reindex(const SymbolTable& symbols);
+  void IndexClause(const SymbolTable& symbols, ClauseId id);
+  std::vector<Word> KeysFor(const SymbolTable& symbols, const Clause& clause,
+                            const std::vector<int>& fields) const;
+
+  FunctorId functor_;
+  AtomId module_;
+  bool tabled_ = false;
+  bool dynamic_ = true;
+  size_t live_count_ = 0;
+
+  IndexKind index_kind_ = IndexKind::kFirstArg;
+  std::vector<std::vector<int>> field_sets_ = {{1}};
+  std::vector<std::unique_ptr<CombinedHashIndex>> hash_indexes_;
+  std::unique_ptr<ArgHashIndex> first_arg_;
+  std::unique_ptr<FirstStringIndex> trie_;
+
+  std::vector<Clause> clauses_;
+};
+
+// The clause database: predicates, HiLog declarations, the operator table,
+// and the per-module bookkeeping used by table_all.
+class Program {
+ public:
+  explicit Program(SymbolTable* symbols)
+      : symbols_(symbols), ops_(symbols) {
+    user_module_ = symbols->InternAtom("user");
+    current_module_ = user_module_;
+  }
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+
+  SymbolTable* symbols() const { return symbols_; }
+  OpTable* ops() { return &ops_; }
+  const OpTable& ops() const { return ops_; }
+
+  // Looks a predicate up; returns nullptr if never defined/declared.
+  Predicate* Lookup(FunctorId functor);
+  const Predicate* Lookup(FunctorId functor) const;
+  // Looks up, creating an empty predicate on first use.
+  Predicate* LookupOrCreate(FunctorId functor);
+
+  // Adds the clause `clause_term` (a heap term: fact or H :- B).
+  // `front` selects asserta semantics.
+  Status AddClauseTerm(const TermStore& store, Word clause_term,
+                       bool front = false);
+
+  // Declarations (normally issued via directives during a consult).
+  Status DeclareTabled(FunctorId functor);
+  Status DeclareHilog(AtomId atom);
+  Status DeclareIndex(FunctorId functor,
+                      std::vector<std::vector<int>> field_sets);
+  Status DeclareFirstString(FunctorId functor);
+
+  bool IsHilogAtom(AtomId atom) const { return hilog_atoms_.count(atom) > 0; }
+  const std::unordered_set<AtomId>* hilog_atoms() const {
+    return &hilog_atoms_;
+  }
+
+  AtomId current_module() const { return current_module_; }
+  void set_current_module(AtomId module) { current_module_ = module; }
+
+  const std::unordered_map<FunctorId, std::unique_ptr<Predicate>>&
+  predicates() const {
+    return predicates_;
+  }
+
+  // Splits a callable heap term into functor + whether it is callable.
+  // Atoms are arity-0 predicates.
+  static std::optional<FunctorId> CallableFunctor(const TermStore& store,
+                                                  Word goal);
+
+ private:
+  SymbolTable* symbols_;
+  OpTable ops_;
+  AtomId user_module_;
+  AtomId current_module_;
+  std::unordered_map<FunctorId, std::unique_ptr<Predicate>> predicates_;
+  std::unordered_set<AtomId> hilog_atoms_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_DB_PROGRAM_H_

@@ -1,0 +1,195 @@
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "db/loader.h"
+
+namespace xsb {
+namespace {
+
+// Collects the predicates called from a clause body (flattened form),
+// descending through the control constructs and negation.
+void CollectCalledFunctors(SymbolTable& symbols,
+                           const std::vector<Word>& cells, size_t pos,
+                           std::unordered_set<FunctorId>* out) {
+  Word w = cells[pos];
+  if (IsAtom(w)) {
+    out->insert(symbols.InternFunctor(AtomOf(w), 0));
+    return;
+  }
+  if (!IsFunctor(w)) return;  // variables / ints in call position: ignore
+  FunctorId f = FunctorOf(w);
+  const std::string& name = symbols.AtomName(symbols.FunctorAtom(f));
+  int arity = symbols.FunctorArity(f);
+  if ((name == "," || name == ";" || name == "->") && arity == 2) {
+    size_t left = pos + 1;
+    size_t right = SkipFlatSubterm(symbols, cells, left);
+    CollectCalledFunctors(symbols, cells, left, out);
+    CollectCalledFunctors(symbols, cells, right, out);
+    return;
+  }
+  if ((name == "\\+" || name == "tnot" || name == "e_tnot" ||
+       name == "once" || name == "call") &&
+      arity == 1) {
+    CollectCalledFunctors(symbols, cells, pos + 1, out);
+    return;
+  }
+  if (name == "findall" && arity == 3) {
+    size_t second = SkipFlatSubterm(symbols, cells, pos + 1);
+    CollectCalledFunctors(symbols, cells, second, out);
+    return;
+  }
+  out->insert(f);
+}
+
+}  // namespace
+
+namespace {
+
+// Walks the flattened goal at `pos`, updating *saw_tabled and returning a
+// non-OK status when '!' follows a tabled call in the same body.
+Status WalkForCutSafety(const Program& program, SymbolTable& symbols,
+                        const std::vector<Word>& cells, size_t pos,
+                        bool* saw_tabled) {
+  Word w = cells[pos];
+  if (IsAtom(w)) {
+    const std::string& name = symbols.AtomName(AtomOf(w));
+    if (name == "!" || name == "tcut") {
+      if (*saw_tabled) {
+        return PermissionError(
+            "a cut would close over a partially computed table; restructure "
+            "the clause or use tcut semantics via e_tnot (section 4.4)");
+      }
+      return Status::Ok();
+    }
+    const Predicate* pred =
+        program.Lookup(symbols.InternFunctor(AtomOf(w), 0));
+    if (pred != nullptr && pred->tabled()) *saw_tabled = true;
+    return Status::Ok();
+  }
+  if (!IsFunctor(w)) return Status::Ok();
+  FunctorId f = FunctorOf(w);
+  const std::string& name = symbols.AtomName(symbols.FunctorAtom(f));
+  int arity = symbols.FunctorArity(f);
+  if ((name == "," || name == ";" || name == "->") && arity == 2) {
+    size_t left = pos + 1;
+    size_t right = SkipFlatSubterm(symbols, cells, left);
+    Status s = WalkForCutSafety(program, symbols, cells, left, saw_tabled);
+    if (!s.ok()) return s;
+    return WalkForCutSafety(program, symbols, cells, right, saw_tabled);
+  }
+  if ((name == "\\+" || name == "tnot" || name == "e_tnot" ||
+       name == "once" || name == "call" || name == "findall") &&
+      arity >= 1) {
+    // Cut inside these is local; tabled calls inside still count as "seen"
+    // conservatively only for tnot/e_tnot completion, which is safe.
+    return Status::Ok();
+  }
+  const Predicate* pred = program.Lookup(f);
+  if (pred != nullptr && pred->tabled()) *saw_tabled = true;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CheckCutSafety(const Program& program,
+                      const std::vector<FunctorId>& scope) {
+  SymbolTable& symbols = *program.symbols();
+  for (FunctorId f : scope) {
+    const Predicate* pred = program.Lookup(f);
+    if (pred == nullptr) continue;
+    for (const Clause& clause : pred->clauses()) {
+      if (clause.erased || !clause.is_rule) continue;
+      size_t body_pos =
+          SkipFlatSubterm(symbols, clause.term.cells, clause.head_pos);
+      bool saw_tabled = false;
+      Status s = WalkForCutSafety(program, symbols, clause.term.cells,
+                                  body_pos, &saw_tabled);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<FunctorId> TableAllAnalysis(Program* program,
+                                        const std::vector<FunctorId>& scope) {
+  SymbolTable& symbols = *program->symbols();
+  std::unordered_set<FunctorId> in_scope(scope.begin(), scope.end());
+
+  // Call graph restricted to in-scope predicates.
+  std::unordered_map<FunctorId, std::vector<FunctorId>> edges;
+  for (FunctorId f : scope) {
+    const Predicate* pred = program->Lookup(f);
+    if (pred == nullptr) continue;
+    std::unordered_set<FunctorId> called;
+    for (const Clause& clause : pred->clauses()) {
+      if (clause.erased || !clause.is_rule) continue;
+      // cells[0] is ':-'/2; the body starts after the head subterm.
+      size_t body_pos =
+          SkipFlatSubterm(symbols, clause.term.cells, clause.head_pos);
+      CollectCalledFunctors(symbols, clause.term.cells, body_pos, &called);
+    }
+    std::vector<FunctorId>& out = edges[f];
+    for (FunctorId callee : called) {
+      if (in_scope.count(callee) > 0) out.push_back(callee);
+    }
+  }
+
+  // Tarjan SCC over the in-scope graph.
+  std::unordered_map<FunctorId, int> index, low;
+  std::unordered_set<FunctorId> on_stack;
+  std::vector<FunctorId> stack;
+  int counter = 0;
+  std::vector<FunctorId> newly_tabled;
+
+  auto strongconnect = [&](auto&& self, FunctorId v) -> void {
+    index[v] = low[v] = counter++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    for (FunctorId w : edges[v]) {
+      if (index.find(w) == index.end()) {
+        self(self, w);
+        low[v] = std::min(low[v], low[w]);
+      } else if (on_stack.count(w) > 0) {
+        low[v] = std::min(low[v], index[w]);
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<FunctorId> scc;
+      while (true) {
+        FunctorId w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      // Any SCC containing a cycle gets tabled wholesale: every loop in the
+      // call graph is broken, trading precision for simplicity (section 4.3).
+      bool cyclic = scc.size() > 1;
+      if (!cyclic) {
+        for (FunctorId w : edges[scc[0]]) {
+          if (w == scc[0]) {
+            cyclic = true;
+            break;
+          }
+        }
+      }
+      if (cyclic) {
+        for (FunctorId w : scc) {
+          Predicate* pred = program->Lookup(w);
+          if (pred != nullptr && !pred->tabled()) {
+            pred->set_tabled(true);
+            newly_tabled.push_back(w);
+          }
+        }
+      }
+    }
+  };
+
+  for (FunctorId f : scope) {
+    if (index.find(f) == index.end()) strongconnect(strongconnect, f);
+  }
+  return newly_tabled;
+}
+
+}  // namespace xsb

@@ -1,0 +1,126 @@
+#include "db/trie_index.h"
+
+#include <algorithm>
+
+namespace xsb {
+
+void FirstStringIndex::Insert(ClauseId id, const SymbolTable& symbols,
+                              const std::vector<Word>& head_cells,
+                              size_t head_pos) {
+  size_t end = SkipFlatSubterm(symbols, head_cells, head_pos);
+  // Skip the head's own functor token (the trie is per-predicate, as in the
+  // paper's Figure 3 which drops the leading p/1 token).
+  size_t pos = head_pos + (IsFunctor(head_cells[head_pos]) ? 1 : 0);
+  Node* node = root_.get();
+  for (; pos < end; ++pos) {
+    Word token = head_cells[pos];
+    if (IsLocal(token)) break;  // first string stops at the first variable
+    auto [it, inserted] = node->children.try_emplace(token, nullptr);
+    if (inserted) it->second = std::make_unique<Node>();
+    node = it->second.get();
+  }
+  node->ends_here.push_back(id);
+}
+
+void FirstStringIndex::CollectSubtree(const Node* node,
+                                      std::vector<ClauseId>* out) {
+  out->insert(out->end(), node->ends_here.begin(), node->ends_here.end());
+  for (const auto& [token, child] : node->children) {
+    CollectSubtree(child.get(), out);
+  }
+}
+
+std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
+                                               Word goal) const {
+  std::vector<ClauseId> out;
+  const SymbolTable& symbols = *store.symbols();
+
+  // Token stream of the call: preorder traversal of the goal's arguments.
+  std::vector<Word> work;
+  goal = store.Deref(goal);
+  if (IsStruct(goal)) {
+    int arity = store.StructArity(goal);
+    for (int i = arity - 1; i >= 0; --i) work.push_back(store.Arg(goal, i));
+  }
+
+  const Node* node = root_.get();
+  while (true) {
+    out.insert(out.end(), node->ends_here.begin(), node->ends_here.end());
+    if (work.empty()) break;  // call stream consumed
+    Word x = store.Deref(work.back());
+    work.pop_back();
+    if (IsRef(x)) {
+      // Unbound in the call: stop discriminating, everything below matches.
+      for (const auto& [token, child] : node->children) {
+        CollectSubtree(child.get(), &out);
+      }
+      break;
+    }
+    Word token;
+    if (IsStruct(x)) {
+      FunctorId f = store.StructFunctor(x);
+      token = FunctorCell(f);
+      int arity = symbols.FunctorArity(f);
+      for (int i = arity - 1; i >= 0; --i) work.push_back(store.Arg(x, i));
+    } else {
+      token = x;
+    }
+    auto it = node->children.find(token);
+    if (it == node->children.end()) break;  // only prefix-ended clauses match
+    node = it->second.get();
+  }
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t FirstStringIndex::NodeCount() const {
+  size_t count = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    ++count;
+    for (const auto& [token, child] : node->children) {
+      self(self, child.get());
+    }
+  };
+  walk(walk, root_.get());
+  return count;
+}
+
+std::string FirstStringIndex::Dump(const SymbolTable& symbols) const {
+  std::string out;
+  auto token_name = [&](Word token) -> std::string {
+    switch (TagOf(token)) {
+      case Tag::kAtom:
+        return symbols.AtomName(AtomOf(token)) + "/0";
+      case Tag::kInt:
+        return std::to_string(IntValue(token));
+      case Tag::kFunctor:
+        return symbols.AtomName(symbols.FunctorAtom(FunctorOf(token))) + "/" +
+               std::to_string(symbols.FunctorArity(FunctorOf(token)));
+      default:
+        return "?";
+    }
+  };
+  auto walk = [&](auto&& self, const Node* node, int depth) -> void {
+    if (!node->ends_here.empty()) {
+      out.append(static_cast<size_t>(depth) * 2, ' ');
+      out += "* clauses:";
+      for (ClauseId id : node->ends_here) {
+        out += ' ';
+        out += std::to_string(id);
+      }
+      out += '\n';
+    }
+    for (const auto& [token, child] : node->children) {
+      out.append(static_cast<size_t>(depth) * 2, ' ');
+      out += token_name(token);
+      out += '\n';
+      self(self, child.get(), depth + 1);
+    }
+  };
+  walk(walk, root_.get(), 0);
+  return out;
+}
+
+}  // namespace xsb

@@ -1,0 +1,54 @@
+#ifndef XSB_DB_TRIE_INDEX_H_
+#define XSB_DB_TRIE_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/index.h"
+#include "term/flat.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// First-string indexing (section 4.5, Example 4.2 / Figure 3): a
+// discrimination trie built over the "first string" of each clause head —
+// the preorder traversal of the head, truncated at the first variable.
+//
+// Tokens are flat cells (functor / atom / int). A clause whose first string
+// ends at node N matches any call whose token stream reaches N (the clause
+// had a variable there); conversely a call token stream that hits a variable
+// *in the call* matches every clause in the subtree below the current node.
+class FirstStringIndex {
+ public:
+  FirstStringIndex() : root_(std::make_unique<Node>()) {}
+
+  // `head_cells` is the flattened clause head (functor cell + args).
+  void Insert(ClauseId id, const SymbolTable& symbols,
+              const std::vector<Word>& head_cells, size_t head_pos);
+
+  // Candidate clauses for the (possibly nonground) call term `goal`.
+  // Results are in clause order; a superset of the truly matching clauses.
+  std::vector<ClauseId> Lookup(const TermStore& store, Word goal) const;
+
+  // Number of trie nodes (for tests and the indexing ablation bench).
+  size_t NodeCount() const;
+
+  // Renders the trie as an indented tree, as in the paper's Figure 3.
+  std::string Dump(const SymbolTable& symbols) const;
+
+ private:
+  struct Node {
+    std::map<Word, std::unique_ptr<Node>> children;
+    std::vector<ClauseId> ends_here;  // clauses whose first string ends here
+  };
+
+  static void CollectSubtree(const Node* node, std::vector<ClauseId>* out);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_DB_TRIE_INDEX_H_

@@ -1,0 +1,235 @@
+#ifndef XSB_ENGINE_MACHINE_H_
+#define XSB_ENGINE_MACHINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "db/program.h"
+#include "term/flat.h"
+#include "term/store.h"
+
+namespace xsb {
+
+class Machine;
+class BuiltinRegistry;
+
+// Resolvent node: an immutable cons cell in the machine's goal arena.
+// `cut_depth` is the choice-point-stack height a '!' in this goal cuts back
+// to (the height at entry to the clause that contributed the goal).
+struct GoalNode {
+  Word goal;
+  const GoalNode* next;
+  uint32_t cut_depth;
+};
+
+// Decision returned by the per-solution callback.
+enum class SolveAction { kContinue, kStop };
+using SolutionFn = std::function<SolveAction()>;
+
+// Hook through which the tabling subsystem (tabling/evaluator.h) takes over
+// calls to tabled predicates; keeps the SLD core free of table knowledge.
+class TabledCallHandler {
+ public:
+  enum class CallOutcome {
+    kFail,      // branch suspended (consumer registered) or no answers
+    kContinue,  // handler installed machine state (answer choice point)
+    kError,     // see machine->error()
+  };
+
+  virtual ~TabledCallHandler() = default;
+
+  // A call to tabled predicate `goal`; `cont` is the rest of the resolvent.
+  virtual CallOutcome OnTabledCall(Machine* machine, Word goal,
+                                   const GoalNode* cont) = 0;
+  // '$tabled_answer'(Index, CallTerm) reached: record the answer instance.
+  // Returns false to fail the branch (always, in SLG), after recording.
+  virtual CallOutcome OnTabledAnswer(Machine* machine, int64_t subgoal_index,
+                                     Word call_instance) = 0;
+  // tnot/1, e_tnot/1, tfindall/3.
+  virtual CallOutcome OnNegation(Machine* machine, Word goal,
+                                 const GoalNode* cont, bool existential) = 0;
+  virtual CallOutcome OnTFindall(Machine* machine, Word templ, Word goal,
+                                 Word result, const GoalNode* cont) = 0;
+};
+
+// Counters for the experiments (Figure 2 counts calls; section 3.2 compares
+// engine tiers).
+struct MachineStats {
+  uint64_t user_calls = 0;
+  uint64_t builtin_calls = 0;
+  uint64_t choice_points = 0;
+  uint64_t head_unifications = 0;
+  uint64_t counted_calls = 0;  // calls to the counted functor, if set
+};
+
+// The SLD(NF) resolution engine: a structure-copying abstract machine with a
+// goal list, a choice-point stack and the TermStore's binding trail. This is
+// the "WAM-level" execution core of the reproduction; tabling (SLG) plugs in
+// through TabledCallHandler, making the combination the SLG engine.
+class Machine {
+ public:
+  Machine(TermStore* store, Program* program);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  TermStore* store() { return store_; }
+  Program* program() { return program_; }
+
+  void set_tabled_handler(TabledCallHandler* handler) { handler_ = handler; }
+  TabledCallHandler* tabled_handler() { return handler_; }
+
+  // When true, calls to tabled predicates resolve against program clauses
+  // directly (plain SLDNF) — the paper's "XSB / SLDNF" configuration.
+  void set_ignore_tabling(bool value) { ignore_tabling_ = value; }
+  bool ignore_tabling() const { return ignore_tabling_; }
+
+  // --- Top-level solving ----------------------------------------------------
+
+  // Proves `goal`, invoking `on_solution` with bindings live in the store at
+  // each solution. Returns non-OK only on evaluation errors.
+  Status Solve(Word goal, const SolutionFn& on_solution);
+
+  // Proves `goal` once; true if a proof exists. Bindings of the first
+  // solution are left in place.
+  Result<bool> SolveOnce(Word goal);
+
+  // Counts solutions (all bindings undone afterwards).
+  Result<size_t> CountSolutions(Word goal);
+
+  // findall-style collection of instances of `templ`.
+  Result<std::vector<FlatTerm>> FindAll(Word templ, Word goal);
+
+  // --- Hooks for builtins and the tabling evaluator -------------------------
+
+  // Runs an explicit resolvent. Nested invocations (negation, findall,
+  // tabling episodes) are re-entrant: each Run owns the choice points it
+  // creates.
+  Status Run(const GoalNode* goals, const SolutionFn& on_solution);
+
+  const GoalNode* Cons(Word goal, const GoalNode* next, uint32_t cut_depth) {
+    arena_.push_back(GoalNode{goal, next, cut_depth});
+    return &arena_.back();
+  }
+
+  // Asks the current Run loop to stop as if solutions were exhausted
+  // (used by existential negation to abandon a batch).
+  void RequestStop() { stop_requested_ = true; }
+
+  // Pushes a choice point that enumerates stored answers against `goal`.
+  // Used by the tabling evaluator for completed tables. The machine enters
+  // the choice point when the caller returns a fail-like outcome.
+  void PushAnswerChoices(Word goal, const std::vector<FlatTerm>* answers,
+                         const GoalNode* cont);
+
+  // Pushes a choice point enumerating integers low..high into `var`
+  // (between/3). Enter by returning a fail-like outcome.
+  void PushBetweenChoices(Word var, int64_t low, int64_t high,
+                          const GoalNode* cont);
+
+  // Schedules `goal` to run before the current continuation. Only valid
+  // from within a builtin/handler callback during dispatch.
+  void PushPendingGoal(Word goal);
+  // Same, but gives the goal a fresh cut barrier (call/1 semantics).
+  void PushPendingGoalOpaqueCut(Word goal);
+
+  void SetError(Status status) { error_ = std::move(status); }
+
+  size_t choice_point_count() const { return cps_.size(); }
+  // Discards choice points above `depth` (the cut operation).
+  void CutTo(size_t depth);
+
+  // Resets the goal arena; only call between top-level queries.
+  void ResetArena() { arena_.clear(); }
+
+  // Takes ownership of a materialized instance list referenced by an
+  // answer choice point (clause/2); freed with the machine.
+  void AdoptClauseInstances(std::vector<FlatTerm>* instances) {
+    adopted_instances_.emplace_back(instances);
+  }
+
+  MachineStats& stats() { return stats_; }
+  void set_counted_functor(FunctorId functor) {
+    counted_functor_ = functor;
+    has_counted_functor_ = true;
+  }
+
+  // Evaluates an arithmetic expression term (is/2, comparisons).
+  Result<int64_t> EvalArith(Word expression);
+
+ private:
+  friend class BuiltinRegistry;
+
+  enum class ChoiceKind { kClauses, kDisjunction, kAnswers, kBetween };
+
+  struct ChoicePoint {
+    ChoiceKind kind;
+    const GoalNode* cont;
+    size_t trail_mark;
+    size_t heap_mark;
+    Word goal = 0;
+    uint32_t cut_depth = 0;
+    // kClauses
+    Predicate* pred = nullptr;
+    std::vector<ClauseId> candidates;
+    size_t next_candidate = 0;
+    // kDisjunction
+    Word alternative = 0;
+    // kAnswers
+    const std::vector<FlatTerm>* answers = nullptr;
+    size_t next_answer = 0;
+    // kBetween
+    int64_t next_value = 0;
+    int64_t max_value = 0;
+  };
+
+  enum class StepResult { kAdvance, kBacktrack, kSolution, kError, kStopped };
+
+  // Resolves the goal at the head of *goals (dispatch). On success updates
+  // *goals to the new resolvent.
+  StepResult DispatchGoal(const GoalNode** goals);
+  // Tries alternatives from the top choice point; false when the whole
+  // stack (down to base) is exhausted.
+  bool Backtrack(size_t base_cp, const GoalNode** goals);
+  // Resolves `goal` against a user predicate's clauses.
+  StepResult CallUserPredicate(Word goal, FunctorId functor,
+                               const GoalNode* cont, uint32_t cut_depth,
+                               bool force_clause_resolution);
+  // Instantiates clause `id` of `pred` and unifies its head with `goal`.
+  // On success sets *body_goals to the clause body resolvent.
+  bool TryClause(Predicate* pred, ClauseId id, Word goal,
+                 const GoalNode* cont, uint32_t entry_depth,
+                 const GoalNode** new_goals);
+
+  TermStore* store_;
+  Program* program_;
+  TabledCallHandler* handler_ = nullptr;
+  bool ignore_tabling_ = false;
+  std::unique_ptr<BuiltinRegistry> builtins_;
+
+  std::deque<GoalNode> arena_;
+  std::vector<std::unique_ptr<std::vector<FlatTerm>>> adopted_instances_;
+  std::vector<ChoicePoint> cps_;
+  Status error_;
+  bool stop_requested_ = false;
+
+  std::vector<std::pair<Word, bool>> pending_goals_;  // goal, opaque_cut
+  std::vector<Word> clause_vars_;  // scratch for clause instantiation
+
+  MachineStats stats_;
+  FunctorId counted_functor_ = 0;
+  bool has_counted_functor_ = false;
+
+  // Interned ids used by the dispatcher.
+  FunctorId f_comma_, f_semicolon_, f_arrow_, f_naf_, f_cut_, f_tcut_,
+      f_true_, f_fail_, f_false_, f_ite_commit_, f_tabled_answer_, f_tnot_,
+      f_e_tnot_, f_tfindall_, f_resolve_clauses_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_ENGINE_MACHINE_H_

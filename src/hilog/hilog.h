@@ -1,0 +1,37 @@
+#ifndef XSB_HILOG_HILOG_H_
+#define XSB_HILOG_HILOG_H_
+
+#include "base/status.h"
+#include "db/program.h"
+#include "term/store.h"
+
+namespace xsb::hilog {
+
+struct SpecializeStats {
+  int predicates_specialized = 0;
+  int calls_rewritten = 0;
+};
+
+// Compile-time specialization of known HiLog calls (section 4.7).
+//
+// When every clause of apply/N has a head whose functor position is a
+// compound term with the same outer symbol f/k —
+//
+//   apply(path(G), X, Y) :- apply(G, X, Y).
+//   apply(path(G), X, Y) :- apply(path(G), X, Z), apply(G, Z, Y).
+//
+// — the predicate is specialized into a first-order one:
+//
+//   apply(path(G), X, Y) :- 'apply$path'(G, X, Y).       % bridge
+//   'apply$path'(G, X, Y) :- apply(G, X, Y).
+//   'apply$path'(G, X, Y) :- 'apply$path'(G, X, Z), apply(G, Z, Y).
+//
+// and known calls apply(f(...), ...) anywhere in clause bodies are rewritten
+// to the specialized predicate, removing the extra indirection level of the
+// discrimination graph (Figure 4). A tabled apply/N transfers its tabling to
+// the specialized predicate.
+Result<SpecializeStats> Specialize(TermStore* store, Program* program);
+
+}  // namespace xsb::hilog
+
+#endif  // XSB_HILOG_HILOG_H_

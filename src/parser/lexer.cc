@@ -1,0 +1,246 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+namespace xsb {
+namespace {
+
+bool IsSymbolChar(char c) {
+  switch (c) {
+    case '+':
+    case '-':
+    case '*':
+    case '/':
+    case '\\':
+    case '^':
+    case '<':
+    case '>':
+    case '=':
+    case '~':
+    case ':':
+    case '.':
+    case '?':
+    case '@':
+    case '#':
+    case '&':
+    case '$':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsAlnum(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view text) : text_(text) {}
+
+char Lexer::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < text_.size() ? text_[i] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipLayout() {
+  saw_layout_ = false;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+      saw_layout_ = true;
+    } else if (c == '%') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+      saw_layout_ = true;
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (!AtEnd()) {
+        Advance();
+        Advance();
+      }
+      saw_layout_ = true;
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::Make(TokenKind kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = tok_line_;
+  t.column = tok_column_;
+  return t;
+}
+
+Token Lexer::ErrorToken(std::string message) {
+  Token t = Make(TokenKind::kError, std::move(message));
+  return t;
+}
+
+Token Lexer::Next() {
+  SkipLayout();
+  tok_line_ = line_;
+  tok_column_ = column_;
+  if (AtEnd()) return Make(TokenKind::kEof);
+
+  char c = Peek();
+
+  // Clause-terminating period: '.' followed by layout, EOF or '%'.
+  if (c == '.') {
+    char n = Peek(1);
+    if (n == '\0' || std::isspace(static_cast<unsigned char>(n)) ||
+        n == '%') {
+      Advance();
+      return Make(TokenKind::kEnd);
+    }
+  }
+
+  // Numbers, including 0'c character codes.
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    if (c == '0' && Peek(1) == '\'') {
+      Advance();
+      Advance();
+      if (AtEnd()) return ErrorToken("unterminated character code");
+      char ch = Advance();
+      Token t = Make(TokenKind::kInt);
+      t.int_value = static_cast<int64_t>(static_cast<unsigned char>(ch));
+      return t;
+    }
+    int64_t value = 0;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + (Advance() - '0');
+    }
+    Token t = Make(TokenKind::kInt);
+    t.int_value = value;
+    return t;
+  }
+
+  // Variables.
+  if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+    std::string name;
+    while (!AtEnd() && IsAlnum(Peek())) name.push_back(Advance());
+    return Make(TokenKind::kVar, std::move(name));
+  }
+
+  // Unquoted atoms.
+  if (std::islower(static_cast<unsigned char>(c))) {
+    std::string name;
+    while (!AtEnd() && IsAlnum(Peek())) name.push_back(Advance());
+    saw_layout_ = false;
+    return Make(TokenKind::kAtom, std::move(name));
+  }
+
+  // Quoted atoms and strings.
+  if (c == '\'' || c == '"') {
+    char quote = Advance();
+    std::string name;
+    while (true) {
+      if (AtEnd()) return ErrorToken("unterminated quoted token");
+      char ch = Advance();
+      if (ch == quote) {
+        if (Peek() == quote) {
+          name.push_back(quote);
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (ch == '\\') {
+        if (AtEnd()) return ErrorToken("unterminated escape");
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            name.push_back('\n');
+            break;
+          case 't':
+            name.push_back('\t');
+            break;
+          case 'r':
+            name.push_back('\r');
+            break;
+          case 'a':
+            name.push_back('\a');
+            break;
+          case '\\':
+          case '\'':
+          case '"':
+            name.push_back(e);
+            break;
+          case '\n':
+            break;  // line continuation
+          default:
+            name.push_back(e);
+            break;
+        }
+        continue;
+      }
+      name.push_back(ch);
+    }
+    return Make(quote == '\'' ? TokenKind::kAtom : TokenKind::kString,
+                std::move(name));
+  }
+
+  // Punctuation.
+  switch (c) {
+    case '(': {
+      Advance();
+      return Make(saw_layout_ ? TokenKind::kLParen : TokenKind::kFuncLParen);
+    }
+    case ')':
+      Advance();
+      return Make(TokenKind::kRParen);
+    case '[':
+      Advance();
+      return Make(TokenKind::kLBracket);
+    case ']':
+      Advance();
+      return Make(TokenKind::kRBracket);
+    case '{':
+      Advance();
+      return Make(TokenKind::kLBrace);
+    case '}':
+      Advance();
+      return Make(TokenKind::kRBrace);
+    case ',':
+      Advance();
+      return Make(TokenKind::kComma);
+    case '|':
+      Advance();
+      return Make(TokenKind::kBar);
+    case '!':
+      Advance();
+      return Make(TokenKind::kAtom, "!");
+    case ';':
+      Advance();
+      return Make(TokenKind::kAtom, ";");
+    default:
+      break;
+  }
+
+  // Symbolic atoms.
+  if (IsSymbolChar(c)) {
+    std::string name;
+    while (!AtEnd() && IsSymbolChar(Peek())) name.push_back(Advance());
+    return Make(TokenKind::kAtom, std::move(name));
+  }
+
+  return ErrorToken(std::string("unexpected character '") + c + "'");
+}
+
+}  // namespace xsb

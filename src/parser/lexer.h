@@ -1,0 +1,72 @@
+#ifndef XSB_PARSER_LEXER_H_
+#define XSB_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace xsb {
+
+enum class TokenKind {
+  kAtom,        // foo, 'quoted', + symbolic
+  kVar,         // Foo, _X, _
+  kInt,         // 42
+  kString,      // "text"
+  kLParen,      // ( preceded by whitespace/operator
+  kFuncLParen,  // ( immediately following a name/var/) — an application
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kBar,
+  kEnd,  // clause-terminating period
+  kEof,
+  kError,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // atom/var/string spelling
+  int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+// Prolog/HiLog tokenizer over an in-memory buffer. Understands % line
+// comments, /* */ block comments, quoted atoms, and distinguishes the
+// clause-ending period from the symbolic '.' atom.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text);
+
+  // Scans the next token. On malformed input returns kind kError with the
+  // message in `text`.
+  Token Next();
+
+  int line() const { return line_; }
+
+ private:
+  char Peek(int ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  void SkipLayout();  // whitespace + comments; sets saw_layout_
+
+  Token Make(TokenKind kind, std::string text = std::string());
+  Token ErrorToken(std::string message);
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  bool saw_layout_ = true;  // true if layout preceded the current token
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_PARSER_LEXER_H_

@@ -1,0 +1,88 @@
+#include "parser/ops.h"
+
+namespace xsb {
+
+OpTable::OpTable(SymbolTable* symbols) {
+  auto def = [&](int priority, OpType type, const char* name) {
+    Add(priority, type, symbols->InternAtom(name));
+  };
+  def(1200, OpType::kXfx, ":-");
+  def(1200, OpType::kXfx, "-->");
+  def(1200, OpType::kFx, ":-");
+  def(1200, OpType::kFx, "?-");
+  def(1150, OpType::kFx, "table");
+  def(1150, OpType::kFx, "hilog");
+  def(1150, OpType::kFx, "dynamic");
+  def(1150, OpType::kFx, "module");
+  def(1150, OpType::kFx, "import");
+  def(1100, OpType::kXfy, ";");
+  def(1050, OpType::kXfy, "->");
+  def(1000, OpType::kXfy, ",");
+  def(900, OpType::kFy, "\\+");
+  def(900, OpType::kFy, "tnot");
+  def(900, OpType::kFy, "e_tnot");
+  def(700, OpType::kXfx, "=");
+  def(700, OpType::kXfx, "\\=");
+  def(700, OpType::kXfx, "==");
+  def(700, OpType::kXfx, "\\==");
+  def(700, OpType::kXfx, "@<");
+  def(700, OpType::kXfx, "@>");
+  def(700, OpType::kXfx, "@=<");
+  def(700, OpType::kXfx, "@>=");
+  def(700, OpType::kXfx, "is");
+  def(700, OpType::kXfx, "=:=");
+  def(700, OpType::kXfx, "=\\=");
+  def(700, OpType::kXfx, "<");
+  def(700, OpType::kXfx, ">");
+  def(700, OpType::kXfx, "=<");
+  def(700, OpType::kXfx, ">=");
+  def(700, OpType::kXfx, "=..");
+  def(500, OpType::kYfx, "+");
+  def(500, OpType::kYfx, "-");
+  def(500, OpType::kYfx, "/\\");
+  def(500, OpType::kYfx, "\\/");
+  def(500, OpType::kYfx, "xor");
+  def(400, OpType::kYfx, "*");
+  def(400, OpType::kYfx, "/");
+  def(400, OpType::kYfx, "//");
+  def(400, OpType::kYfx, "mod");
+  def(400, OpType::kYfx, "rem");
+  def(400, OpType::kYfx, "<<");
+  def(400, OpType::kYfx, ">>");
+  def(200, OpType::kXfx, "**");
+  def(200, OpType::kXfy, "^");
+  def(200, OpType::kFy, "-");
+  def(200, OpType::kFy, "+");
+  def(200, OpType::kFy, "\\");
+}
+
+void OpTable::Add(int priority, OpType type, AtomId name) {
+  OpDef def{priority, type};
+  if (def.infix()) {
+    infix_[name] = def;
+  } else if (def.prefix()) {
+    prefix_[name] = def;
+  } else {
+    // Postfix operators are rare; store them in the infix table with a
+    // marker-free entry. We do not use postfix operators anywhere, so they
+    // are simply ignored.
+  }
+}
+
+std::optional<OpDef> OpTable::Infix(AtomId name) const {
+  auto it = infix_.find(name);
+  if (it == infix_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<OpDef> OpTable::Prefix(AtomId name) const {
+  auto it = prefix_.find(name);
+  if (it == prefix_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool OpTable::IsOp(AtomId name) const {
+  return infix_.count(name) > 0 || prefix_.count(name) > 0;
+}
+
+}  // namespace xsb

@@ -1,0 +1,63 @@
+#ifndef XSB_PARSER_OPS_H_
+#define XSB_PARSER_OPS_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "term/symbols.h"
+
+namespace xsb {
+
+// Prolog operator fixities.
+enum class OpType { kXfx, kXfy, kYfx, kFy, kFx, kXf, kYf };
+
+struct OpDef {
+  int priority = 0;  // 1..1200
+  OpType type = OpType::kXfx;
+
+  bool prefix() const { return type == OpType::kFy || type == OpType::kFx; }
+  bool postfix() const { return type == OpType::kXf || type == OpType::kYf; }
+  bool infix() const { return !prefix() && !postfix(); }
+
+  // Maximum priorities acceptable for the left/right operand.
+  int left_max() const {
+    switch (type) {
+      case OpType::kYfx:
+      case OpType::kYf:
+        return priority;
+      default:
+        return priority - 1;
+    }
+  }
+  int right_max() const {
+    switch (type) {
+      case OpType::kXfy:
+      case OpType::kFy:
+        return priority;
+      default:
+        return priority - 1;
+    }
+  }
+};
+
+// The operator table used by the reader and the writer. Pre-populated with
+// the standard Prolog operators plus XSB's tnot/e_tnot/table directives.
+class OpTable {
+ public:
+  explicit OpTable(SymbolTable* symbols);
+
+  // Declares (or redeclares) an operator, as op/3 would.
+  void Add(int priority, OpType type, AtomId name);
+
+  std::optional<OpDef> Infix(AtomId name) const;
+  std::optional<OpDef> Prefix(AtomId name) const;
+  bool IsOp(AtomId name) const;
+
+ private:
+  std::unordered_map<AtomId, OpDef> infix_;
+  std::unordered_map<AtomId, OpDef> prefix_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_PARSER_OPS_H_

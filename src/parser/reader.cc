@@ -1,0 +1,296 @@
+#include "parser/reader.h"
+
+namespace xsb {
+namespace {
+
+bool CanStartTerm(const Token& t) {
+  switch (t.kind) {
+    case TokenKind::kAtom:
+    case TokenKind::kVar:
+    case TokenKind::kInt:
+    case TokenKind::kString:
+    case TokenKind::kLParen:
+    case TokenKind::kFuncLParen:
+    case TokenKind::kLBracket:
+    case TokenKind::kLBrace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Reader::Reader(TermStore* store, const OpTable* ops, std::string_view text,
+               const std::unordered_set<AtomId>* hilog_atoms)
+    : store_(store),
+      symbols_(store->symbols()),
+      ops_(ops),
+      hilog_atoms_(hilog_atoms),
+      lexer_(text) {
+  cur_ = lexer_.Next();
+}
+
+bool Reader::AtEof() { return cur_.kind == TokenKind::kEof; }
+
+Status Reader::ErrorHere(const std::string& message) {
+  return ParseError("line " + std::to_string(cur_.line) + ": " + message);
+}
+
+Word Reader::VarFor(const std::string& name) {
+  if (name == "_") return store_->MakeVar();
+  for (const auto& [n, cell] : var_names_) {
+    if (n == name) return cell;
+  }
+  Word v = store_->MakeVar();
+  var_names_.emplace_back(name, v);
+  return v;
+}
+
+Result<Word> Reader::ReadClause() {
+  var_names_.clear();
+  if (cur_.kind == TokenKind::kEof) {
+    return AtomCell(symbols_->InternAtom("end_of_file"));
+  }
+  Result<Parsed> parsed = ParseTerm(1200);
+  if (!parsed.ok()) return parsed.status();
+  if (cur_.kind != TokenKind::kEnd) {
+    return ErrorHere("expected '.' at end of clause");
+  }
+  Consume();
+  return parsed.value().term;
+}
+
+Word Reader::MakeApplication(Word functor_term, bool functor_is_plain_atom,
+                             const std::vector<Word>& args) {
+  if (functor_is_plain_atom) {
+    AtomId name = AtomOf(functor_term);
+    bool hilog = hilog_atoms_ != nullptr && hilog_atoms_->count(name) > 0;
+    if (!hilog) {
+      FunctorId f =
+          symbols_->InternFunctor(name, static_cast<int>(args.size()));
+      return store_->MakeStruct(f, args);
+    }
+  }
+  // HiLog encoding: T(A1..An) => apply(T, A1..An).
+  FunctorId f = symbols_->InternFunctor(symbols_->apply(),
+                                        static_cast<int>(args.size()) + 1);
+  std::vector<Word> all;
+  all.reserve(args.size() + 1);
+  all.push_back(functor_term);
+  all.insert(all.end(), args.begin(), args.end());
+  return store_->MakeStruct(f, all);
+}
+
+Result<Word> Reader::ParseArgList(std::vector<Word>* args) {
+  // cur_ is the token after '('.
+  while (true) {
+    Result<Parsed> arg = ParseTerm(999);
+    if (!arg.ok()) return arg.status();
+    args->push_back(arg.value().term);
+    if (cur_.kind == TokenKind::kComma) {
+      Consume();
+      continue;
+    }
+    if (cur_.kind == TokenKind::kRParen) {
+      Consume();
+      return Word{0};
+    }
+    return ErrorHere("expected ',' or ')' in argument list");
+  }
+}
+
+Result<Word> Reader::ParseList() {
+  // cur_ is the token after '['.
+  if (cur_.kind == TokenKind::kRBracket) {
+    Consume();
+    return AtomCell(symbols_->nil());
+  }
+  std::vector<Word> elements;
+  Word tail = AtomCell(symbols_->nil());
+  while (true) {
+    Result<Parsed> e = ParseTerm(999);
+    if (!e.ok()) return e.status();
+    elements.push_back(e.value().term);
+    if (cur_.kind == TokenKind::kComma) {
+      Consume();
+      continue;
+    }
+    if (cur_.kind == TokenKind::kBar) {
+      Consume();
+      Result<Parsed> t = ParseTerm(999);
+      if (!t.ok()) return t.status();
+      tail = t.value().term;
+    }
+    break;
+  }
+  if (cur_.kind != TokenKind::kRBracket) {
+    return ErrorHere("expected ']' at end of list");
+  }
+  Consume();
+  return store_->MakeList(elements, tail);
+}
+
+Result<Reader::Parsed> Reader::ParsePrimary(int max_priority) {
+  Word term = 0;
+  int priority = 0;
+  bool plain_atom = false;  // an unapplied, non-operator use of an atom
+
+  switch (cur_.kind) {
+    case TokenKind::kError:
+      return ErrorHere(cur_.text);
+    case TokenKind::kInt: {
+      term = IntCell(cur_.int_value);
+      Consume();
+      break;
+    }
+    case TokenKind::kString: {
+      std::vector<Word> codes;
+      for (unsigned char c : cur_.text) {
+        codes.push_back(IntCell(static_cast<int64_t>(c)));
+      }
+      term = store_->MakeList(codes, AtomCell(symbols_->nil()));
+      Consume();
+      break;
+    }
+    case TokenKind::kVar: {
+      term = VarFor(cur_.text);
+      Consume();
+      break;
+    }
+    case TokenKind::kLParen:
+    case TokenKind::kFuncLParen: {
+      Consume();
+      Result<Parsed> inner = ParseTerm(1200);
+      if (!inner.ok()) return inner.status();
+      if (cur_.kind != TokenKind::kRParen) return ErrorHere("expected ')'");
+      Consume();
+      term = inner.value().term;
+      break;
+    }
+    case TokenKind::kLBracket: {
+      Consume();
+      Result<Word> list = ParseList();
+      if (!list.ok()) return list.status();
+      term = list.value();
+      break;
+    }
+    case TokenKind::kLBrace: {
+      Consume();
+      if (cur_.kind == TokenKind::kRBrace) {
+        Consume();
+        term = AtomCell(symbols_->curly());
+        break;
+      }
+      Result<Parsed> inner = ParseTerm(1200);
+      if (!inner.ok()) return inner.status();
+      if (cur_.kind != TokenKind::kRBrace) return ErrorHere("expected '}'");
+      Consume();
+      FunctorId f = symbols_->InternFunctor(symbols_->curly(), 1);
+      term = store_->MakeStruct(f, {inner.value().term});
+      break;
+    }
+    case TokenKind::kAtom: {
+      AtomId name = symbols_->InternAtom(cur_.text);
+      std::string spelled = cur_.text;
+      Consume();
+      if (cur_.kind == TokenKind::kFuncLParen) {
+        Consume();
+        std::vector<Word> args;
+        Result<Word> end = ParseArgList(&args);
+        if (!end.ok()) return end.status();
+        term = MakeApplication(AtomCell(name), /*functor_is_plain_atom=*/true,
+                               args);
+        break;
+      }
+      std::optional<OpDef> prefix = ops_->Prefix(name);
+      if (prefix.has_value() && prefix->priority <= max_priority &&
+          CanStartTerm(cur_)) {
+        if (spelled == "-" && cur_.kind == TokenKind::kInt) {
+          term = IntCell(-cur_.int_value);
+          Consume();
+          break;
+        }
+        // An atom that is itself an infix operator cannot start an operand
+        // (e.g. `- =`): fall through to plain atom in that case.
+        bool operand_is_bare_infix =
+            cur_.kind == TokenKind::kAtom &&
+            ops_->Infix(symbols_->InternAtom(cur_.text)).has_value() &&
+            !ops_->Prefix(symbols_->InternAtom(cur_.text)).has_value();
+        if (!operand_is_bare_infix) {
+          Result<Parsed> operand = ParseTerm(prefix->right_max());
+          if (!operand.ok()) return operand.status();
+          FunctorId f = symbols_->InternFunctor(name, 1);
+          term = store_->MakeStruct(f, {operand.value().term});
+          priority = prefix->priority;
+          break;
+        }
+      }
+      term = AtomCell(name);
+      plain_atom = true;
+      break;
+    }
+    case TokenKind::kEof:
+      return ErrorHere("unexpected end of input");
+    default:
+      return ErrorHere("unexpected token");
+  }
+
+  // HiLog application chains: T(...)(...)....
+  while (cur_.kind == TokenKind::kFuncLParen) {
+    Consume();
+    std::vector<Word> args;
+    Result<Word> end = ParseArgList(&args);
+    if (!end.ok()) return end.status();
+    term = MakeApplication(term, plain_atom, args);
+    plain_atom = false;
+    priority = 0;
+  }
+  return Parsed{term, priority};
+}
+
+Result<Reader::Parsed> Reader::ParseTerm(int max_priority) {
+  Result<Parsed> left_result = ParsePrimary(max_priority);
+  if (!left_result.ok()) return left_result.status();
+  Parsed left = left_result.value();
+
+  while (true) {
+    if (cur_.kind == TokenKind::kComma && max_priority >= 1000) {
+      if (left.priority > 999) break;
+      Consume();
+      Result<Parsed> right = ParseTerm(1000);
+      if (!right.ok()) return right.status();
+      left.term =
+          store_->MakeStruct2(symbols_->comma(), left.term,
+                              right.value().term);
+      left.priority = 1000;
+      continue;
+    }
+    if (cur_.kind == TokenKind::kAtom) {
+      AtomId name = symbols_->InternAtom(cur_.text);
+      std::optional<OpDef> infix = ops_->Infix(name);
+      if (infix.has_value() && infix->priority <= max_priority &&
+          left.priority <= infix->left_max()) {
+        Consume();
+        Result<Parsed> right = ParseTerm(infix->right_max());
+        if (!right.ok()) return right.status();
+        FunctorId f = symbols_->InternFunctor(name, 2);
+        left.term = store_->MakeStruct(f, {left.term, right.value().term});
+        left.priority = infix->priority;
+        continue;
+      }
+    }
+    break;
+  }
+  return left;
+}
+
+Result<Word> ParseTermString(TermStore* store, const OpTable* ops,
+                             std::string_view text) {
+  std::string buffer(text);
+  buffer += " .";
+  Reader reader(store, ops, buffer);
+  return reader.ReadClause();
+}
+
+}  // namespace xsb

@@ -1,0 +1,78 @@
+#ifndef XSB_PARSER_READER_H_
+#define XSB_PARSER_READER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "parser/lexer.h"
+#include "parser/ops.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// Reads HiLog terms (a superset of Prolog terms) from text, one clause at a
+// time. Implements the paper's section 4.1 syntax:
+//
+//   * standard Prolog terms with the operator table,
+//   * HiLog applications: X(bob, Y), path(G)(X, Y), 7(E),
+//   * atoms declared `:- hilog f.` read as apply(f, ...) in functor position.
+//
+// HiLog applications are encoded into first order with the `apply` symbol of
+// arity N+1, exactly as described in the paper.
+class Reader {
+ public:
+  // `hilog_atoms` may be null; it is consulted for each atom in functor
+  // position and not copied (the db owns and grows it during a consult).
+  Reader(TermStore* store, const OpTable* ops, std::string_view text,
+         const std::unordered_set<AtomId>* hilog_atoms = nullptr);
+
+  // Parses the next clause (up to the terminating period). Returns the term,
+  // or the atom `end_of_file` at end of input.
+  Result<Word> ReadClause();
+
+  // Named variables of the most recent ReadClause, in first-occurrence
+  // order. '_' variables are excluded.
+  const std::vector<std::pair<std::string, Word>>& var_names() const {
+    return var_names_;
+  }
+
+  bool AtEof();
+
+ private:
+  struct Parsed {
+    Word term;
+    int priority;
+  };
+
+  Result<Parsed> ParseTerm(int max_priority);
+  Result<Parsed> ParsePrimary(int max_priority);
+  Result<Word> ParseArgList(std::vector<Word>* args);  // after '('
+  Result<Word> ParseList();                            // after '['
+  // Wraps `functor_term`(args...) with HiLog encoding rules.
+  Word MakeApplication(Word functor_term, bool functor_is_plain_atom,
+                       const std::vector<Word>& args);
+
+  Word VarFor(const std::string& name);
+  Status ErrorHere(const std::string& message);
+  void Consume() { cur_ = lexer_.Next(); }
+
+  TermStore* store_;
+  SymbolTable* symbols_;
+  const OpTable* ops_;
+  const std::unordered_set<AtomId>* hilog_atoms_;
+  Lexer lexer_;
+  Token cur_;
+  std::vector<std::pair<std::string, Word>> var_names_;
+};
+
+// Convenience: parse a single term from `text` (no trailing period needed).
+Result<Word> ParseTermString(TermStore* store, const OpTable* ops,
+                             std::string_view text);
+
+}  // namespace xsb
+
+#endif  // XSB_PARSER_READER_H_

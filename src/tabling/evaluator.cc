@@ -1,0 +1,355 @@
+#include "tabling/evaluator.h"
+
+#include "parser/writer.h"
+
+namespace xsb {
+
+Evaluator::Evaluator(Machine* machine, Options options)
+    : machine_(machine),
+      tables_(options.answer_trie),
+      early_completion_(options.early_completion) {
+  SymbolTable* symbols = machine->store()->symbols();
+  f_resolve_clauses_ = symbols->InternFunctor(
+      symbols->InternAtom("$resolve_clauses"), 1);
+  f_tabled_answer_ =
+      symbols->InternFunctor(symbols->InternAtom("$tabled_answer"), 2);
+  f_consumer_ = symbols->InternFunctor(symbols->InternAtom("$consumer"), 2);
+  machine->set_tabled_handler(this);
+}
+
+void Evaluator::AbolishAllTables() { tables_.Clear(); }
+
+Word Evaluator::BuildConsumerTerm(Word goal, const GoalNode* cont) {
+  TermStore* store = machine_->store();
+  std::vector<Word> goals;
+  for (const GoalNode* n = cont; n != nullptr; n = n->next) {
+    goals.push_back(n->goal);
+  }
+  Word list = store->MakeList(goals, AtomCell(store->symbols()->nil()));
+  return store->MakeStruct(f_consumer_, {goal, list});
+}
+
+TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
+    Machine* machine, Word goal, const GoalNode* cont) {
+  TermStore* store = machine->store();
+  FlatTerm canon = Flatten(*store, goal);
+  std::optional<FunctorId> functor = Program::CallableFunctor(*store, goal);
+  if (!functor.has_value()) {
+    machine->SetError(TypeError("tabled call is not callable"));
+    return CallOutcome::kError;
+  }
+
+  if (batches_.empty()) {
+    // Top-level call: evaluate to completion, then enumerate answers.
+    SubgoalId id = tables_.Lookup(canon);
+    if (id == kNoSubgoal) {
+      bool has_answer = false;
+      Status st = EvaluateToCompletion(goal, *functor, /*existential=*/false,
+                                       &has_answer, &id);
+      if (!st.ok()) {
+        machine->SetError(st);
+        return CallOutcome::kError;
+      }
+    }
+    const Subgoal& sg = tables_.subgoal(id);
+    machine->PushAnswerChoices(goal, &sg.answers->answers(), cont);
+    return CallOutcome::kContinue;
+  }
+
+  Batch& batch = batches_.back();
+  auto [id, created] = tables_.LookupOrCreate(canon, *functor, batch.id);
+  Subgoal& sg = tables_.subgoal(id);
+  if (!created) {
+    if (sg.state == SubgoalState::kComplete) {
+      machine->PushAnswerChoices(goal, &sg.answers->answers(), cont);
+      return CallOutcome::kContinue;
+    }
+    if (sg.batch_id != batch.id) {
+      machine->SetError(StratificationError(
+          "tabled subgoal depends on an incomplete table of an enclosing "
+          "negation: the program is not modularly stratified"));
+      return CallOutcome::kError;
+    }
+  } else {
+    batch.subgoals.push_back(id);
+    batch.generator_queue.push_back(id);
+  }
+  // Suspend the caller as a consumer; the batch loop resumes it per answer.
+  Consumer consumer;
+  consumer.producer = id;
+  consumer.saved = Flatten(*store, BuildConsumerTerm(goal, cont));
+  batch.consumers.push_back(std::move(consumer));
+  ++tables_.stats().consumer_suspensions;
+  return CallOutcome::kFail;
+}
+
+TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
+                                                         int64_t subgoal_index,
+                                                         Word call_instance) {
+  TermStore* store = machine->store();
+  SubgoalId id = static_cast<SubgoalId>(subgoal_index);
+  FlatTerm answer = Flatten(*store, call_instance);
+  bool fresh = tables_.AddAnswer(id, std::move(answer));
+  if (fresh && !batches_.empty()) {
+    Batch& batch = batches_.back();
+    if (batch.stop_on_answer == id) {
+      // Existential negation: one answer suffices; abandon the batch.
+      batch.aborted = true;
+      ++stats_.existential_aborts;
+      machine->RequestStop();
+      return CallOutcome::kFail;
+    }
+    Subgoal& sg = tables_.subgoal(id);
+    if (early_completion_ && sg.ground_call() &&
+        sg.state == SubgoalState::kIncomplete) {
+      // Early completion: a ground call has exactly this one answer.
+      sg.state = SubgoalState::kComplete;
+      ++stats_.early_completions;
+      machine->RequestStop();
+    }
+  }
+  return CallOutcome::kFail;
+}
+
+Status Evaluator::RunGeneratorEpisode(SubgoalId id) {
+  ++stats_.generator_episodes;
+  TermStore* store = machine_->store();
+  const Subgoal& sg = tables_.subgoal(id);
+  if (sg.state != SubgoalState::kIncomplete) return Status::Ok();
+
+  size_t trail = store->TrailMark();
+  size_t heap = store->HeapMark();
+  Word call = Unflatten(store, sg.call);
+  Word resolve = store->MakeStruct(f_resolve_clauses_, {call});
+  Word marker = store->MakeStruct(
+      f_tabled_answer_, {IntCell(static_cast<int64_t>(id)), call});
+  uint32_t cut_depth = static_cast<uint32_t>(machine_->choice_point_count());
+  const GoalNode* chain = machine_->Cons(
+      resolve, machine_->Cons(marker, nullptr, cut_depth), cut_depth);
+  Status status =
+      machine_->Run(chain, []() { return SolveAction::kContinue; });
+  store->UndoTrail(trail);
+  store->TruncateHeap(heap);
+  return status;
+}
+
+Status Evaluator::ResumeConsumer(FlatTerm saved, const FlatTerm& answer) {
+  ++stats_.resumptions;
+  ++tables_.stats().consumer_resumptions;
+  TermStore* store = machine_->store();
+  SymbolTable* symbols = store->symbols();
+  size_t trail = store->TrailMark();
+  size_t heap = store->HeapMark();
+
+  Word pair = Unflatten(store, saved);
+  Word d = store->Deref(pair);
+  Word call = store->Arg(d, 0);
+  Word list = store->Deref(store->Arg(d, 1));
+  Word answer_term = Unflatten(store, answer);
+  if (!store->Unify(call, answer_term)) {
+    store->UndoTrail(trail);
+    store->TruncateHeap(heap);
+    return Status::Ok();  // cannot happen for variant calls; be safe
+  }
+  // Rebuild the continuation chain.
+  std::vector<Word> goals;
+  FunctorId cons = symbols->InternFunctor(symbols->dot(), 2);
+  while (IsStruct(list) && store->StructFunctor(list) == cons) {
+    goals.push_back(store->Arg(list, 0));
+    list = store->Deref(store->Arg(list, 1));
+  }
+  uint32_t cut_depth = static_cast<uint32_t>(machine_->choice_point_count());
+  const GoalNode* chain = nullptr;
+  for (auto it = goals.rbegin(); it != goals.rend(); ++it) {
+    chain = machine_->Cons(*it, chain, cut_depth);
+  }
+  Status status =
+      machine_->Run(chain, []() { return SolveAction::kContinue; });
+  store->UndoTrail(trail);
+  store->TruncateHeap(heap);
+  return status;
+}
+
+Status Evaluator::RunBatchLoop(size_t batch_index) {
+  while (true) {
+    if (batches_[batch_index].aborted) return Status::Ok();
+
+    if (!batches_[batch_index].generator_queue.empty()) {
+      SubgoalId next = batches_[batch_index].generator_queue.back();
+      batches_[batch_index].generator_queue.pop_back();
+      Status status = RunGeneratorEpisode(next);
+      if (!status.ok()) return status;
+      continue;
+    }
+
+    // Deliver pending answers to consumers. The consumer vector and the
+    // answer vectors can both grow during a resumption, so everything is
+    // re-fetched through indices.
+    bool progressed = false;
+    for (size_t ci = 0; ci < batches_[batch_index].consumers.size(); ++ci) {
+      while (true) {
+        if (batches_[batch_index].aborted) return Status::Ok();
+        if (!batches_[batch_index].generator_queue.empty()) break;
+        Consumer& c = batches_[batch_index].consumers[ci];
+        const Subgoal& sg = tables_.subgoal(c.producer);
+        const std::vector<FlatTerm>& answers = sg.answers->answers();
+        if (c.next_answer >= answers.size()) break;
+        FlatTerm answer = answers[c.next_answer];
+        ++batches_[batch_index].consumers[ci].next_answer;
+        FlatTerm saved = batches_[batch_index].consumers[ci].saved;
+        Status status = ResumeConsumer(std::move(saved), answer);
+        if (!status.ok()) return status;
+        progressed = true;
+      }
+      if (!batches_[batch_index].generator_queue.empty()) break;
+    }
+    if (!batches_[batch_index].generator_queue.empty()) continue;
+    if (!progressed) return Status::Ok();  // fixpoint
+  }
+}
+
+Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
+                                       bool existential, bool* has_answer,
+                                       SubgoalId* root_out) {
+  TermStore* store = machine_->store();
+  ++stats_.batches;
+  batches_.push_back(Batch{next_batch_id_++,
+                           {},
+                           {},
+                           {},
+                           kNoSubgoal,
+                           false});
+  size_t batch_index = batches_.size() - 1;
+
+  FlatTerm canon = Flatten(*store, goal);
+  auto [root, created] =
+      tables_.LookupOrCreate(canon, functor, batches_[batch_index].id);
+  batches_[batch_index].subgoals.push_back(root);
+  batches_[batch_index].generator_queue.push_back(root);
+  if (existential) batches_[batch_index].stop_on_answer = root;
+
+  Status status = RunBatchLoop(batch_index);
+
+  Batch& batch = batches_[batch_index];
+  bool answered = batch.aborted || !tables_.subgoal(root).answers->empty();
+  if (!status.ok() || batch.aborted) {
+    // Error, or existential abort: the partial tables are unusable (paper:
+    // existential negation "cuts away" the goals created in its context).
+    for (SubgoalId id : batch.subgoals) tables_.Dispose(id);
+  } else {
+    for (SubgoalId id : batch.subgoals) {
+      tables_.subgoal(id).state = SubgoalState::kComplete;
+    }
+  }
+  batches_.pop_back();
+  if (has_answer != nullptr) *has_answer = answered;
+  if (root_out != nullptr) *root_out = root;
+  return status;
+}
+
+TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
+                                                     Word goal,
+                                                     const GoalNode* /*cont*/,
+                                                     bool existential) {
+  TermStore* store = machine->store();
+  goal = store->Deref(goal);
+  std::optional<FunctorId> functor = Program::CallableFunctor(*store, goal);
+  if (!functor.has_value()) {
+    machine->SetError(TypeError("tnot/e_tnot argument is not callable"));
+    return CallOutcome::kError;
+  }
+  Predicate* pred = machine->program()->Lookup(*functor);
+  if (pred == nullptr || !pred->tabled()) {
+    machine->SetError(
+        TypeError("tnot/e_tnot require a tabled predicate; use \\+ for "
+                  "non-tabled goals"));
+    return CallOutcome::kError;
+  }
+  if (!store->IsGround(goal)) {
+    machine->SetError(InstantiationError(
+        "tnot/e_tnot on a non-ground goal: the query flounders"));
+    return CallOutcome::kError;
+  }
+
+  FlatTerm canon = Flatten(*store, goal);
+  SubgoalId id = tables_.Lookup(canon);
+  if (id != kNoSubgoal) {
+    const Subgoal& sg = tables_.subgoal(id);
+    if (sg.state == SubgoalState::kComplete) {
+      return sg.answers->empty() ? CallOutcome::kContinue
+                                 : CallOutcome::kFail;
+    }
+    machine->SetError(StratificationError(
+        "tnot over an incomplete table: the program is not modularly "
+        "stratified"));
+    return CallOutcome::kError;
+  }
+
+  bool has_answer = false;
+  Status status = EvaluateToCompletion(goal, *functor, existential,
+                                       &has_answer, nullptr);
+  if (!status.ok()) {
+    machine->SetError(status);
+    return CallOutcome::kError;
+  }
+  return has_answer ? CallOutcome::kFail : CallOutcome::kContinue;
+}
+
+TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
+                                                     Word templ, Word goal,
+                                                     Word result,
+                                                     const GoalNode* /*cont*/) {
+  TermStore* store = machine->store();
+  goal = store->Deref(goal);
+  std::optional<FunctorId> functor = Program::CallableFunctor(*store, goal);
+  if (!functor.has_value()) {
+    machine->SetError(TypeError("tfindall/3: goal is not callable"));
+    return CallOutcome::kError;
+  }
+  Predicate* pred = machine->program()->Lookup(*functor);
+  if (pred == nullptr || !pred->tabled()) {
+    machine->SetError(
+        TypeError("tfindall/3 requires a tabled goal; use findall/3"));
+    return CallOutcome::kError;
+  }
+
+  FlatTerm canon = Flatten(*store, goal);
+  SubgoalId id = tables_.Lookup(canon);
+  if (id == kNoSubgoal) {
+    Status status = EvaluateToCompletion(goal, *functor,
+                                         /*existential=*/false, nullptr, &id);
+    if (!status.ok()) {
+      machine->SetError(status);
+      return CallOutcome::kError;
+    }
+  } else if (tables_.subgoal(id).state != SubgoalState::kComplete) {
+    // The paper's tfindall *suspends* until completion; under local
+    // scheduling a same-SCC tfindall would deadlock, which we report.
+    machine->SetError(StratificationError(
+        "tfindall/3 on a table of the same recursive component"));
+    return CallOutcome::kError;
+  }
+
+  // Project each answer through (goal, templ), which share variables.
+  std::vector<FlatTerm> instances;
+  for (const FlatTerm& answer : tables_.subgoal(id).answers->answers()) {
+    size_t trail = store->TrailMark();
+    size_t heap = store->HeapMark();
+    Word answer_term = Unflatten(store, answer);
+    if (store->Unify(goal, answer_term)) {
+      instances.push_back(Flatten(*store, templ));
+    }
+    store->UndoTrail(trail);
+    store->TruncateHeap(heap);
+  }
+  std::vector<Word> items;
+  items.reserve(instances.size());
+  for (const FlatTerm& flat : instances) {
+    items.push_back(Unflatten(store, flat));
+  }
+  Word list = store->MakeList(items, AtomCell(store->symbols()->nil()));
+  return store->Unify(result, list) ? CallOutcome::kContinue
+                                    : CallOutcome::kFail;
+}
+
+}  // namespace xsb

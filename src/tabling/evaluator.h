@@ -1,0 +1,108 @@
+#ifndef XSB_TABLING_EVALUATOR_H_
+#define XSB_TABLING_EVALUATOR_H_
+
+#include <vector>
+
+#include "engine/machine.h"
+#include "tabling/table_space.h"
+
+namespace xsb {
+
+// The SLG evaluator: plugs into the Machine as its TabledCallHandler and
+// turns SLD into SLG resolution for tabled predicates (section 3).
+//
+// Scheduling is *local*: a tabled call made from ordinary (non-tabled)
+// execution opens an evaluation batch, drives every subgoal the batch
+// creates to fixpoint, marks them complete, and only then returns answers
+// to the caller through an answer choice point. Inside a batch, repeated
+// calls become suspended consumers captured by copying the (call,
+// continuation) pair into table space — the copying realization of the
+// SLG-WAM's frozen stacks.
+//
+// Negation:
+//   * tnot/1  — SLG negation: completes the subgoal in a nested batch, then
+//     succeeds iff the (necessarily ground) call has no answer. A nested
+//     batch that touches an incomplete table of an enclosing batch is a
+//     modular-stratification violation and is reported as an error.
+//   * e_tnot/1 — existential negation: the nested batch stops at the first
+//     answer and *disposes* every table it created (the tcut mechanism),
+//     reproducing the paper's Table 2 behavior.
+//
+// Ground calls complete early: as soon as a ground subgoal gets its answer,
+// its generator is cut off (XSB's early completion), which is what makes
+// e_tnot explore sqrt(2)^n rather than 2^n nodes of the win/1 tree.
+class Evaluator : public TabledCallHandler {
+ public:
+  struct Options {
+    bool answer_trie = false;  // index answers with a trie instead of a hash
+    // Complete ground subgoals as soon as their answer arrives, cutting off
+    // the rest of their generator. This post-1994 XSB optimization makes
+    // default tnot behave like e_tnot on Table 2's trees, so it is OFF by
+    // default and exercised by the ablation bench.
+    bool early_completion = false;
+  };
+
+  explicit Evaluator(Machine* machine) : Evaluator(machine, Options()) {}
+  Evaluator(Machine* machine, Options options);
+
+  TableSpace& tables() { return tables_; }
+  const TableSpace& tables() const { return tables_; }
+
+  // Drops all tables (exposed to benches; abolish_all_tables/0 equivalent).
+  void AbolishAllTables();
+
+  struct EvalStats {
+    uint64_t batches = 0;
+    uint64_t generator_episodes = 0;
+    uint64_t resumptions = 0;
+    uint64_t early_completions = 0;
+    uint64_t existential_aborts = 0;
+  };
+  const EvalStats& stats() const { return stats_; }
+
+  // TabledCallHandler:
+  CallOutcome OnTabledCall(Machine* machine, Word goal,
+                           const GoalNode* cont) override;
+  CallOutcome OnTabledAnswer(Machine* machine, int64_t subgoal_index,
+                             Word call_instance) override;
+  CallOutcome OnNegation(Machine* machine, Word goal, const GoalNode* cont,
+                         bool existential) override;
+  CallOutcome OnTFindall(Machine* machine, Word templ, Word goal, Word result,
+                         const GoalNode* cont) override;
+
+ private:
+  struct Batch {
+    uint64_t id;
+    std::vector<SubgoalId> subgoals;
+    std::vector<Consumer> consumers;
+    std::vector<SubgoalId> generator_queue;
+    SubgoalId stop_on_answer = kNoSubgoal;
+    bool aborted = false;
+  };
+
+  // Runs `root` (a fresh subgoal for `goal`) to completion in a new batch.
+  // With `existential`, stops at the root's first answer and disposes the
+  // batch's tables. *has_answer reports whether the root derived an answer.
+  Status EvaluateToCompletion(Word goal, FunctorId functor, bool existential,
+                              bool* has_answer, SubgoalId* root_out);
+
+  Status RunBatchLoop(size_t batch_index);
+  Status RunGeneratorEpisode(SubgoalId id);
+  Status ResumeConsumer(FlatTerm saved, const FlatTerm& answer);
+
+  // Builds '$consumer'(Goal, [G1, ..., Gk]) for the continuation chain.
+  Word BuildConsumerTerm(Word goal, const GoalNode* cont);
+
+  Machine* machine_;
+  TableSpace tables_;
+  bool early_completion_;
+  std::vector<Batch> batches_;
+  uint64_t next_batch_id_ = 1;
+  EvalStats stats_;
+
+  FunctorId f_resolve_clauses_, f_tabled_answer_, f_consumer_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_TABLING_EVALUATOR_H_

@@ -1,0 +1,75 @@
+#include "tabling/table_space.h"
+
+namespace xsb {
+
+bool AnswerTrie::Insert(const FlatTerm& answer) {
+  Node* node = root_.get();
+  for (Word w : answer.cells) {
+    auto [it, inserted] = node->children.try_emplace(w, nullptr);
+    if (inserted) it->second = std::make_unique<Node>();
+    node = it->second.get();
+  }
+  if (node->terminal) return false;
+  node->terminal = true;
+  ++count_;
+  return true;
+}
+
+bool AnswerTable::Insert(FlatTerm answer) {
+  bool fresh;
+  if (use_trie_) {
+    fresh = trie_index_.Insert(answer);
+  } else {
+    fresh = hash_index_.try_emplace(answer, true).second;
+  }
+  if (fresh) answers_.push_back(std::move(answer));
+  return fresh;
+}
+
+std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const FlatTerm& call,
+                                                      FunctorId functor,
+                                                      uint64_t batch_id) {
+  auto it = call_index_.find(call);
+  if (it != call_index_.end()) return {it->second, false};
+  SubgoalId id = static_cast<SubgoalId>(subgoals_.size());
+  subgoals_.push_back(Subgoal{});
+  Subgoal& sg = subgoals_.back();
+  sg.call = call;
+  sg.functor = functor;
+  sg.batch_id = batch_id;
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_);
+  call_index_.emplace(call, id);
+  ++stats_.subgoals_created;
+  return {id, true};
+}
+
+SubgoalId TableSpace::Lookup(const FlatTerm& call) const {
+  auto it = call_index_.find(call);
+  return it == call_index_.end() ? kNoSubgoal : it->second;
+}
+
+bool TableSpace::AddAnswer(SubgoalId id, FlatTerm answer) {
+  bool fresh = subgoals_[id].answers->Insert(std::move(answer));
+  if (fresh) {
+    ++stats_.answers_inserted;
+  } else {
+    ++stats_.duplicate_answers;
+  }
+  return fresh;
+}
+
+void TableSpace::Dispose(SubgoalId id) {
+  Subgoal& sg = subgoals_[id];
+  if (sg.state == SubgoalState::kDisposed) return;
+  call_index_.erase(sg.call);
+  sg.state = SubgoalState::kDisposed;
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_);
+  ++stats_.subgoals_disposed;
+}
+
+void TableSpace::Clear() {
+  call_index_.clear();
+  subgoals_.clear();
+}
+
+}  // namespace xsb

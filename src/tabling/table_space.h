@@ -1,0 +1,133 @@
+#ifndef XSB_TABLING_TABLE_SPACE_H_
+#define XSB_TABLING_TABLE_SPACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "term/flat.h"
+
+namespace xsb {
+
+using SubgoalId = uint32_t;
+inline constexpr SubgoalId kNoSubgoal = 0xffffffffu;
+
+enum class SubgoalState {
+  kIncomplete,  // generator/consumers still at work
+  kComplete,    // fixpoint reached; answers are final
+  kDisposed,    // deleted by tcut / existential negation
+};
+
+// Discrimination trie over flattened answers: the answer-clause index the
+// paper describes as under development (section 4.5), provided here as an
+// alternative to the hash index for the ablation bench.
+class AnswerTrie {
+ public:
+  AnswerTrie() : root_(std::make_unique<Node>()) {}
+
+  // Returns true if the answer was new.
+  bool Insert(const FlatTerm& answer);
+  size_t size() const { return count_; }
+
+ private:
+  struct Node {
+    std::map<Word, std::unique_ptr<Node>> children;
+    bool terminal = false;
+  };
+  std::unique_ptr<Node> root_;
+  size_t count_ = 0;
+};
+
+// The answers of one tabled subgoal, with duplicate elimination through
+// either a hash set (default) or an answer trie.
+class AnswerTable {
+ public:
+  explicit AnswerTable(bool use_trie) : use_trie_(use_trie) {}
+
+  // Returns true (and stores) if `answer` was not already present.
+  bool Insert(FlatTerm answer);
+
+  const std::vector<FlatTerm>& answers() const { return answers_; }
+  size_t size() const { return answers_.size(); }
+  bool empty() const { return answers_.empty(); }
+
+ private:
+  bool use_trie_;
+  std::vector<FlatTerm> answers_;
+  std::unordered_map<FlatTerm, bool, FlatTermHash> hash_index_;
+  AnswerTrie trie_index_;
+};
+
+// A suspended consumer: the copied (call, continuation) pair plus a cursor
+// into the producer's answer list. This is the copying (CAT-style)
+// realization of the SLG-WAM's frozen consumer choice points.
+struct Consumer {
+  SubgoalId producer;
+  FlatTerm saved;  // '$consumer'(CallTerm, [Goal1, ..., GoalK])
+  size_t next_answer = 0;
+};
+
+// One tabled subgoal: canonical call, state, answers.
+struct Subgoal {
+  FlatTerm call;
+  FunctorId functor = 0;
+  SubgoalState state = SubgoalState::kIncomplete;
+  uint64_t batch_id = 0;  // evaluation batch that created it
+  std::unique_ptr<AnswerTable> answers;
+
+  bool ground_call() const { return call.ground(); }
+};
+
+struct TableStats {
+  uint64_t subgoals_created = 0;
+  uint64_t subgoals_disposed = 0;
+  uint64_t answers_inserted = 0;
+  uint64_t duplicate_answers = 0;
+  uint64_t consumer_suspensions = 0;
+  uint64_t consumer_resumptions = 0;
+};
+
+// The table space (section 3.2): subgoal table with variant-based call
+// indexing plus per-subgoal answer tables.
+class TableSpace {
+ public:
+  explicit TableSpace(bool answer_trie = false)
+      : answer_trie_(answer_trie) {}
+
+  // Variant lookup. Returns {id, created}.
+  std::pair<SubgoalId, bool> LookupOrCreate(const FlatTerm& call,
+                                            FunctorId functor,
+                                            uint64_t batch_id);
+  // Lookup without creating; kNoSubgoal if absent.
+  SubgoalId Lookup(const FlatTerm& call) const;
+
+  Subgoal& subgoal(SubgoalId id) { return subgoals_[id]; }
+  const Subgoal& subgoal(SubgoalId id) const { return subgoals_[id]; }
+
+  // Inserts an answer; returns true if new.
+  bool AddAnswer(SubgoalId id, FlatTerm answer);
+
+  // Removes the subgoal from the call index and drops its answers (tcut /
+  // existential negation). The id remains valid but disposed.
+  void Dispose(SubgoalId id);
+
+  // Drops every table (abolish_all_tables/0).
+  void Clear();
+
+  size_t num_subgoals() const { return subgoals_.size(); }
+  TableStats& stats() { return stats_; }
+  const TableStats& stats() const { return stats_; }
+
+ private:
+  bool answer_trie_;
+  std::unordered_map<FlatTerm, SubgoalId, FlatTermHash> call_index_;
+  std::deque<Subgoal> subgoals_;
+  TableStats stats_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_TABLING_TABLE_SPACE_H_

@@ -1,0 +1,80 @@
+#ifndef XSB_TERM_CELL_H_
+#define XSB_TERM_CELL_H_
+
+#include <cstdint>
+
+#include "term/symbols.h"
+
+namespace xsb {
+
+// A term cell is one 64-bit word: a 3-bit tag in the low bits and a payload
+// in the high 61 bits. This is the WAM-style representation the whole engine
+// computes over.
+//
+//   kRef      payload = heap index it points at; a cell that points at its
+//             own address is an unbound variable.
+//   kStruct   payload = heap index of a functor cell followed by the args.
+//   kAtom     payload = AtomId.
+//   kInt      payload = signed 61-bit integer.
+//   kFunctor  payload = FunctorId; appears only at the head of a struct
+//             block (and inside flattened terms).
+//   kLocal    payload = variable ordinal; appears only inside FlatTerms
+//             (clause templates, table entries), never on the heap.
+using Word = uint64_t;
+
+enum class Tag : unsigned {
+  kRef = 0,
+  kStruct = 1,
+  kAtom = 2,
+  kInt = 3,
+  kFunctor = 4,
+  kLocal = 5,
+};
+
+constexpr unsigned kTagBits = 3;
+
+inline Tag TagOf(Word w) { return static_cast<Tag>(w & 0x7); }
+inline uint64_t PayloadOf(Word w) { return w >> kTagBits; }
+
+inline Word MakeCell(Tag tag, uint64_t payload) {
+  return (payload << kTagBits) | static_cast<Word>(tag);
+}
+
+inline Word RefCell(uint64_t heap_index) {
+  return MakeCell(Tag::kRef, heap_index);
+}
+inline Word StructCell(uint64_t heap_index) {
+  return MakeCell(Tag::kStruct, heap_index);
+}
+inline Word AtomCell(AtomId atom) { return MakeCell(Tag::kAtom, atom); }
+inline Word FunctorCell(FunctorId functor) {
+  return MakeCell(Tag::kFunctor, functor);
+}
+inline Word LocalCell(uint64_t ordinal) {
+  return MakeCell(Tag::kLocal, ordinal);
+}
+
+inline Word IntCell(int64_t value) {
+  return MakeCell(Tag::kInt, static_cast<uint64_t>(value) & ((1ULL << 61) - 1));
+}
+inline int64_t IntValue(Word w) {
+  // Sign-extend the 61-bit payload.
+  return static_cast<int64_t>(w) >> kTagBits;
+}
+
+inline bool IsRef(Word w) { return TagOf(w) == Tag::kRef; }
+inline bool IsStruct(Word w) { return TagOf(w) == Tag::kStruct; }
+inline bool IsAtom(Word w) { return TagOf(w) == Tag::kAtom; }
+inline bool IsInt(Word w) { return TagOf(w) == Tag::kInt; }
+inline bool IsFunctor(Word w) { return TagOf(w) == Tag::kFunctor; }
+inline bool IsLocal(Word w) { return TagOf(w) == Tag::kLocal; }
+inline bool IsAtomic(Word w) { return IsAtom(w) || IsInt(w); }
+
+inline AtomId AtomOf(Word w) { return static_cast<AtomId>(PayloadOf(w)); }
+inline FunctorId FunctorOf(Word w) {
+  return static_cast<FunctorId>(PayloadOf(w));
+}
+
+}  // namespace xsb
+
+#endif  // XSB_TERM_CELL_H_

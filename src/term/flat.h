@@ -1,0 +1,63 @@
+#ifndef XSB_TERM_FLAT_H_
+#define XSB_TERM_FLAT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "term/cell.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// A relocatable, heap-independent term image: the preorder stream of the
+// term's cells, with variables renamed to kLocal(0), kLocal(1), ... in order
+// of first occurrence. Struct cells are replaced by their functor cell
+// followed by the flattened arguments, so the stream is self-describing.
+//
+// FlatTerms serve three roles, exactly as table space does in the SLG-WAM:
+//   * clause templates in the clause database,
+//   * canonical forms for tabled-subgoal variant checking,
+//   * stored answers in answer tables.
+//
+// Two terms are variants iff their FlatTerms are element-wise equal.
+struct FlatTerm {
+  std::vector<Word> cells;
+  uint32_t num_vars = 0;
+
+  bool operator==(const FlatTerm& other) const {
+    return cells == other.cells;
+  }
+
+  bool ground() const { return num_vars == 0; }
+  size_t size() const { return cells.size(); }
+};
+
+// FNV-style hash over the cell stream.
+struct FlatTermHash {
+  size_t operator()(const FlatTerm& t) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (Word w : t.cells) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Flattens the (possibly partially bound) heap term `t`.
+FlatTerm Flatten(const TermStore& store, Word t);
+
+// Rebuilds `flat` on the heap with fresh variables. If `vars` is non-null it
+// receives the fresh cell chosen for each local variable ordinal (resized by
+// the call); passing the same vars vector to several Unflatten calls shares
+// variables across them.
+Word Unflatten(TermStore* store, const FlatTerm& flat,
+               std::vector<Word>* vars = nullptr);
+
+// Reads the top functor of a flattened term without rebuilding it.
+// Returns true and sets *functor if the term is a struct.
+bool FlatTopFunctor(const FlatTerm& flat, FunctorId* functor);
+
+}  // namespace xsb
+
+#endif  // XSB_TERM_FLAT_H_

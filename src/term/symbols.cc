@@ -1,0 +1,35 @@
+#include "term/symbols.h"
+
+namespace xsb {
+
+SymbolTable::SymbolTable() {
+  nil_ = InternAtom("[]");
+  comma_ = InternAtom(",");
+  dot_ = InternAtom(".");
+  neck_ = InternAtom(":-");
+  apply_ = InternAtom("apply");
+  true_ = InternAtom("true");
+  curly_ = InternAtom("{}");
+}
+
+AtomId SymbolTable::InternAtom(std::string_view name) {
+  auto it = atom_ids_.find(std::string(name));
+  if (it != atom_ids_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(atom_names_.size());
+  atom_names_.emplace_back(name);
+  atom_ids_.emplace(atom_names_.back(), id);
+  return id;
+}
+
+FunctorId SymbolTable::InternFunctor(AtomId name, int arity) {
+  uint64_t key = (static_cast<uint64_t>(name) << 16) |
+                 static_cast<uint64_t>(arity & 0xffff);
+  auto it = functor_ids_.find(key);
+  if (it != functor_ids_.end()) return it->second;
+  FunctorId id = static_cast<FunctorId>(functors_.size());
+  functors_.push_back(Functor{name, arity});
+  functor_ids_.emplace(key, id);
+  return id;
+}
+
+}  // namespace xsb

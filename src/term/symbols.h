@@ -1,0 +1,70 @@
+#ifndef XSB_TERM_SYMBOLS_H_
+#define XSB_TERM_SYMBOLS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsb {
+
+// Interned atom name. Atom ids are dense and stable for the lifetime of the
+// SymbolTable that produced them.
+using AtomId = uint32_t;
+
+// Interned (atom, arity) pair. Functor ids name compound-term shapes; an
+// atom used as a functor of arity 0 is just the atom itself, so functors
+// always have arity >= 1.
+using FunctorId = uint32_t;
+
+// Global intern tables for atoms and functors.
+//
+// Every term-producing component (parser, stores, loaders) shares one
+// SymbolTable so that atom identity is pointer-free equality on ids.
+// Not thread-safe; the engine is single-threaded by design (section 5 of the
+// paper argues for separating concurrency from the query engine).
+class SymbolTable {
+ public:
+  SymbolTable();
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the id for `name`, interning it on first use.
+  AtomId InternAtom(std::string_view name);
+  // Returns the id for name/arity, interning it on first use.
+  FunctorId InternFunctor(AtomId name, int arity);
+
+  const std::string& AtomName(AtomId id) const { return atom_names_[id]; }
+  AtomId FunctorAtom(FunctorId id) const { return functors_[id].name; }
+  int FunctorArity(FunctorId id) const { return functors_[id].arity; }
+
+  size_t num_atoms() const { return atom_names_.size(); }
+  size_t num_functors() const { return functors_.size(); }
+
+  // Pre-interned atoms used pervasively by the engine.
+  AtomId nil() const { return nil_; }          // []
+  AtomId comma() const { return comma_; }      // ','
+  AtomId dot() const { return dot_; }          // '.' (list cons)
+  AtomId neck() const { return neck_; }        // ':-'
+  AtomId apply() const { return apply_; }      // HiLog encoding symbol
+  AtomId truth() const { return true_; }       // true
+  AtomId curly() const { return curly_; }      // {}
+
+ private:
+  struct Functor {
+    AtomId name;
+    int arity;
+  };
+
+  std::vector<std::string> atom_names_;
+  std::unordered_map<std::string, AtomId> atom_ids_;
+  std::vector<Functor> functors_;
+  std::unordered_map<uint64_t, FunctorId> functor_ids_;
+
+  AtomId nil_, comma_, dot_, neck_, apply_, true_, curly_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_TERM_SYMBOLS_H_

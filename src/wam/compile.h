@@ -1,0 +1,27 @@
+#ifndef XSB_WAM_COMPILE_H_
+#define XSB_WAM_COMPILE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "db/program.h"
+#include "term/store.h"
+#include "wam/instr.h"
+
+namespace xsb::wam {
+
+// Compiles `predicates` ({} = every predicate with clauses) of `program`
+// into WAM code with first-argument switch_on_constant indexing where all
+// clause heads key on a constant.
+//
+// Supported clause bodies: conjunctions of user predicate calls (which must
+// themselves be compiled in the same module) and the arithmetic/unification
+// builtins of BuiltinOp. Control constructs, negation, and tabled
+// predicates stay on the interpreted engine (exactly the paper's split:
+// WAM-speed for compiled code, SLG machinery above it).
+Result<CompiledModule> CompileModule(TermStore* store, const Program& program,
+                                     const std::vector<FunctorId>& predicates);
+
+}  // namespace xsb::wam
+
+#endif  // XSB_WAM_COMPILE_H_

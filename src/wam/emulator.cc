@@ -1,0 +1,389 @@
+#include "wam/emulator.h"
+
+#include "db/program.h"
+
+namespace xsb::wam {
+
+namespace {
+constexpr uint32_t kFailTarget = 0xffffffffu;
+}  // namespace
+
+bool Emulator::Backtrack(size_t* pc) {
+  if (cps_.empty()) return false;
+  Choice& cp = cps_.back();
+  store_->UndoTrail(cp.trail_mark);
+  store_->TruncateHeap(cp.heap_mark);
+  frames_.resize(cp.frames_size);
+  cur_frame_ = cp.frame;
+  if (x_.size() < cp.args.size()) x_.resize(cp.args.size(), 0);
+  for (size_t i = 0; i < cp.args.size(); ++i) x_[i] = cp.args[i];
+  *pc = cp.alt_pc;
+  return true;
+}
+
+Result<int64_t> Emulator::Eval(Word expression) {
+  Word e = store_->Deref(expression);
+  if (IsInt(e)) return IntValue(e);
+  if (IsRef(e)) return InstantiationError("wam: unbound arithmetic");
+  if (!IsStruct(e)) return TypeError("wam: bad arithmetic term");
+  SymbolTable* symbols = store_->symbols();
+  FunctorId f = store_->StructFunctor(e);
+  const std::string& name = symbols->AtomName(symbols->FunctorAtom(f));
+  int arity = symbols->FunctorArity(f);
+  if (arity == 1) {
+    Result<int64_t> a = Eval(store_->Arg(e, 0));
+    if (!a.ok()) return a;
+    if (name == "-") return -a.value();
+    if (name == "+") return a.value();
+    if (name == "abs") return a.value() < 0 ? -a.value() : a.value();
+    return TypeError("wam: unknown arithmetic " + name + "/1");
+  }
+  if (arity == 2) {
+    Result<int64_t> a = Eval(store_->Arg(e, 0));
+    if (!a.ok()) return a;
+    Result<int64_t> b = Eval(store_->Arg(e, 1));
+    if (!b.ok()) return b;
+    int64_t x = a.value(), y = b.value();
+    if (name == "+") return x + y;
+    if (name == "-") return x - y;
+    if (name == "*") return x * y;
+    if (name == "//" || name == "/") {
+      if (y == 0) return TypeError("wam: zero divisor");
+      return x / y;
+    }
+    if (name == "mod") {
+      if (y == 0) return TypeError("wam: zero divisor");
+      int64_t m = x % y;
+      if (m != 0 && ((m < 0) != (y < 0))) m += y;
+      return m;
+    }
+    return TypeError("wam: unknown arithmetic " + name + "/2");
+  }
+  return TypeError("wam: bad arithmetic term");
+}
+
+Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
+  goal = store_->Deref(goal);
+  std::optional<FunctorId> functor = Program::CallableFunctor(*store_, goal);
+  if (!functor.has_value()) return TypeError("wam: goal is not callable");
+  auto entry = module_->entries.find(*functor);
+  if (entry == module_->entries.end()) {
+    return InvalidError("wam: predicate not compiled in this module");
+  }
+
+  // Reset machine state.
+  x_.assign(16, 0);
+  frames_.clear();
+  cur_frame_ = 0;
+  cps_.clear();
+  size_t base_trail = store_->TrailMark();
+  size_t base_heap = store_->HeapMark();
+
+  int arity = IsStruct(goal) ? store_->StructArity(goal) : 0;
+  if (x_.size() <= static_cast<size_t>(arity)) x_.resize(arity + 1, 0);
+  for (int i = 0; i < arity; ++i) {
+    x_[static_cast<size_t>(i) + 1] = store_->Arg(goal, i);
+  }
+
+  size_t pc = entry->second;
+  size_t cont = 0;  // pc 0 is the kSolution epilogue
+  bool write_mode = false;
+  uint64_t s = 0;  // heap cursor inside a structure
+
+  const std::vector<Instr>& code = module_->code;
+  Status status = Status::Ok();
+  bool running = true;
+  bool stopped = false;  // callback asked to keep the current solution
+
+  auto fail = [&]() {
+    if (!Backtrack(&pc)) {
+      running = false;
+    }
+  };
+
+  while (running) {
+    const Instr& instr = code[pc];
+    ++stats_.instructions;
+    switch (instr.op) {
+      case Op::kGetVariable:
+        Reg(instr.a) = x_[instr.b];
+        ++pc;
+        break;
+      case Op::kGetValue:
+        if (store_->Unify(Reg(instr.a), x_[instr.b])) {
+          ++pc;
+        } else {
+          fail();
+        }
+        break;
+      case Op::kGetConstant: {
+        Word c = module_->constants[instr.a];
+        Word v = store_->Deref(x_[instr.b]);
+        if (IsRef(v)) {
+          store_->Bind(v, c);
+          ++pc;
+        } else if (v == c) {
+          ++pc;
+        } else {
+          fail();
+        }
+        break;
+      }
+      case Op::kGetStructure: {
+        Word v = store_->Deref(x_[instr.b]);
+        if (IsRef(v)) {
+          Word structure = store_->MakeStructUninit(instr.a);
+          store_->Bind(v, structure);
+          s = PayloadOf(structure) + 1;
+          write_mode = true;
+          ++pc;
+        } else if (IsStruct(v) && store_->StructFunctor(v) == instr.a) {
+          s = PayloadOf(v) + 1;
+          write_mode = false;
+          ++pc;
+        } else {
+          fail();
+        }
+        break;
+      }
+      case Op::kUnifyVariable:
+        if (write_mode) {
+          Reg(instr.a) = RefCell(s);  // the fresh arg cell itself
+        } else {
+          Reg(instr.a) = store_->At(s);
+        }
+        ++s;
+        ++pc;
+        break;
+      case Op::kUnifyValue:
+        if (write_mode) {
+          store_->At(s) = Reg(instr.a);
+          ++s;
+          ++pc;
+        } else if (store_->Unify(Reg(instr.a), RefCell(s))) {
+          ++s;
+          ++pc;
+        } else {
+          fail();
+        }
+        break;
+      case Op::kUnifyConstant: {
+        Word c = module_->constants[instr.a];
+        if (write_mode) {
+          store_->At(s) = c;
+          ++s;
+          ++pc;
+        } else {
+          Word v = store_->Deref(store_->At(s));
+          if (IsRef(v)) {
+            store_->Bind(v, c);
+            ++s;
+            ++pc;
+          } else if (v == c) {
+            ++s;
+            ++pc;
+          } else {
+            fail();
+          }
+        }
+        break;
+      }
+      case Op::kUnifyVoid:
+        s += instr.a;
+        ++pc;
+        break;
+      case Op::kPutVariable: {
+        Word v = store_->MakeVar();
+        Reg(instr.a) = v;
+        x_[instr.b] = v;
+        ++pc;
+        break;
+      }
+      case Op::kPutValue:
+        x_[instr.b] = Reg(instr.a);
+        ++pc;
+        break;
+      case Op::kPutConstant:
+        x_[instr.b] = module_->constants[instr.a];
+        ++pc;
+        break;
+      case Op::kPutStructure: {
+        Word structure = store_->MakeStructUninit(instr.a);
+        if (x_.size() <= instr.b) x_.resize(instr.b + 1, 0);
+        Reg(instr.b) = structure;
+        s = PayloadOf(structure) + 1;
+        write_mode = true;
+        ++pc;
+        break;
+      }
+      case Op::kAllocate: {
+        Frame frame;
+        frame.cont_pc = cont;
+        frame.prev_frame = cur_frame_;
+        frame.y.assign(instr.a, 0);
+        frames_.push_back(std::move(frame));
+        cur_frame_ = frames_.size();
+        ++pc;
+        break;
+      }
+      case Op::kDeallocate: {
+        // The frame's storage survives (a choice point below may still
+        // need it); only the E register moves, as in the real WAM.
+        Frame& frame = frames_[cur_frame_ - 1];
+        cont = frame.cont_pc;
+        cur_frame_ = frame.prev_frame;
+        ++pc;
+        break;
+      }
+      case Op::kCall:
+        cont = pc + 1;
+        pc = instr.a;
+        break;
+      case Op::kProceed:
+        pc = cont;
+        break;
+      case Op::kTryMeElse:
+      case Op::kTry: {
+        Choice cp;
+        cp.alt_pc = instr.op == Op::kTryMeElse ? instr.a : pc + 1;
+        cp.cont_pc = cont;
+        cp.frame = cur_frame_;
+        cp.frames_size = frames_.size();
+        cp.trail_mark = store_->TrailMark();
+        cp.heap_mark = store_->HeapMark();
+        cp.args.assign(x_.begin(),
+                       x_.begin() + std::min<size_t>(x_.size(), instr.b + 1));
+        cps_.push_back(std::move(cp));
+        ++stats_.choice_points;
+        pc = instr.op == Op::kTryMeElse ? pc + 1 : instr.a;
+        break;
+      }
+      case Op::kRetryMeElse:
+        cont = cps_.back().cont_pc;
+        cps_.back().alt_pc = instr.a;
+        ++pc;
+        break;
+      case Op::kRetry:
+        cont = cps_.back().cont_pc;
+        cps_.back().alt_pc = pc + 1;
+        pc = instr.a;
+        break;
+      case Op::kTrustMe:
+        cont = cps_.back().cont_pc;
+        cps_.pop_back();
+        ++pc;
+        break;
+      case Op::kTrust:
+        cont = cps_.back().cont_pc;
+        cps_.pop_back();
+        pc = instr.a;
+        break;
+      case Op::kSwitchOnTerm: {
+        Word v = store_->Deref(x_[1]);
+        uint32_t target;
+        if (IsRef(v)) {
+          target = instr.a;
+        } else if (IsAtom(v) || IsInt(v)) {
+          target = instr.b;
+        } else {
+          target = instr.c;
+        }
+        if (target == kFailTarget) {
+          fail();
+        } else {
+          pc = target;
+        }
+        break;
+      }
+      case Op::kSwitchOnConstant: {
+        const auto& table = module_->switch_tables[instr.a];
+        Word key = store_->Deref(x_[1]);
+        auto it = table.find(key);
+        if (it == table.end()) {
+          fail();
+        } else {
+          pc = it->second;
+        }
+        break;
+      }
+      case Op::kBuiltin: {
+        BuiltinOp op = static_cast<BuiltinOp>(instr.a);
+        bool ok = true;
+        switch (op) {
+          case BuiltinOp::kTrue:
+            break;
+          case BuiltinOp::kFail:
+            ok = false;
+            break;
+          case BuiltinOp::kUnify:
+            ok = store_->Unify(x_[1], x_[2]);
+            break;
+          case BuiltinOp::kIs: {
+            Result<int64_t> v = Eval(x_[2]);
+            if (!v.ok()) return v.status();
+            ok = store_->Unify(x_[1], IntCell(v.value()));
+            break;
+          }
+          default: {
+            Result<int64_t> a = Eval(x_[1]);
+            if (!a.ok()) return a.status();
+            Result<int64_t> b = Eval(x_[2]);
+            if (!b.ok()) return b.status();
+            switch (op) {
+              case BuiltinOp::kLess:
+                ok = a.value() < b.value();
+                break;
+              case BuiltinOp::kLessEq:
+                ok = a.value() <= b.value();
+                break;
+              case BuiltinOp::kGreater:
+                ok = a.value() > b.value();
+                break;
+              case BuiltinOp::kGreaterEq:
+                ok = a.value() >= b.value();
+                break;
+              case BuiltinOp::kArithEq:
+                ok = a.value() == b.value();
+                break;
+              case BuiltinOp::kArithNeq:
+                ok = a.value() != b.value();
+                break;
+              default:
+                return InvalidError("wam: bad builtin");
+            }
+            break;
+          }
+        }
+        if (ok) {
+          ++pc;
+        } else {
+          fail();
+        }
+        break;
+      }
+      case Op::kSolution: {
+        WamAction action = on_solution();
+        if (action == WamAction::kStop) {
+          stopped = true;
+          running = false;
+          break;
+        }
+        fail();
+        break;
+      }
+      case Op::kHalt:
+        running = false;
+        break;
+    }
+  }
+
+  // Keep the last solution's bindings if the caller stopped; otherwise the
+  // search is exhausted and everything is unwound to the entry marks.
+  if (!stopped && status.ok()) {
+    store_->UndoTrail(base_trail);
+    store_->TruncateHeap(base_heap);
+  }
+  return status;
+}
+
+}  // namespace xsb::wam

@@ -1,0 +1,74 @@
+#ifndef XSB_WAM_EMULATOR_H_
+#define XSB_WAM_EMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "base/status.h"
+#include "term/store.h"
+#include "wam/instr.h"
+
+namespace xsb::wam {
+
+// Decision returned by the per-solution callback.
+enum class WamAction { kContinue, kStop };
+using WamSolutionFn = std::function<WamAction()>;
+
+struct WamStats {
+  uint64_t instructions = 0;
+  uint64_t choice_points = 0;
+};
+
+// The WAM bytecode emulator: registers, environment stack and choice-point
+// stack over the shared TermStore heap/trail. This is the "compiled"
+// execution tier of the reproduction (Table 3's fastest rows are the
+// WAM-based systems).
+class Emulator {
+ public:
+  Emulator(TermStore* store, const CompiledModule* module)
+      : store_(store), module_(module) {}
+
+  // Proves `goal` (a heap term whose predicate is compiled in the module),
+  // invoking the callback per solution with bindings live.
+  Status Solve(Word goal, const WamSolutionFn& on_solution);
+
+  WamStats& stats() { return stats_; }
+
+ private:
+  struct Frame {
+    size_t cont_pc;
+    size_t prev_frame;  // index+1; 0 = none
+    std::vector<Word> y;
+  };
+  struct Choice {
+    size_t alt_pc;
+    size_t cont_pc;
+    size_t frame;        // cur_frame_ at creation
+    size_t frames_size;  // frames_.size() at creation
+    size_t trail_mark;
+    size_t heap_mark;
+    std::vector<Word> args;  // A1..An snapshot
+  };
+
+  Word& Reg(uint32_t reg) {
+    if (IsYReg(reg)) return frames_[cur_frame_ - 1].y[RegIndex(reg)];
+    uint32_t ix = RegIndex(reg);
+    if (x_.size() <= ix) x_.resize(ix + 1, 0);
+    return x_[ix];
+  }
+
+  bool Backtrack(size_t* pc);
+  Result<int64_t> Eval(Word expression);
+
+  TermStore* store_;
+  const CompiledModule* module_;
+  std::vector<Word> x_;
+  std::vector<Frame> frames_;
+  size_t cur_frame_ = 0;  // index+1; 0 = none
+  std::vector<Choice> cps_;
+  WamStats stats_;
+};
+
+}  // namespace xsb::wam
+
+#endif  // XSB_WAM_EMULATOR_H_

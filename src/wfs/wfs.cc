@@ -1,0 +1,255 @@
+#include "wfs/wfs.h"
+
+#include <functional>
+#include <set>
+
+#include "bottomup/seminaive.h"
+
+namespace xsb::wfs {
+
+using datalog::Arg;
+using datalog::EvalOptions;
+using datalog::Evaluation;
+using datalog::Relation;
+using datalog::Rule;
+using datalog::Value;
+using datalog::VarId;
+
+Truth WellFoundedModel::TruthOf(PredId pred, const Tuple& args) const {
+  auto it = atom_truth_.find({pred, args});
+  return it == atom_truth_.end() ? Truth::kFalse : it->second;
+}
+
+namespace {
+
+using AtomId = uint32_t;
+
+struct GroundRule {
+  AtomId head;
+  std::vector<AtomId> pos;  // IDB positive conditions
+  std::vector<AtomId> neg;  // negative conditions (atoms in the overestimate)
+};
+
+// Enumerates assignments satisfying the positive body literals of `rule`
+// over the overestimate relations.
+void EnumerateBodies(const Rule& rule, size_t idx,
+                     const std::vector<int>& positive_order,
+                     Evaluation* over, std::vector<Value>* env,
+                     std::vector<bool>* bound,
+                     const std::function<void()>& emit) {
+  if (idx == positive_order.size()) {
+    emit();
+    return;
+  }
+  const Literal& literal = rule.body[positive_order[idx]];
+  Relation& rel = over->relation(literal.pred);
+  int probe_column = -1;
+  Value probe_value = 0;
+  for (size_t i = 0; i < literal.args.size(); ++i) {
+    const Arg& arg = literal.args[i];
+    if (!arg.is_var) {
+      probe_column = static_cast<int>(i);
+      probe_value = arg.id;
+      break;
+    }
+    if ((*bound)[arg.id]) {
+      probe_column = static_cast<int>(i);
+      probe_value = (*env)[arg.id];
+      break;
+    }
+  }
+  auto match = [&](const Tuple& tuple) {
+    std::vector<VarId> newly;
+    bool ok = true;
+    for (size_t i = 0; i < literal.args.size(); ++i) {
+      const Arg& arg = literal.args[i];
+      if (!arg.is_var) {
+        if (tuple[i] != arg.id) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      if ((*bound)[arg.id]) {
+        if ((*env)[arg.id] != tuple[i]) {
+          ok = false;
+          break;
+        }
+        continue;
+      }
+      (*bound)[arg.id] = true;
+      (*env)[arg.id] = tuple[i];
+      newly.push_back(arg.id);
+    }
+    if (ok) EnumerateBodies(rule, idx + 1, positive_order, over, env, bound,
+                            emit);
+    for (VarId v : newly) (*bound)[v] = false;
+  };
+  if (probe_column >= 0) {
+    for (uint32_t row : rel.Probe(probe_column, probe_value)) {
+      match(rel.tuples()[row]);
+    }
+  } else {
+    for (const Tuple& tuple : rel.tuples()) match(tuple);
+  }
+}
+
+}  // namespace
+
+Result<WellFoundedModel> ComputeWellFounded(DatalogProgram* program) {
+  Status safety = program->CheckSafety();
+  if (!safety.ok()) return safety;
+
+  // 1. Relevant overestimate: evaluate the positive version (negative
+  // literals dropped — a superset of every fixpoint below).
+  DatalogProgram positive;
+  // Share predicate/constant identity by re-interning in the same order.
+  for (PredId p = 0; p < program->num_preds(); ++p) {
+    positive.InternPred(program->PredName(p), program->PredArity(p));
+  }
+  // The const pools must agree; copy values by id (ConstPool is append-only
+  // and ids are dense, so re-intern in order).
+  // Note: we just reuse the ids — the positive program never looks names up.
+  for (const auto& [pred, tuples] : program->edb()) {
+    for (const Tuple& t : tuples) positive.AddFact(pred, t);
+  }
+  for (const Rule& rule : program->rules()) {
+    Rule copy;
+    copy.head = rule.head;
+    copy.num_vars = rule.num_vars;
+    for (const Literal& literal : rule.body) {
+      if (!literal.negated) copy.body.push_back(literal);
+    }
+    positive.AddRule(std::move(copy));
+  }
+  Evaluation over(&positive);
+  Status st = over.Run(EvalOptions());
+  if (!st.ok()) return st;
+
+  // 2. Ground the rules over the overestimate.
+  WellFoundedModel model;
+  std::unordered_map<std::pair<PredId, Tuple>, AtomId,
+                     WellFoundedModel::AtomKeyHash>
+      atom_ids;
+  std::vector<std::pair<PredId, Tuple>> atoms;
+  auto intern_atom = [&](PredId pred, Tuple args) {
+    auto key = std::make_pair(pred, std::move(args));
+    auto it = atom_ids.find(key);
+    if (it != atom_ids.end()) return it->second;
+    AtomId id = static_cast<AtomId>(atoms.size());
+    atoms.push_back(key);
+    atom_ids.emplace(std::move(key), id);
+    return id;
+  };
+
+  // EDB membership test.
+  auto is_edb_pred = [&](PredId p) { return !program->IsIdb(p); };
+
+  std::vector<GroundRule> ground;
+  for (const Rule& rule : program->rules()) {
+    std::vector<int> positive_order;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (!rule.body[i].negated) positive_order.push_back(static_cast<int>(i));
+    }
+    std::vector<Value> env(rule.num_vars, 0);
+    std::vector<bool> bound(rule.num_vars, false);
+    auto ground_args = [&](const Literal& literal) {
+      Tuple t(literal.args.size());
+      for (size_t i = 0; i < literal.args.size(); ++i) {
+        const Arg& arg = literal.args[i];
+        t[i] = arg.is_var ? env[arg.id] : arg.id;
+      }
+      return t;
+    };
+    EnumerateBodies(rule, 0, positive_order, &over, &env, &bound, [&]() {
+      GroundRule gr;
+      gr.head = intern_atom(rule.head.pred, ground_args(rule.head));
+      bool dead = false;
+      for (const Literal& literal : rule.body) {
+        Tuple args = ground_args(literal);
+        if (!literal.negated) {
+          // EDB positives hold by construction; keep IDB conditions.
+          if (!is_edb_pred(literal.pred)) {
+            gr.pos.push_back(intern_atom(literal.pred, std::move(args)));
+          }
+          continue;
+        }
+        if (is_edb_pred(literal.pred)) {
+          // Negation over the EDB is decided now.
+          if (over.relation(literal.pred).Contains(args)) dead = true;
+          continue;
+        }
+        if (!over.relation(literal.pred).Contains(args)) {
+          continue;  // atom outside the overestimate: surely false
+        }
+        gr.neg.push_back(intern_atom(literal.pred, std::move(args)));
+      }
+      if (!dead) ground.push_back(std::move(gr));
+    });
+  }
+  model.num_ground_rules_ = ground.size();
+
+  // 3. Alternating fixpoint: S(I) = lfp of the I-reduct.
+  size_t n = atoms.size();
+  auto reduct_lfp = [&](const std::vector<bool>& negatives) {
+    std::vector<bool> truth(n, false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const GroundRule& gr : ground) {
+        if (truth[gr.head]) continue;
+        bool fire = true;
+        for (AtomId a : gr.pos) {
+          if (!truth[a]) {
+            fire = false;
+            break;
+          }
+        }
+        if (fire) {
+          for (AtomId a : gr.neg) {
+            if (negatives[a]) {
+              fire = false;
+              break;
+            }
+          }
+        }
+        if (fire) {
+          truth[gr.head] = true;
+          changed = true;
+        }
+      }
+    }
+    return truth;
+  };
+
+  std::vector<bool> even(n, false);  // increasing: definitely true
+  std::vector<bool> odd;             // decreasing: possibly true
+  size_t iterations = 0;
+  while (true) {
+    ++iterations;
+    odd = reduct_lfp(even);
+    std::vector<bool> next_even = reduct_lfp(odd);
+    if (next_even == even) break;
+    even = std::move(next_even);
+  }
+  model.iterations_ = iterations;
+
+  for (AtomId a = 0; a < n; ++a) {
+    Truth truth = even[a] ? Truth::kTrue
+                          : (odd[a] ? Truth::kUndefined : Truth::kFalse);
+    if (truth == Truth::kTrue) ++model.num_true_;
+    if (truth == Truth::kUndefined) ++model.num_undefined_;
+    model.atom_truth_.emplace(atoms[a], truth);
+  }
+  // EDB facts are true.
+  for (const auto& [pred, tuples] : program->edb()) {
+    for (const Tuple& t : tuples) {
+      auto [it, inserted] =
+          model.atom_truth_.emplace(std::make_pair(pred, t), Truth::kTrue);
+      if (inserted) ++model.num_true_;
+    }
+  }
+  return model;
+}
+
+}  // namespace xsb::wfs

@@ -1,0 +1,59 @@
+#ifndef XSB_WFS_WFS_H_
+#define XSB_WFS_WFS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "bottomup/rules.h"
+
+namespace xsb::wfs {
+
+using datalog::DatalogProgram;
+using datalog::Literal;
+using datalog::PredId;
+using datalog::Tuple;
+
+enum class Truth { kTrue, kFalse, kUndefined };
+
+// The well-founded model of a (possibly non-stratified) datalog program with
+// negation, computed by Van Gelder's alternating fixpoint over the relevant
+// grounding. This is the reproduction of the meta-interpreter XSB provides
+// for programs the engine's modularly-stratified SLG cannot handle
+// (sections 1, 3.1: well-founded semantics / three-valued stable models).
+class WellFoundedModel {
+ public:
+  Truth TruthOf(PredId pred, const Tuple& args) const;
+
+  size_t num_true() const { return num_true_; }
+  size_t num_undefined() const { return num_undefined_; }
+  size_t num_ground_atoms() const { return atom_truth_.size(); }
+  size_t iterations() const { return iterations_; }
+  size_t num_ground_rules() const { return num_ground_rules_; }
+
+ private:
+  friend Result<WellFoundedModel> ComputeWellFounded(DatalogProgram* program);
+
+  struct AtomKeyHash {
+    size_t operator()(const std::pair<PredId, Tuple>& k) const {
+      return k.first * 1099511628211ULL ^ datalog::TupleHash()(k.second);
+    }
+  };
+
+  // Atoms absent from the map are false (not even in the overestimate).
+  std::unordered_map<std::pair<PredId, Tuple>, Truth, AtomKeyHash>
+      atom_truth_;
+  size_t num_true_ = 0;
+  size_t num_undefined_ = 0;
+  size_t iterations_ = 0;
+  size_t num_ground_rules_ = 0;
+};
+
+// Grounds the program over its relevant atoms and runs the alternating
+// fixpoint. EDB facts are true by definition.
+Result<WellFoundedModel> ComputeWellFounded(DatalogProgram* program);
+
+}  // namespace xsb::wfs
+
+#endif  // XSB_WFS_WFS_H_

@@ -1,0 +1,112 @@
+#ifndef XSB_XSB_ENGINE_H_
+#define XSB_XSB_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "db/loader.h"
+#include "db/program.h"
+#include "engine/machine.h"
+#include "tabling/evaluator.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// One answer to a query: the query's named variables with their bindings
+// rendered as readable terms.
+struct Answer {
+  std::vector<std::pair<std::string, std::string>> bindings;
+
+  // The binding of `variable`, or "" if absent.
+  std::string operator[](std::string_view variable) const;
+  std::string ToString() const;  // "X = 1, Y = f(a)"
+};
+
+// The in-memory deductive database engine: the public face of this library.
+//
+//   xsb::Engine engine;
+//   engine.ConsultString(
+//       ":- table path/2.\n"
+//       "path(X,Y) :- edge(X,Y).\n"
+//       "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+//       "edge(1,2). edge(2,3). edge(3,1).\n");
+//   engine.ForEach("path(1, X)", [](const xsb::Answer& answer) {
+//     std::cout << answer.ToString() << "\n";
+//     return true;  // keep enumerating
+//   });
+//
+// The engine evaluates tabled predicates with SLG resolution (finite and
+// non-redundant on datalog) and everything else with Prolog's SLDNF, exactly
+// as the paper describes. HiLog syntax is accepted throughout.
+class Engine {
+ public:
+  struct Options {
+    bool answer_trie = false;       // trie-based answer tables
+    bool early_completion = false;  // complete ground calls at first answer
+  };
+
+  Engine();
+  explicit Engine(Options options);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Loading ---------------------------------------------------------------
+
+  // Consults HiLog source text (clauses + directives).
+  Status ConsultString(std::string_view text);
+  Status ConsultFile(const std::string& path);
+
+  // Bulk-loads "v1,v2,..." lines as name/arity facts (the formatted read of
+  // section 4.6). Returns the number of facts.
+  Result<size_t> LoadFactsFormattedFile(const std::string& path,
+                                        const std::string& name, int arity);
+
+  // Binary object files: save the named predicates ({} = all), reload later.
+  Status SaveObjectFile(const std::string& path);
+  Result<size_t> LoadObjectFile(const std::string& path);
+
+  // Applies the HiLog call-specialization pass (section 4.7).
+  Status SpecializeHiLog();
+
+  // --- Queries ----------------------------------------------------------------
+
+  // Enumerates answers tuple-at-a-time; the callback returns false to stop.
+  Status ForEach(std::string_view goal,
+                 const std::function<bool(const Answer&)>& on_answer);
+
+  // True if at least one solution exists.
+  Result<bool> Holds(std::string_view goal);
+
+  // Number of solutions.
+  Result<size_t> Count(std::string_view goal);
+
+  // All answers, materialized.
+  Result<std::vector<Answer>> FindAll(std::string_view goal);
+
+  // Drops all tables (answers will be recomputed on the next call).
+  void AbolishAllTables();
+
+  // --- Escape hatches for benchmarks and tests --------------------------------
+
+  TermStore& store() { return *store_; }
+  Program& program() { return *program_; }
+  Machine& machine() { return *machine_; }
+  Evaluator& evaluator() { return *evaluator_; }
+  SymbolTable& symbols() { return *symbols_; }
+
+ private:
+  std::unique_ptr<SymbolTable> symbols_;
+  std::unique_ptr<TermStore> store_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_XSB_ENGINE_H_

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bottomup/magic.h"
+#include "bottomup/rules.h"
+#include "bottomup/seminaive.h"
+
+namespace xsb::datalog {
+namespace {
+
+std::string ChainEdges(int n) {
+  std::string text;
+  for (int i = 1; i < n; ++i) {
+    text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+            ").\n";
+  }
+  return text;
+}
+
+constexpr char kTransitiveClosure[] =
+    "path(X,Y) :- edge(X,Y).\n"
+    "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+
+TEST(DatalogParse, FactsRulesAndNegation) {
+  DatalogProgram program;
+  Status s = ParseDatalog(
+      "edge(1,2). label(a). p(X) :- edge(X,Y), not q(Y). q(2).", &program);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(program.rules().size(), 1u);
+  EXPECT_EQ(program.rules()[0].body.size(), 2u);
+  EXPECT_TRUE(program.rules()[0].body[1].negated);
+}
+
+TEST(DatalogParse, RejectsUnsafeRules) {
+  DatalogProgram p1;
+  EXPECT_FALSE(ParseDatalog("p(X) :- q(Y).", &p1).ok());
+  DatalogProgram p2;
+  EXPECT_FALSE(ParseDatalog("p(X) :- q(X), not r(Z).", &p2).ok());
+}
+
+TEST(DatalogEval, TransitiveClosureOnChain) {
+  DatalogProgram program;
+  ASSERT_TRUE(
+      ParseDatalog(ChainEdges(6) + kTransitiveClosure, &program).ok());
+  Evaluation eval(&program);
+  ASSERT_TRUE(eval.Run().ok());
+  PredId path = program.InternPred("path", 2);
+  // 5+4+3+2+1 pairs.
+  EXPECT_EQ(eval.relation(path).size(), 15u);
+}
+
+TEST(DatalogEval, TransitiveClosureOnCycleTerminates) {
+  DatalogProgram program;
+  std::string text = kTransitiveClosure;
+  for (int i = 1; i <= 8; ++i) {
+    text += "edge(" + std::to_string(i) + "," +
+            std::to_string(i % 8 + 1) + ").\n";
+  }
+  ASSERT_TRUE(ParseDatalog(text, &program).ok());
+  Evaluation eval(&program);
+  ASSERT_TRUE(eval.Run().ok());
+  PredId path = program.InternPred("path", 2);
+  EXPECT_EQ(eval.relation(path).size(), 64u);  // all pairs on a cycle
+}
+
+TEST(DatalogEval, SelectFiltersByConstants) {
+  DatalogProgram program;
+  ASSERT_TRUE(
+      ParseDatalog(ChainEdges(5) + kTransitiveClosure, &program).ok());
+  Evaluation eval(&program);
+  ASSERT_TRUE(eval.Run().ok());
+  Result<Literal> query = ParseQuery("path(1, X)", &program);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(eval.Select(query.value()).size(), 4u);
+}
+
+TEST(DatalogEval, StratifiedNegation) {
+  DatalogProgram program;
+  ASSERT_TRUE(ParseDatalog(
+      "node(1). node(2). node(3). edge(1,2).\n"
+      "reach(X) :- edge(1, X).\n"
+      "reach(X) :- reach(Y), edge(Y, X).\n"
+      "unreach(X) :- node(X), not reach(X).\n",
+      &program).ok());
+  Evaluation eval(&program);
+  ASSERT_TRUE(eval.Run().ok());
+  PredId unreach = program.InternPred("unreach", 1);
+  EXPECT_EQ(eval.relation(unreach).size(), 2u);  // nodes 1 and 3
+}
+
+TEST(DatalogEval, NonStratifiedProgramRejected) {
+  DatalogProgram program;
+  ASSERT_TRUE(ParseDatalog(
+      "move(a,b). move(b,a).\n"
+      "wins(X) :- move(X,Y), not wins(Y).\n",
+      &program).ok());
+  Evaluation eval(&program);
+  Status s = eval.Run();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kStratification);
+}
+
+TEST(DatalogEval, WinOnTreeViaStratifiedLayers) {
+  // win/lose on a DAG is stratified when expressed with an explicit depth
+  // argument is overkill; instead check `wins` over a tree-shaped move
+  // relation is rejected only when cyclic. A 2-level tree is stratified?
+  // No: wins depends negatively on itself. Expect rejection.
+  DatalogProgram program;
+  ASSERT_TRUE(ParseDatalog(
+      "move(1,2). move(1,3).\n"
+      "wins(X) :- move(X,Y), not wins(Y).\n",
+      &program).ok());
+  Evaluation eval(&program);
+  EXPECT_FALSE(eval.Run().ok());  // stratification is syntactic
+}
+
+TEST(DatalogEval, SeminaiveAndNaiveAgree) {
+  DatalogProgram p1, p2;
+  std::string text = ChainEdges(20) + kTransitiveClosure;
+  ASSERT_TRUE(ParseDatalog(text, &p1).ok());
+  ASSERT_TRUE(ParseDatalog(text, &p2).ok());
+  Evaluation semi(&p1), naive(&p2);
+  EvalOptions naive_options;
+  naive_options.seminaive = false;
+  ASSERT_TRUE(semi.Run().ok());
+  ASSERT_TRUE(naive.Run(naive_options).ok());
+  PredId path1 = p1.InternPred("path", 2);
+  PredId path2 = p2.InternPred("path", 2);
+  EXPECT_EQ(semi.relation(path1).size(), naive.relation(path2).size());
+  // Semi-naive does strictly less rule-firing work.
+  EXPECT_LT(semi.stats().rule_firings, naive.stats().rule_firings);
+}
+
+TEST(DatalogMagic, RestrictsComputationToReachablePart) {
+  // Two disconnected chains; magic from chain 1 must not touch chain 2.
+  DatalogProgram plain, magic;
+  std::string text = kTransitiveClosure;
+  for (int i = 1; i < 50; ++i) {
+    text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+            ").\n";
+    text += "edge(" + std::to_string(1000 + i) + "," +
+            std::to_string(1001 + i) + ").\n";
+  }
+  ASSERT_TRUE(ParseDatalog(text, &plain).ok());
+  ASSERT_TRUE(ParseDatalog(text, &magic).ok());
+
+  Result<Literal> q_plain = ParseQuery("path(1, X)", &plain);
+  Result<Literal> q_magic = ParseQuery("path(1, X)", &magic);
+  ASSERT_TRUE(q_plain.ok());
+  ASSERT_TRUE(q_magic.ok());
+
+  Result<Literal> adorned = MagicRewrite(&magic, q_magic.value());
+  ASSERT_TRUE(adorned.ok()) << adorned.status().ToString();
+
+  Evaluation full(&plain), focused(&magic);
+  ASSERT_TRUE(full.Run().ok());
+  ASSERT_TRUE(focused.Run().ok());
+
+  auto full_answers = full.Select(q_plain.value());
+  auto magic_answers = focused.Select(adorned.value());
+  EXPECT_EQ(full_answers.size(), 49u);
+  EXPECT_EQ(magic_answers.size(), 49u);
+  // Magic derives far fewer tuples overall (only the chain-1 part).
+  EXPECT_LT(focused.stats().tuples_inserted,
+            full.stats().tuples_inserted / 2);
+}
+
+TEST(DatalogMagic, AnswersMatchPlainEvaluationOnRandomDag) {
+  DatalogProgram plain, magic;
+  std::string text = kTransitiveClosure;
+  for (int i = 0; i < 15; ++i) {
+    text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+            ").\n";
+    if (i % 3 == 0) {
+      text += "edge(" + std::to_string(i) + "," + std::to_string(i + 3) +
+              ").\n";
+    }
+  }
+  ASSERT_TRUE(ParseDatalog(text, &plain).ok());
+  ASSERT_TRUE(ParseDatalog(text, &magic).ok());
+  Result<Literal> q_plain = ParseQuery("path(3, X)", &plain);
+  Result<Literal> q_magic = ParseQuery("path(3, X)", &magic);
+  Result<Literal> adorned = MagicRewrite(&magic, q_magic.value());
+  ASSERT_TRUE(adorned.ok());
+  Evaluation full(&plain), focused(&magic);
+  ASSERT_TRUE(full.Run().ok());
+  ASSERT_TRUE(focused.Run().ok());
+  auto a = full.Select(q_plain.value());
+  auto b = focused.Select(adorned.value());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatalogMagic, RightRecursionRewrites) {
+  DatalogProgram program;
+  ASSERT_TRUE(ParseDatalog(
+      ChainEdges(10) +
+      "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n",
+      &program).ok());
+  Result<Literal> query = ParseQuery("path(2, X)", &program);
+  Result<Literal> adorned = MagicRewrite(&program, query.value());
+  ASSERT_TRUE(adorned.ok());
+  Evaluation eval(&program);
+  ASSERT_TRUE(eval.Run().ok());
+  EXPECT_EQ(eval.Select(adorned.value()).size(), 8u);
+}
+
+TEST(DatalogFactoring, LeftLinearTcFactorsToUnary) {
+  DatalogProgram program;
+  ASSERT_TRUE(
+      ParseDatalog(ChainEdges(30) + kTransitiveClosure, &program).ok());
+  Result<Literal> query = ParseQuery("path(1, X)", &program);
+  Result<Literal> factored = FactorRewrite(&program, query.value());
+  ASSERT_TRUE(factored.ok()) << factored.status().ToString();
+  Evaluation eval(&program);
+  ASSERT_TRUE(eval.Run().ok());
+  EXPECT_EQ(eval.Select(factored.value()).size(), 29u);
+  // The factored predicate is unary: tuples derived ~ chain length, far
+  // below the quadratic full closure.
+  EXPECT_LT(eval.stats().tuples_inserted, 100u);
+}
+
+TEST(DatalogFactoring, RejectsNonMatchingPrograms) {
+  DatalogProgram program;
+  ASSERT_TRUE(ParseDatalog(
+      "edge(1,2).\npath(X,Y) :- edge(X,Y).\n"
+      "path(X,Y) :- edge(X,Z), path(Z,Y).\n",  // right-linear
+      &program).ok());
+  Result<Literal> query = ParseQuery("path(1, X)", &program);
+  EXPECT_FALSE(FactorRewrite(&program, query.value()).ok());
+}
+
+TEST(DatalogRelation, ProbeMatchesScan) {
+  Relation rel(2);
+  ConstPool consts;
+  for (int i = 0; i < 100; ++i) {
+    rel.Insert({consts.Int(i % 10), consts.Int(i)});
+  }
+  for (int key = 0; key < 10; ++key) {
+    Value v = consts.Int(key);
+    size_t scan = 0;
+    for (const Tuple& t : rel.tuples()) {
+      if (t[0] == v) ++scan;
+    }
+    EXPECT_EQ(rel.Probe(0, v).size(), scan);
+  }
+}
+
+TEST(DatalogRelation, InsertDeduplicates) {
+  Relation rel(1);
+  ConstPool consts;
+  EXPECT_TRUE(rel.Insert({consts.Int(1)}));
+  EXPECT_FALSE(rel.Insert({consts.Int(1)}));
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(DatalogStratify, ComputesLayers) {
+  DatalogProgram program;
+  ASSERT_TRUE(ParseDatalog(
+      "e(1,2).\nr(X) :- e(1,X).\nr(X) :- r(Y), e(Y,X).\n"
+      "u(X) :- e(X,Y), not r(Y).\nv(X) :- u(X).\n",
+      &program).ok());
+  std::vector<int> stratum;
+  ASSERT_TRUE(Stratify(program, &stratum).ok());
+  PredId r = program.InternPred("r", 1);
+  PredId u = program.InternPred("u", 1);
+  PredId v = program.InternPred("v", 1);
+  EXPECT_LT(stratum[r], stratum[u]);
+  EXPECT_LE(stratum[u], stratum[v]);
+}
+
+}  // namespace
+}  // namespace xsb::datalog

@@ -1,0 +1,75 @@
+// Tests for the extended builtin set: atom/string conversions, clause/2
+// introspection, and user-declared operators via the op/3 directive.
+
+#include <gtest/gtest.h>
+
+#include "xsb/engine.h"
+
+namespace xsb {
+namespace {
+
+TEST(AtomBuiltins, AtomCodesBothDirections) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("seed(1).\n").ok());
+  EXPECT_TRUE(engine.Holds("atom_codes(abc, [97,98,99])").value());
+  EXPECT_TRUE(engine.Holds("atom_codes(abc, L), length(L, 3)").value());
+  EXPECT_TRUE(engine.Holds("atom_codes(A, [104,105]), A == hi").value());
+  EXPECT_TRUE(engine.Holds("atom_codes(42, [0'4, 0'2])").value());
+}
+
+TEST(AtomBuiltins, NumberCodes) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("seed(1).\n").ok());
+  EXPECT_TRUE(engine.Holds("number_codes(123, \"123\")").value());
+  EXPECT_TRUE(engine.Holds("number_codes(N, \"77\"), N =:= 77").value());
+  EXPECT_TRUE(engine.Holds("number_codes(N, \"-5\"), N =:= -5").value());
+  EXPECT_FALSE(engine.Holds("number_codes(_, \"abc\")").value());
+}
+
+TEST(AtomBuiltins, LengthAndConcat) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("seed(1).\n").ok());
+  EXPECT_TRUE(engine.Holds("atom_length(hello, 5)").value());
+  EXPECT_TRUE(engine.Holds("atom_concat(foo, bar, foobar)").value());
+  EXPECT_TRUE(engine.Holds("atom_concat(x, 1, A), A == x1").value());
+  EXPECT_FALSE(engine.Holds("atom_concat(a, b, c)").value());
+}
+
+TEST(ClauseIntrospection, EnumeratesFactsAndRules) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString("p(1). p(2).\n"
+                                 "q(X) :- p(X), X > 1.\n")
+                  .ok());
+  EXPECT_EQ(engine.Count("clause(p(X), true)").value(), 2u);
+  EXPECT_TRUE(engine.Holds("clause(p(1), B), B == true").value());
+  EXPECT_TRUE(engine.Holds("clause(q(X), (p(X), X > 1))").value());
+  EXPECT_FALSE(engine.Holds("clause(p(3), _)").value());
+  // clause/2 sees dynamic updates.
+  ASSERT_TRUE(engine.Holds("assert(p(3))").value());
+  EXPECT_TRUE(engine.Holds("clause(p(3), true)").value());
+}
+
+TEST(UserOperators, OpDirectiveChangesParsing) {
+  Engine engine;
+  Status s = engine.ConsultString(
+      ":- op(700, xfx, likes).\n"
+      ":- op(650, xfy, and).\n"
+      "fact(mary likes wine and cheese).\n"
+      "query(X, Y) :- fact(X likes Y).\n");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  auto answers = engine.FindAll("query(Who, What)");
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  EXPECT_EQ(answers.value()[0]["Who"], "mary");
+  EXPECT_EQ(answers.value()[0]["What"], "wine and cheese");
+}
+
+TEST(UserOperators, BadOpDirectivesRejected) {
+  Engine e1, e2;
+  EXPECT_FALSE(e1.ConsultString(":- op(9999, xfx, foo).\n").ok());
+  EXPECT_FALSE(e2.ConsultString(":- op(700, zfz, foo).\n").ok());
+}
+
+}  // namespace
+}  // namespace xsb

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "db/objfile.h"
+#include "xsb/engine.h"
+
+namespace xsb {
+namespace {
+
+TEST(EngineApi, QuickstartFlow) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString(":- table path/2.\n"
+                                 "path(X,Y) :- edge(X,Y).\n"
+                                 "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+                                 "edge(1,2). edge(2,3). edge(3,1).\n")
+                  .ok());
+  Result<size_t> count = engine.Count("path(1, X)");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 3u);
+
+  Result<std::vector<Answer>> answers = engine.FindAll("path(1, X)");
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 3u);
+  EXPECT_EQ(answers.value()[0]["X"], "2");
+  EXPECT_EQ(answers.value()[0].ToString(), "X = 2");
+}
+
+TEST(EngineApi, ForEachStopsOnFalse) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("n(1). n(2). n(3).\n").ok());
+  int seen = 0;
+  ASSERT_TRUE(engine
+                  .ForEach("n(X)",
+                           [&seen](const Answer&) {
+                             ++seen;
+                             return seen < 2;
+                           })
+                  .ok());
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(EngineApi, HoldsAndErrors) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("p(a).\n").ok());
+  EXPECT_TRUE(engine.Holds("p(a)").value());
+  EXPECT_FALSE(engine.Holds("p(b)").value());
+  EXPECT_FALSE(engine.Holds("undefined_thing(1)").ok());
+  EXPECT_FALSE(engine.ConsultString("p(a) :- ").ok());
+}
+
+TEST(EngineApi, AnswersRenderCompoundTerms) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("holds(f(g(1), [a,b])).\n").ok());
+  Result<std::vector<Answer>> answers = engine.FindAll("holds(T)");
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  EXPECT_EQ(answers.value()[0]["T"], "f(g(1),[a,b])");
+}
+
+TEST(EngineApi, GroundQueryHasEmptyBindings) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("p(a).\n").ok());
+  Result<std::vector<Answer>> answers = engine.FindAll("p(a)");
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers.value().size(), 1u);
+  EXPECT_EQ(answers.value()[0].ToString(), "true");
+}
+
+TEST(EngineApi, ObjectFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/xsb_objfile_test.xob";
+  {
+    Engine engine;
+    ASSERT_TRUE(engine
+                    .ConsultString(":- table tc/2.\n"
+                                   "tc(X,Y) :- e(X,Y).\n"
+                                   "tc(X,Y) :- tc(X,Z), e(Z,Y).\n"
+                                   "e(1,2). e(2,3). e(a,f(b)).\n")
+                    .ok());
+    ASSERT_TRUE(engine.SaveObjectFile(path).ok());
+  }
+  Engine fresh;
+  Result<size_t> loaded = fresh.LoadObjectFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), 5u);
+  // Tabling attribute survives; answers match.
+  EXPECT_EQ(fresh.Count("tc(1, X)").value(), 2u);
+  EXPECT_TRUE(fresh.Holds("e(a, f(b))").value());
+  std::remove(path.c_str());
+}
+
+TEST(EngineApi, ObjectFileRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/xsb_objfile_garbage.xob";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not an object file at all";
+  }
+  Engine engine;
+  EXPECT_FALSE(engine.LoadObjectFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EngineApi, SpecializeHiLogThroughFacade) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString("edge(1,2). edge(2,3).\n"
+                                 ":- table apply/3.\n"
+                                 "closure(G)(X,Y) :- G(X,Y).\n"
+                                 "closure(G)(X,Y) :- closure(G)(X,Z), "
+                                 "G(Z,Y).\n")
+                  .ok());
+  EXPECT_EQ(engine.Count("closure(edge)(1, Y)").value(), 2u);
+  engine.AbolishAllTables();
+  ASSERT_TRUE(engine.SpecializeHiLog().ok());
+  EXPECT_EQ(engine.Count("closure(edge)(1, Y)").value(), 2u);
+}
+
+TEST(EngineApi, TabledNegationThroughFacade) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString(":- table win/1.\n"
+                                 "win(X) :- move(X,Y), tnot win(Y).\n"
+                                 "move(1,2). move(2,3).\n")
+                  .ok());
+  EXPECT_FALSE(engine.Holds("win(3)").value());
+  EXPECT_TRUE(engine.Holds("win(2)").value());
+  EXPECT_FALSE(engine.Holds("win(1)").value());
+}
+
+}  // namespace
+}  // namespace xsb

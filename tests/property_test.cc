@@ -1,0 +1,284 @@
+// Parameterized cross-engine property sweeps: the same query evaluated by
+// several independent implementations in this repository must agree.
+//   * tabled SLG (left recursion) == tabled SLG (right recursion)
+//     == bottom-up semi-naive == bottom-up + magic, over graph families;
+//   * tnot == e_tnot == the well-founded model, over game trees;
+//   * SLD interpreter == WAM bytecode, over list workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "bottomup/magic.h"
+#include "bottomup/seminaive.h"
+#include "parser/reader.h"
+#include "wam/compile.h"
+#include "wam/emulator.h"
+#include "wfs/wfs.h"
+#include "xsb/engine.h"
+
+namespace xsb {
+namespace {
+
+// --- Graph family sweep -------------------------------------------------------
+
+struct GraphCase {
+  const char* shape;
+  int size;
+};
+
+std::string GraphEdges(const GraphCase& g) {
+  std::string text;
+  int n = g.size;
+  std::string shape = g.shape;
+  if (shape == "chain") {
+    for (int i = 1; i < n; ++i) {
+      text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+              ").\n";
+    }
+  } else if (shape == "cycle") {
+    for (int i = 1; i <= n; ++i) {
+      text += "edge(" + std::to_string(i) + "," +
+              std::to_string(i % n + 1) + ").\n";
+    }
+  } else if (shape == "fanout") {
+    for (int i = 1; i <= n; ++i) {
+      text += "edge(1," + std::to_string(i) + ").\n";
+    }
+  } else if (shape == "dag") {
+    for (int i = 1; i < n; ++i) {
+      text += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+              ").\n";
+      if (i + 2 <= n) {
+        text += "edge(" + std::to_string(i) + "," + std::to_string(i + 2) +
+                ").\n";
+      }
+    }
+  } else if (shape == "grid") {
+    int side = n;
+    for (int r = 0; r < side; ++r) {
+      for (int c = 0; c < side; ++c) {
+        int id = r * side + c + 1;
+        if (c + 1 < side) {
+          text += "edge(" + std::to_string(id) + "," +
+                  std::to_string(id + 1) + ").\n";
+        }
+        if (r + 1 < side) {
+          text += "edge(" + std::to_string(id) + "," +
+                  std::to_string(id + side) + ").\n";
+        }
+      }
+    }
+  }
+  return text;
+}
+
+class ReachabilityAgreement
+    : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(ReachabilityAgreement, AllEnginesAgreeOnPathCounts) {
+  std::string edges = GraphEdges(GetParam());
+
+  // Tabled, left recursion.
+  Engine left;
+  ASSERT_TRUE(left.ConsultString(
+                      ":- table path/2.\n"
+                      "path(X,Y) :- edge(X,Y).\n"
+                      "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges)
+                  .ok());
+  size_t left_bound = left.Count("path(1, X)").value();
+  size_t left_all = left.Count("path(X, Y)").value();
+
+  // Tabled, right recursion.
+  Engine right;
+  ASSERT_TRUE(right.ConsultString(
+                       ":- table path/2.\n"
+                       "path(X,Y) :- edge(X,Y).\n"
+                       "path(X,Y) :- edge(X,Z), path(Z,Y).\n" + edges)
+                  .ok());
+  EXPECT_EQ(right.Count("path(1, X)").value(), left_bound);
+  EXPECT_EQ(right.Count("path(X, Y)").value(), left_all);
+
+  // Bottom-up semi-naive, full evaluation.
+  {
+    datalog::DatalogProgram program;
+    ASSERT_TRUE(datalog::ParseDatalog(
+                    "path(X,Y) :- edge(X,Y).\n"
+                    "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges,
+                    &program)
+                    .ok());
+    datalog::Evaluation eval(&program);
+    ASSERT_TRUE(eval.Run().ok());
+    auto query = datalog::ParseQuery("path(1, X)", &program);
+    EXPECT_EQ(eval.Select(query.value()).size(), left_bound);
+    EXPECT_EQ(eval.relation(program.InternPred("path", 2)).size(), left_all);
+  }
+
+  // Bottom-up + magic sets, goal-directed.
+  {
+    datalog::DatalogProgram program;
+    ASSERT_TRUE(datalog::ParseDatalog(
+                    "path(X,Y) :- edge(X,Y).\n"
+                    "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges,
+                    &program)
+                    .ok());
+    auto query = datalog::ParseQuery("path(1, X)", &program);
+    auto adorned = datalog::MagicRewrite(&program, query.value());
+    ASSERT_TRUE(adorned.ok());
+    datalog::Evaluation eval(&program);
+    ASSERT_TRUE(eval.Run().ok());
+    EXPECT_EQ(eval.Select(adorned.value()).size(), left_bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphShapes, ReachabilityAgreement,
+    ::testing::Values(GraphCase{"chain", 6}, GraphCase{"chain", 40},
+                      GraphCase{"cycle", 3}, GraphCase{"cycle", 17},
+                      GraphCase{"fanout", 25}, GraphCase{"dag", 12},
+                      GraphCase{"grid", 4}, GraphCase{"grid", 6}),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return std::string(info.param.shape) + "_" +
+             std::to_string(info.param.size);
+    });
+
+// --- Negation sweep -------------------------------------------------------------
+
+class NegationAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(NegationAgreement, TnotETnotAndWfsAgreeOnGameTrees) {
+  int height = GetParam();
+  std::string moves;
+  int internal = (1 << height) - 1;
+  for (int i = 1; i <= internal; ++i) {
+    moves += "move(" + std::to_string(i) + "," + std::to_string(2 * i) +
+             ").\nmove(" + std::to_string(i) + "," +
+             std::to_string(2 * i + 1) + ").\n";
+  }
+
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(
+                        ":- table win/1. :- table ewin/1.\n"
+                        "win(X) :- move(X,Y), tnot win(Y).\n"
+                        "ewin(X) :- move(X,Y), e_tnot ewin(Y).\n" + moves)
+                  .ok());
+
+  datalog::DatalogProgram program;
+  ASSERT_TRUE(datalog::ParseDatalog(
+                  "wins(X) :- move(X,Y), not wins(Y).\n" + moves, &program)
+                  .ok());
+  auto model = wfs::ComputeWellFounded(&program);
+  ASSERT_TRUE(model.ok());
+  datalog::PredId wins = program.InternPred("wins", 1);
+
+  int total_nodes = (1 << (height + 1)) - 1;
+  for (int node = 1; node <= total_nodes; node += 3) {
+    std::string n = std::to_string(node);
+    bool tnot_wins = engine.Holds("win(" + n + ")").value();
+    bool etnot_wins = engine.Holds("ewin(" + n + ")").value();
+    wfs::Truth wfs_truth = model.value().TruthOf(
+        wins, {program.consts().Int(node)});
+    EXPECT_EQ(tnot_wins, etnot_wins) << "node " << node;
+    EXPECT_EQ(tnot_wins, wfs_truth == wfs::Truth::kTrue) << "node " << node;
+    EXPECT_NE(wfs_truth, wfs::Truth::kUndefined) << "node " << node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeHeights, NegationAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- WAM vs interpreter sweep -----------------------------------------------------
+
+class WamAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(WamAgreement, AppendSplitsMatchInterpreter) {
+  int n = GetParam();
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  Program program(&symbols);
+  Loader loader(&store, &program);
+  ASSERT_TRUE(loader
+                  .ConsultString("app([], L, L).\n"
+                                 "app([H|T], L, [H|R]) :- app(T, L, R).\n")
+                  .ok());
+  auto module = wam::CompileModule(&store, program, {});
+  ASSERT_TRUE(module.ok());
+  wam::Emulator emulator(&store, &module.value());
+  Machine machine(&store, &program);
+
+  std::string list = "[";
+  for (int i = 1; i <= n; ++i) {
+    if (i > 1) list += ",";
+    list += std::to_string(i);
+  }
+  list += "]";
+  std::string goal_text = "app(X, Y, " + list + ")";
+
+  auto goal1 = ParseTermString(&store, program.ops(), goal_text);
+  ASSERT_TRUE(goal1.ok());
+  size_t wam_count = 0;
+  size_t trail = store.TrailMark();
+  ASSERT_TRUE(emulator
+                  .Solve(goal1.value(),
+                         [&wam_count]() {
+                           ++wam_count;
+                           return wam::WamAction::kContinue;
+                         })
+                  .ok());
+  store.UndoTrail(trail);
+
+  auto goal2 = ParseTermString(&store, program.ops(), goal_text);
+  Result<size_t> interpreted = machine.CountSolutions(goal2.value());
+  ASSERT_TRUE(interpreted.ok());
+  EXPECT_EQ(wam_count, interpreted.value());
+  EXPECT_EQ(wam_count, static_cast<size_t>(n + 1));  // all splits
+}
+
+INSTANTIATE_TEST_SUITE_P(ListLengths, WamAgreement,
+                         ::testing::Values(0, 1, 2, 5, 10, 25, 60));
+
+// --- Sorting builtins sweep --------------------------------------------------------
+
+class SortAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortAgreement, SetofEqualsSortedDedupedFindall) {
+  int n = GetParam();
+  Engine engine;
+  std::string facts;
+  for (int i = 0; i < n; ++i) {
+    facts += "v(" + std::to_string((i * 7) % 5) + ").\n";
+  }
+  ASSERT_TRUE(engine.ConsultString(facts).ok());
+  auto via_setof = engine.FindAll("setof(X, v(X), L)");
+  auto via_findall = engine.FindAll("findall(X, v(X), F), sort(F, L)");
+  ASSERT_TRUE(via_setof.ok());
+  ASSERT_TRUE(via_findall.ok());
+  ASSERT_EQ(via_setof.value().size(), 1u);
+  ASSERT_EQ(via_findall.value().size(), 1u);
+  EXPECT_EQ(via_setof.value()[0]["L"], via_findall.value()[0]["L"]);
+  // msort keeps duplicates: its length equals the fact count.
+  EXPECT_TRUE(engine
+                  .Holds("findall(X, v(X), F), msort(F, M), length(M, " +
+                         std::to_string(n) + ")")
+                  .value());
+}
+
+INSTANTIATE_TEST_SUITE_P(FactCounts, SortAgreement,
+                         ::testing::Values(1, 3, 8, 20));
+
+TEST(SortBuiltins, Basics) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString("p(1).\n").ok());
+  EXPECT_TRUE(engine.Holds("sort([c,a,b,a], [a,b,c])").value());
+  EXPECT_TRUE(engine.Holds("msort([c,a,b,a], [a,a,b,c])").value());
+  EXPECT_TRUE(engine.Holds("sort([f(2),f(1),1,z], [1,z,f(1),f(2)])").value());
+  EXPECT_TRUE(engine.Holds("bagof(X, p(X), [1])").value());
+  EXPECT_FALSE(engine.Holds("bagof(X, fail_p(X), _)").ok());  // existence
+  EXPECT_FALSE(engine.Holds("setof(X, (p(X), X > 5), _)").value());
+  EXPECT_TRUE(engine.Holds("succ(3, X), X =:= 4").value());
+  EXPECT_TRUE(engine.Holds("succ(X, 4), X =:= 3").value());
+}
+
+}  // namespace
+}  // namespace xsb

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "term/cell.h"
+#include "term/store.h"
+#include "term/symbols.h"
+
+namespace xsb {
+namespace {
+
+class TermTest : public ::testing::Test {
+ protected:
+  TermTest() : store_(&symbols_) {}
+
+  Word Atom(const char* name) {
+    return AtomCell(symbols_.InternAtom(name));
+  }
+  Word S(const char* name, std::vector<Word> args) {
+    FunctorId f = symbols_.InternFunctor(symbols_.InternAtom(name),
+                                         static_cast<int>(args.size()));
+    return store_.MakeStruct(f, args);
+  }
+
+  SymbolTable symbols_;
+  TermStore store_;
+};
+
+TEST_F(TermTest, IntCellsRoundTripIncludingNegatives) {
+  EXPECT_EQ(IntValue(IntCell(0)), 0);
+  EXPECT_EQ(IntValue(IntCell(42)), 42);
+  EXPECT_EQ(IntValue(IntCell(-42)), -42);
+  EXPECT_EQ(IntValue(IntCell(1)), 1);
+  EXPECT_EQ(IntValue(IntCell(-1)), -1);
+  int64_t big = (1LL << 59);
+  EXPECT_EQ(IntValue(IntCell(big)), big);
+  EXPECT_EQ(IntValue(IntCell(-big)), -big);
+}
+
+TEST_F(TermTest, AtomInterningIsStable) {
+  AtomId a = symbols_.InternAtom("foo");
+  AtomId b = symbols_.InternAtom("foo");
+  AtomId c = symbols_.InternAtom("bar");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(symbols_.AtomName(a), "foo");
+}
+
+TEST_F(TermTest, FreshVariableIsUnbound) {
+  Word v = store_.MakeVar();
+  EXPECT_TRUE(store_.IsUnbound(v));
+}
+
+TEST_F(TermTest, UnifyVarWithAtomBinds) {
+  Word v = store_.MakeVar();
+  Word a = Atom("hello");
+  EXPECT_TRUE(store_.Unify(v, a));
+  EXPECT_EQ(store_.Deref(v), a);
+}
+
+TEST_F(TermTest, UnifyDistinctAtomsFails) {
+  EXPECT_FALSE(store_.Unify(Atom("a"), Atom("b")));
+  EXPECT_FALSE(store_.Unify(Atom("a"), IntCell(1)));
+}
+
+TEST_F(TermTest, UnifyStructsRecursively) {
+  Word x = store_.MakeVar();
+  Word y = store_.MakeVar();
+  Word t1 = S("f", {Atom("a"), x});
+  Word t2 = S("f", {y, Atom("b")});
+  EXPECT_TRUE(store_.Unify(t1, t2));
+  EXPECT_EQ(store_.Deref(x), Atom("b"));
+  EXPECT_EQ(store_.Deref(y), Atom("a"));
+}
+
+TEST_F(TermTest, UnifyArityMismatchFails) {
+  Word t1 = S("f", {Atom("a")});
+  Word t2 = S("f", {Atom("a"), Atom("b")});
+  EXPECT_FALSE(store_.Unify(t1, t2));
+}
+
+TEST_F(TermTest, UnifyFunctorMismatchFails) {
+  EXPECT_FALSE(store_.Unify(S("f", {Atom("a")}), S("g", {Atom("a")})));
+}
+
+TEST_F(TermTest, TrailUndoRestoresBindings) {
+  Word v = store_.MakeVar();
+  size_t mark = store_.TrailMark();
+  EXPECT_TRUE(store_.Unify(v, Atom("x")));
+  EXPECT_FALSE(store_.IsUnbound(v));
+  store_.UndoTrail(mark);
+  EXPECT_TRUE(store_.IsUnbound(v));
+}
+
+TEST_F(TermTest, HeapTruncationAfterUndoIsSafe) {
+  Word v = store_.MakeVar();
+  size_t heap = store_.HeapMark();
+  size_t trail = store_.TrailMark();
+  Word t = S("f", {Atom("a"), Atom("b")});
+  EXPECT_TRUE(store_.Unify(v, t));
+  store_.UndoTrail(trail);
+  store_.TruncateHeap(heap);
+  EXPECT_TRUE(store_.IsUnbound(v));
+  EXPECT_EQ(store_.heap_size(), heap);
+}
+
+TEST_F(TermTest, VarVarUnifyAliasesBothDirections) {
+  Word v1 = store_.MakeVar();
+  Word v2 = store_.MakeVar();
+  EXPECT_TRUE(store_.Unify(v1, v2));
+  EXPECT_TRUE(store_.Unify(v2, Atom("k")));
+  EXPECT_EQ(store_.Deref(v1), Atom("k"));
+}
+
+TEST_F(TermTest, SharedVariableUnifiesConsistently) {
+  // f(X, X) = f(a, b) must fail.
+  Word x = store_.MakeVar();
+  Word t1 = S("f", {x, x});
+  size_t trail = store_.TrailMark();
+  Word t2 = S("f", {Atom("a"), Atom("b")});
+  EXPECT_FALSE(store_.Unify(t1, t2));
+  store_.UndoTrail(trail);
+  // f(X, X) = f(c, c) succeeds.
+  Word t3 = S("f", {Atom("c"), Atom("c")});
+  EXPECT_TRUE(store_.Unify(t1, t3));
+}
+
+TEST_F(TermTest, IdenticalDistinguishesVariantsFromEquals) {
+  Word x = store_.MakeVar();
+  Word y = store_.MakeVar();
+  EXPECT_FALSE(store_.Identical(x, y));
+  EXPECT_TRUE(store_.Identical(x, x));
+  Word t1 = S("f", {Atom("a")});
+  Word t2 = S("f", {Atom("a")});
+  EXPECT_TRUE(store_.Identical(t1, t2));
+}
+
+TEST_F(TermTest, CompareFollowsStandardOrder) {
+  Word v = store_.MakeVar();
+  EXPECT_LT(store_.Compare(v, IntCell(1)), 0);       // Var < Int
+  EXPECT_LT(store_.Compare(IntCell(5), Atom("a")), 0);  // Int < Atom
+  EXPECT_LT(store_.Compare(Atom("a"), S("f", {v})), 0);  // Atom < Compound
+  EXPECT_LT(store_.Compare(IntCell(-3), IntCell(2)), 0);
+  EXPECT_LT(store_.Compare(Atom("abc"), Atom("abd")), 0);
+  EXPECT_EQ(store_.Compare(S("f", {Atom("a")}), S("f", {Atom("a")})), 0);
+  // Arity dominates name.
+  EXPECT_LT(store_.Compare(S("z", {Atom("a")}),
+                           S("a", {Atom("a"), Atom("b")})),
+            0);
+}
+
+TEST_F(TermTest, GroundnessCheck) {
+  Word x = store_.MakeVar();
+  EXPECT_FALSE(store_.IsGround(x));
+  EXPECT_TRUE(store_.IsGround(Atom("a")));
+  Word t = S("f", {Atom("a"), x});
+  EXPECT_FALSE(store_.IsGround(t));
+  EXPECT_TRUE(store_.Unify(x, IntCell(3)));
+  EXPECT_TRUE(store_.IsGround(t));
+}
+
+TEST_F(TermTest, CopyTermMakesFreshVariables) {
+  Word x = store_.MakeVar();
+  Word t = S("f", {x, x, Atom("a")});
+  Word copy = store_.CopyTerm(t);
+  // Copy has same shape but a different variable.
+  Word cx = store_.Deref(store_.Arg(store_.Deref(copy), 0));
+  EXPECT_TRUE(IsRef(cx));
+  EXPECT_NE(store_.Deref(x), cx);
+  // Shared variables stay shared in the copy.
+  Word cx2 = store_.Deref(store_.Arg(store_.Deref(copy), 1));
+  EXPECT_EQ(cx, cx2);
+  // Binding the copy's var does not affect the original.
+  EXPECT_TRUE(store_.Unify(cx, Atom("q")));
+  EXPECT_TRUE(store_.IsUnbound(x));
+}
+
+TEST_F(TermTest, ListConstruction) {
+  Word list = store_.MakeList({IntCell(1), IntCell(2)},
+                              AtomCell(symbols_.nil()));
+  Word d = store_.Deref(list);
+  ASSERT_TRUE(IsStruct(d));
+  EXPECT_EQ(symbols_.FunctorAtom(store_.StructFunctor(d)), symbols_.dot());
+  EXPECT_EQ(store_.Deref(store_.Arg(d, 0)), IntCell(1));
+}
+
+}  // namespace
+}  // namespace xsb

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "db/loader.h"
+#include "engine/machine.h"
+#include "parser/reader.h"
+#include "parser/writer.h"
+#include "wam/compile.h"
+#include "wam/emulator.h"
+
+namespace xsb::wam {
+namespace {
+
+class WamTest : public ::testing::Test {
+ protected:
+  WamTest() : store_(&symbols_), program_(&symbols_) {}
+
+  void Load(const std::string& text) {
+    Loader loader(&store_, &program_);
+    Status s = loader.ConsultString(text);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  void CompileAll() {
+    Result<CompiledModule> compiled = CompileModule(&store_, program_, {});
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    module_ = std::move(compiled.value());
+    emulator_ = std::make_unique<Emulator>(&store_, &module_);
+  }
+
+  Word Parse(const std::string& text) {
+    Result<Word> r = ParseTermString(&store_, program_.ops(), text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+
+  size_t Count(const std::string& goal) {
+    size_t count = 0;
+    size_t trail = store_.TrailMark();
+    Status s = emulator_->Solve(Parse(goal), [&count]() {
+      ++count;
+      return WamAction::kContinue;
+    });
+    store_.UndoTrail(trail);
+    EXPECT_TRUE(s.ok()) << goal << ": " << s.ToString();
+    return count;
+  }
+
+  bool Holds(const std::string& goal) { return Count(goal) > 0; }
+
+  // First solution's instance of the goal, rendered.
+  std::string First(const std::string& goal) {
+    Word g = Parse(goal);
+    size_t trail = store_.TrailMark();
+    std::string out = "<none>";
+    Status s = emulator_->Solve(g, [&]() {
+      out = WriteTerm(store_, *program_.ops(), g);
+      return WamAction::kStop;
+    });
+    store_.UndoTrail(trail);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  SymbolTable symbols_;
+  TermStore store_;
+  Program program_;
+  CompiledModule module_;
+  std::unique_ptr<Emulator> emulator_;
+};
+
+TEST_F(WamTest, FactsUnifyConstants) {
+  Load("e(1,2). e(2,3). e(3,4).\n");
+  CompileAll();
+  EXPECT_TRUE(Holds("e(1,2)"));
+  EXPECT_FALSE(Holds("e(1,3)"));
+  EXPECT_EQ(Count("e(X,Y)"), 3u);
+  EXPECT_EQ(Count("e(2,X)"), 1u);
+  EXPECT_EQ(First("e(2,X)"), "e(2,3)");
+}
+
+TEST_F(WamTest, SwitchOnConstantIndexes) {
+  std::string facts;
+  for (int i = 0; i < 500; ++i) {
+    facts += "f(" + std::to_string(i) + "," + std::to_string(i * 2) + ").\n";
+  }
+  Load(facts);
+  CompileAll();
+  uint64_t before = 0;
+  {
+    // Bound first arg: the switch must go straight to one clause.
+    size_t trail = store_.TrailMark();
+    before = emulator_->stats().instructions;
+    ASSERT_TRUE(emulator_
+                    ->Solve(Parse("f(250, X)"),
+                            []() { return WamAction::kContinue; })
+                    .ok());
+    store_.UndoTrail(trail);
+  }
+  uint64_t bound_cost = emulator_->stats().instructions - before;
+  EXPECT_LT(bound_cost, 40u);  // no scan over 500 clauses
+  EXPECT_EQ(Count("f(X, Y)"), 500u);  // unbound still enumerates all
+}
+
+TEST_F(WamTest, RulesWithConjunctions) {
+  Load("e(1,2). e(2,3). e(3,4).\n"
+       "p2(X,Y) :- e(X,Z), e(Z,Y).\n"
+       "p3(X,Y) :- e(X,Z), p2(Z,Y).\n");
+  CompileAll();
+  EXPECT_TRUE(Holds("p2(1,3)"));
+  EXPECT_TRUE(Holds("p3(1,4)"));
+  EXPECT_FALSE(Holds("p3(2,4)"));
+  EXPECT_EQ(Count("p2(X,Y)"), 2u);
+}
+
+TEST_F(WamTest, RecursionOverLists) {
+  Load("app([], L, L).\n"
+       "app([H|T], L, [H|R]) :- app(T, L, R).\n");
+  CompileAll();
+  EXPECT_TRUE(Holds("app([1,2], [3], [1,2,3])"));
+  EXPECT_FALSE(Holds("app([1,2], [3], [1,2,4])"));
+  EXPECT_EQ(First("app([1,2], [3,4], R)"), "app([1,2],[3,4],[1,2,3,4])");
+  EXPECT_EQ(Count("app(X, Y, [1,2,3])"), 4u);
+}
+
+TEST_F(WamTest, NestedStructuresInHeadsAndBodies) {
+  Load("shape(point(X, Y), box(point(X, Y), point(X, Y))).\n"
+       "wrap(A, f(g(A), h(A, k))).\n");
+  CompileAll();
+  EXPECT_TRUE(Holds("shape(point(1,2), box(point(1,2), point(1,2)))"));
+  EXPECT_FALSE(Holds("shape(point(1,2), box(point(1,2), point(3,2)))"));
+  EXPECT_EQ(First("wrap(a, T)"), "wrap(a,f(g(a),h(a,k)))");
+  EXPECT_EQ(First("shape(P, box(point(7,8), Q))"),
+            "shape(point(7,8),box(point(7,8),point(7,8)))");
+}
+
+TEST_F(WamTest, ArithmeticBuiltins) {
+  Load("double(X, Y) :- Y is X * 2.\n"
+       "bigger(X, Y) :- X > Y.\n"
+       "range_ok(X) :- X >= 10, X =< 20.\n");
+  CompileAll();
+  EXPECT_EQ(First("double(21, Y)"), "double(21,42)");
+  EXPECT_TRUE(Holds("bigger(5, 3)"));
+  EXPECT_FALSE(Holds("bigger(3, 5)"));
+  EXPECT_TRUE(Holds("range_ok(15)"));
+  EXPECT_FALSE(Holds("range_ok(25)"));
+}
+
+TEST_F(WamTest, UnifyBuiltinAndSharedVariables) {
+  Load("same(X, X).\n"
+       "pair(X, Y, p(X, Y)) :- X = Y.\n");
+  CompileAll();
+  EXPECT_TRUE(Holds("same(a, a)"));
+  EXPECT_FALSE(Holds("same(a, b)"));
+  EXPECT_EQ(First("pair(q, Y, P)"), "pair(q,q,p(q,q))");
+}
+
+TEST_F(WamTest, DeepRecursionCountdown) {
+  Load("count(0).\n"
+       "count(N) :- N > 0, M is N - 1, count(M).\n");
+  CompileAll();
+  EXPECT_TRUE(Holds("count(20000)"));
+}
+
+TEST_F(WamTest, BacktrackingThroughDeallocatedFrames) {
+  // q leaves a choice point; p deallocates before q's retry happens.
+  Load("q(1). q(2).\n"
+       "r(2).\n"
+       "p(X) :- q(X), r(X).\n");
+  CompileAll();
+  EXPECT_EQ(Count("p(X)"), 1u);
+  EXPECT_EQ(First("p(X)"), "p(2)");
+}
+
+TEST_F(WamTest, CompileErrorsAreReported) {
+  Load(":- table t/1.\nt(1).\nuses_cut(X) :- q(X), !.\nq(1).\n");
+  Result<CompiledModule> compiled = CompileModule(&store_, program_, {});
+  EXPECT_FALSE(compiled.ok());
+}
+
+TEST_F(WamTest, DisassemblerProducesListing) {
+  Load("e(1,2).\np(X,Y) :- e(X,Y).\n");
+  CompileAll();
+  std::string listing = module_.Disassemble(symbols_);
+  EXPECT_NE(listing.find("p/2:"), std::string::npos);
+  EXPECT_NE(listing.find("get_constant"), std::string::npos);
+  EXPECT_NE(listing.find("call e/2"), std::string::npos);
+  EXPECT_NE(listing.find("proceed"), std::string::npos);
+}
+
+TEST_F(WamTest, AgreesWithInterpreterOnJoins) {
+  // Property: WAM and the interpreter produce the same solution count.
+  std::string facts;
+  for (int i = 0; i < 60; ++i) {
+    facts += "r(" + std::to_string(i % 10) + "," + std::to_string(i) + ").\n";
+    facts += "s(" + std::to_string(i) + "," + std::to_string(i % 7) + ").\n";
+  }
+  Load(facts + "j(X,Z) :- r(X,Y), s(Y,Z).\n");
+  CompileAll();
+  xsb::Machine machine(&store_, &program_);
+  for (int k = 0; k < 10; k += 3) {
+    std::string goal = "j(" + std::to_string(k) + ", Z)";
+    Result<size_t> interpreted = machine.CountSolutions(Parse(goal));
+    ASSERT_TRUE(interpreted.ok());
+    EXPECT_EQ(Count(goal), interpreted.value()) << goal;
+  }
+}
+
+}  // namespace
+}  // namespace xsb::wam

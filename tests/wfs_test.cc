@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "wfs/wfs.h"
+
+namespace xsb::wfs {
+namespace {
+
+using datalog::DatalogProgram;
+using datalog::ParseDatalog;
+using datalog::PredId;
+using datalog::Tuple;
+using datalog::Value;
+
+class WfsTest : public ::testing::Test {
+ protected:
+  void Load(const std::string& text) {
+    Status s = ParseDatalog(text, &program_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Truth Of(const std::string& pred, std::vector<int64_t> args) {
+    PredId p = program_.InternPred(pred, static_cast<int>(args.size()));
+    Tuple t;
+    for (int64_t a : args) t.push_back(program_.consts().Int(a));
+    return model_->TruthOf(p, t);
+  }
+
+  Truth OfSym(const std::string& pred, std::vector<std::string> args) {
+    PredId p = program_.InternPred(pred, static_cast<int>(args.size()));
+    Tuple t;
+    for (const std::string& a : args) {
+      t.push_back(program_.consts().Symbol(a));
+    }
+    return model_->TruthOf(p, t);
+  }
+
+  void Compute() {
+    Result<WellFoundedModel> r = ComputeWellFounded(&program_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    model_ = r.value();
+  }
+
+  DatalogProgram program_;
+  std::optional<WellFoundedModel> model_;
+};
+
+TEST_F(WfsTest, PositiveProgramIsTwoValued) {
+  Load("edge(1,2). edge(2,3).\n"
+       "path(X,Y) :- edge(X,Y).\n"
+       "path(X,Y) :- path(X,Z), edge(Z,Y).\n");
+  Compute();
+  EXPECT_EQ(Of("path", {1, 3}), Truth::kTrue);
+  EXPECT_EQ(Of("path", {3, 1}), Truth::kFalse);
+  EXPECT_EQ(model_->num_undefined(), 0u);
+}
+
+TEST_F(WfsTest, WinOnChainMatchesGameTheory) {
+  Load("move(1,2). move(2,3). move(3,4).\n"
+       "wins(X) :- move(X,Y), not wins(Y).\n");
+  Compute();
+  EXPECT_EQ(Of("wins", {1}), Truth::kTrue);
+  EXPECT_EQ(Of("wins", {2}), Truth::kFalse);
+  EXPECT_EQ(Of("wins", {3}), Truth::kTrue);
+  EXPECT_EQ(Of("wins", {4}), Truth::kFalse);
+  EXPECT_EQ(model_->num_undefined(), 0u);
+}
+
+TEST_F(WfsTest, WinOnCycleIsUndefined) {
+  // The stalemate game of Example 4.1 with a cyclic move relation: every
+  // position on the 2-cycle is undefined in the well-founded model.
+  Load("move(a,b). move(b,a).\n"
+       "wins(X) :- move(X,Y), not wins(Y).\n");
+  Compute();
+  EXPECT_EQ(OfSym("wins", {"a"}), Truth::kUndefined);
+  EXPECT_EQ(OfSym("wins", {"b"}), Truth::kUndefined);
+  EXPECT_EQ(model_->num_undefined(), 2u);
+}
+
+TEST_F(WfsTest, MixedCycleAndEscape) {
+  // a <-> b cycle, but b can also move to c (a dead end): b wins by moving
+  // to c; a loses nothing... classic: wins(b) true (c loses), wins(a):
+  // a's only move is to b which wins, so a loses.
+  Load("move(a,b). move(b,a). move(b,c).\n"
+       "wins(X) :- move(X,Y), not wins(Y).\n");
+  Compute();
+  EXPECT_EQ(OfSym("wins", {"c"}), Truth::kFalse);
+  EXPECT_EQ(OfSym("wins", {"b"}), Truth::kTrue);
+  EXPECT_EQ(OfSym("wins", {"a"}), Truth::kFalse);
+  EXPECT_EQ(model_->num_undefined(), 0u);
+}
+
+TEST_F(WfsTest, BarberParadoxIsUndefined) {
+  // shaves(barber, X) :- person(X), not shaves(X, X).
+  Load("person(barber).\n"
+       "shaves(X, X2) :- is_barber(X), person(X2), not shaves(X2, X2).\n"
+       "is_barber(barber).\n");
+  Compute();
+  EXPECT_EQ(OfSym("shaves", {"barber", "barber"}), Truth::kUndefined);
+}
+
+TEST_F(WfsTest, StratifiedProgramMatchesPerfectModel) {
+  Load("node(1). node(2). node(3). edge(1,2).\n"
+       "reach(X) :- edge(1,X).\n"
+       "reach(X) :- reach(Y), edge(Y,X).\n"
+       "unreach(X) :- node(X), not reach(X).\n");
+  Compute();
+  EXPECT_EQ(Of("unreach", {3}), Truth::kTrue);
+  EXPECT_EQ(Of("unreach", {2}), Truth::kFalse);
+  EXPECT_EQ(model_->num_undefined(), 0u);
+}
+
+TEST_F(WfsTest, EdbFactsAreTrue) {
+  Load("edge(1,2).\np(X) :- edge(X,Y), not edge(Y,X).\n");
+  Compute();
+  EXPECT_EQ(Of("edge", {1, 2}), Truth::kTrue);
+  EXPECT_EQ(Of("p", {1}), Truth::kTrue);
+  EXPECT_EQ(Of("p", {2}), Truth::kFalse);
+}
+
+TEST_F(WfsTest, GroundingIsRelevanceRestricted) {
+  // Irrelevant large component: grounding follows the overestimate only.
+  std::string text = "wins(X) :- move(X,Y), not wins(Y).\nmove(1,2).\n";
+  for (int i = 100; i < 160; ++i) {
+    text += "isolated(" + std::to_string(i) + ").\n";
+  }
+  Load(text);
+  Compute();
+  // Ground atoms are the two wins atoms, not 60+ isolated ones.
+  EXPECT_LE(model_->num_ground_rules(), 2u);
+  EXPECT_EQ(Of("wins", {1}), Truth::kTrue);
+  EXPECT_EQ(Of("wins", {2}), Truth::kFalse);
+}
+
+TEST_F(WfsTest, ThreeValuedInterleaving) {
+  // p :- not q. q :- not p. (both undefined)  r :- not s. s. (r false)
+  Load("p(1) :- base(1), not q(1).\n"
+       "q(1) :- base(1), not p(1).\n"
+       "base(1).\n"
+       "s(1).\n"
+       "r(1) :- base(1), not s(1).\n");
+  Compute();
+  EXPECT_EQ(Of("p", {1}), Truth::kUndefined);
+  EXPECT_EQ(Of("q", {1}), Truth::kUndefined);
+  EXPECT_EQ(Of("r", {1}), Truth::kFalse);
+  EXPECT_EQ(Of("s", {1}), Truth::kTrue);
+}
+
+}  // namespace
+}  // namespace xsb::wfs
