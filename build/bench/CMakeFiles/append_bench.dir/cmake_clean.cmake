@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_bench.dir/append_bench.cpp.o"
+  "CMakeFiles/append_bench.dir/append_bench.cpp.o.d"
+  "append_bench"
+  "append_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

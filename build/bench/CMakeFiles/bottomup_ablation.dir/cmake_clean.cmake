@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottomup_ablation.dir/bottomup_ablation.cpp.o"
+  "CMakeFiles/bottomup_ablation.dir/bottomup_ablation.cpp.o.d"
+  "bottomup_ablation"
+  "bottomup_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottomup_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

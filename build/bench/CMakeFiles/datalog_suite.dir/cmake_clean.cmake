@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_suite.dir/datalog_suite.cpp.o"
+  "CMakeFiles/datalog_suite.dir/datalog_suite.cpp.o.d"
+  "datalog_suite"
+  "datalog_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

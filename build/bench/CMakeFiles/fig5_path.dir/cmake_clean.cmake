@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_path.dir/fig5_path.cpp.o"
+  "CMakeFiles/fig5_path.dir/fig5_path.cpp.o.d"
+  "fig5_path"
+  "fig5_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

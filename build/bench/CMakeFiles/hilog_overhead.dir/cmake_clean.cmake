@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilog_overhead.dir/hilog_overhead.cpp.o"
+  "CMakeFiles/hilog_overhead.dir/hilog_overhead.cpp.o.d"
+  "hilog_overhead"
+  "hilog_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilog_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing_ablation.dir/indexing_ablation.cpp.o"
+  "CMakeFiles/indexing_ablation.dir/indexing_ablation.cpp.o.d"
+  "indexing_ablation"
+  "indexing_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

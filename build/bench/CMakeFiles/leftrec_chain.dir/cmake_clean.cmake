@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leftrec_chain.dir/leftrec_chain.cpp.o"
+  "CMakeFiles/leftrec_chain.dir/leftrec_chain.cpp.o.d"
+  "leftrec_chain"
+  "leftrec_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leftrec_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_io.dir/load_io.cpp.o"
+  "CMakeFiles/load_io.dir/load_io.cpp.o.d"
+  "load_io"
+  "load_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

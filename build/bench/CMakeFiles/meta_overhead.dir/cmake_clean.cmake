@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_overhead.dir/meta_overhead.cpp.o"
+  "CMakeFiles/meta_overhead.dir/meta_overhead.cpp.o.d"
+  "meta_overhead"
+  "meta_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sld_overhead.dir/sld_overhead.cpp.o"
+  "CMakeFiles/sld_overhead.dir/sld_overhead.cpp.o.d"
+  "sld_overhead"
+  "sld_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sld_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

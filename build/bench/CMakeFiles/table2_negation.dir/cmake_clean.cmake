@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_negation.dir/table2_negation.cpp.o"
+  "CMakeFiles/table2_negation.dir/table2_negation.cpp.o.d"
+  "table2_negation"
+  "table2_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_join.dir/table3_join.cpp.o"
+  "CMakeFiles/table3_join.dir/table3_join.cpp.o.d"
+  "table3_join"
+  "table3_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

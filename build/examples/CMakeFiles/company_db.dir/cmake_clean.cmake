@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_db.dir/company_db.cpp.o"
+  "CMakeFiles/company_db.dir/company_db.cpp.o.d"
+  "company_db"
+  "company_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

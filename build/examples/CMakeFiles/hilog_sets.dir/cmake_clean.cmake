@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hilog_sets.dir/hilog_sets.cpp.o"
+  "CMakeFiles/hilog_sets.dir/hilog_sets.cpp.o.d"
+  "hilog_sets"
+  "hilog_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hilog_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsb_shell.dir/xsb_shell.cpp.o"
+  "CMakeFiles/xsb_shell.dir/xsb_shell.cpp.o.d"
+  "xsb_shell"
+  "xsb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

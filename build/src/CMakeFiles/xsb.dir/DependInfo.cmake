@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/xsb.dir/base/status.cc.o" "gcc" "src/CMakeFiles/xsb.dir/base/status.cc.o.d"
+  "/root/repo/src/bottomup/magic.cc" "src/CMakeFiles/xsb.dir/bottomup/magic.cc.o" "gcc" "src/CMakeFiles/xsb.dir/bottomup/magic.cc.o.d"
+  "/root/repo/src/bottomup/relation.cc" "src/CMakeFiles/xsb.dir/bottomup/relation.cc.o" "gcc" "src/CMakeFiles/xsb.dir/bottomup/relation.cc.o.d"
+  "/root/repo/src/bottomup/rules.cc" "src/CMakeFiles/xsb.dir/bottomup/rules.cc.o" "gcc" "src/CMakeFiles/xsb.dir/bottomup/rules.cc.o.d"
+  "/root/repo/src/bottomup/seminaive.cc" "src/CMakeFiles/xsb.dir/bottomup/seminaive.cc.o" "gcc" "src/CMakeFiles/xsb.dir/bottomup/seminaive.cc.o.d"
+  "/root/repo/src/db/index.cc" "src/CMakeFiles/xsb.dir/db/index.cc.o" "gcc" "src/CMakeFiles/xsb.dir/db/index.cc.o.d"
+  "/root/repo/src/db/loader.cc" "src/CMakeFiles/xsb.dir/db/loader.cc.o" "gcc" "src/CMakeFiles/xsb.dir/db/loader.cc.o.d"
+  "/root/repo/src/db/objfile.cc" "src/CMakeFiles/xsb.dir/db/objfile.cc.o" "gcc" "src/CMakeFiles/xsb.dir/db/objfile.cc.o.d"
+  "/root/repo/src/db/program.cc" "src/CMakeFiles/xsb.dir/db/program.cc.o" "gcc" "src/CMakeFiles/xsb.dir/db/program.cc.o.d"
+  "/root/repo/src/db/table_all.cc" "src/CMakeFiles/xsb.dir/db/table_all.cc.o" "gcc" "src/CMakeFiles/xsb.dir/db/table_all.cc.o.d"
+  "/root/repo/src/db/trie_index.cc" "src/CMakeFiles/xsb.dir/db/trie_index.cc.o" "gcc" "src/CMakeFiles/xsb.dir/db/trie_index.cc.o.d"
+  "/root/repo/src/engine/builtins.cc" "src/CMakeFiles/xsb.dir/engine/builtins.cc.o" "gcc" "src/CMakeFiles/xsb.dir/engine/builtins.cc.o.d"
+  "/root/repo/src/engine/machine.cc" "src/CMakeFiles/xsb.dir/engine/machine.cc.o" "gcc" "src/CMakeFiles/xsb.dir/engine/machine.cc.o.d"
+  "/root/repo/src/hilog/hilog.cc" "src/CMakeFiles/xsb.dir/hilog/hilog.cc.o" "gcc" "src/CMakeFiles/xsb.dir/hilog/hilog.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/xsb.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/xsb.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/ops.cc" "src/CMakeFiles/xsb.dir/parser/ops.cc.o" "gcc" "src/CMakeFiles/xsb.dir/parser/ops.cc.o.d"
+  "/root/repo/src/parser/reader.cc" "src/CMakeFiles/xsb.dir/parser/reader.cc.o" "gcc" "src/CMakeFiles/xsb.dir/parser/reader.cc.o.d"
+  "/root/repo/src/parser/writer.cc" "src/CMakeFiles/xsb.dir/parser/writer.cc.o" "gcc" "src/CMakeFiles/xsb.dir/parser/writer.cc.o.d"
+  "/root/repo/src/tabling/evaluator.cc" "src/CMakeFiles/xsb.dir/tabling/evaluator.cc.o" "gcc" "src/CMakeFiles/xsb.dir/tabling/evaluator.cc.o.d"
+  "/root/repo/src/tabling/table_space.cc" "src/CMakeFiles/xsb.dir/tabling/table_space.cc.o" "gcc" "src/CMakeFiles/xsb.dir/tabling/table_space.cc.o.d"
+  "/root/repo/src/term/flat.cc" "src/CMakeFiles/xsb.dir/term/flat.cc.o" "gcc" "src/CMakeFiles/xsb.dir/term/flat.cc.o.d"
+  "/root/repo/src/term/store.cc" "src/CMakeFiles/xsb.dir/term/store.cc.o" "gcc" "src/CMakeFiles/xsb.dir/term/store.cc.o.d"
+  "/root/repo/src/term/symbols.cc" "src/CMakeFiles/xsb.dir/term/symbols.cc.o" "gcc" "src/CMakeFiles/xsb.dir/term/symbols.cc.o.d"
+  "/root/repo/src/wam/compile.cc" "src/CMakeFiles/xsb.dir/wam/compile.cc.o" "gcc" "src/CMakeFiles/xsb.dir/wam/compile.cc.o.d"
+  "/root/repo/src/wam/emulator.cc" "src/CMakeFiles/xsb.dir/wam/emulator.cc.o" "gcc" "src/CMakeFiles/xsb.dir/wam/emulator.cc.o.d"
+  "/root/repo/src/wam/instr.cc" "src/CMakeFiles/xsb.dir/wam/instr.cc.o" "gcc" "src/CMakeFiles/xsb.dir/wam/instr.cc.o.d"
+  "/root/repo/src/wfs/wfs.cc" "src/CMakeFiles/xsb.dir/wfs/wfs.cc.o" "gcc" "src/CMakeFiles/xsb.dir/wfs/wfs.cc.o.d"
+  "/root/repo/src/xsb/engine.cc" "src/CMakeFiles/xsb.dir/xsb/engine.cc.o" "gcc" "src/CMakeFiles/xsb.dir/xsb/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

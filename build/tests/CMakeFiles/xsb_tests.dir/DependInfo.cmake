@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bottomup_test.cc" "tests/CMakeFiles/xsb_tests.dir/bottomup_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/bottomup_test.cc.o.d"
+  "/root/repo/tests/builtins_ext_test.cc" "tests/CMakeFiles/xsb_tests.dir/builtins_ext_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/builtins_ext_test.cc.o.d"
+  "/root/repo/tests/engine_api_test.cc" "tests/CMakeFiles/xsb_tests.dir/engine_api_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/engine_api_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/xsb_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/flat_test.cc" "tests/CMakeFiles/xsb_tests.dir/flat_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/flat_test.cc.o.d"
+  "/root/repo/tests/hilog_test.cc" "tests/CMakeFiles/xsb_tests.dir/hilog_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/hilog_test.cc.o.d"
+  "/root/repo/tests/index_test.cc" "tests/CMakeFiles/xsb_tests.dir/index_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/index_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/xsb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/xsb_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xsb_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/tabling_test.cc" "tests/CMakeFiles/xsb_tests.dir/tabling_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/tabling_test.cc.o.d"
+  "/root/repo/tests/term_test.cc" "tests/CMakeFiles/xsb_tests.dir/term_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/term_test.cc.o.d"
+  "/root/repo/tests/wam_test.cc" "tests/CMakeFiles/xsb_tests.dir/wam_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/wam_test.cc.o.d"
+  "/root/repo/tests/wfs_test.cc" "tests/CMakeFiles/xsb_tests.dir/wfs_test.cc.o" "gcc" "tests/CMakeFiles/xsb_tests.dir/wfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xsb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

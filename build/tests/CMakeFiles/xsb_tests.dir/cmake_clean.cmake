@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsb_tests.dir/bottomup_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/bottomup_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/builtins_ext_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/builtins_ext_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/engine_api_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/engine_api_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/engine_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/engine_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/flat_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/flat_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/hilog_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/hilog_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/index_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/index_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/integration_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/parser_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/parser_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/property_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/tabling_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/tabling_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/term_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/term_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/wam_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/wam_test.cc.o.d"
+  "CMakeFiles/xsb_tests.dir/wfs_test.cc.o"
+  "CMakeFiles/xsb_tests.dir/wfs_test.cc.o.d"
+  "xsb_tests"
+  "xsb_tests.pdb"
+  "xsb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
