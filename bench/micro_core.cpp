@@ -10,6 +10,7 @@
 #include "parser/reader.h"
 #include "tabling/table_space.h"
 #include "term/flat.h"
+#include "term/intern.h"
 #include "term/store.h"
 
 namespace xsb {
@@ -95,7 +96,7 @@ BENCHMARK(BM_ClauseResolutionStep);
 void BM_AnswerInsertHash(benchmark::State& state) {
   Fixture f;
   int i = 0;
-  TableSpace tables(/*answer_trie=*/false);
+  TableSpace tables(f.store.symbols(), /*answer_trie=*/false);
   auto [id, created] = tables.LookupOrCreate(
       Flatten(f.store, f.Parse("p(X)")), 0, 0);
   for (auto _ : state) {
@@ -108,7 +109,7 @@ BENCHMARK(BM_AnswerInsertHash);
 void BM_AnswerInsertTrie(benchmark::State& state) {
   Fixture f;
   int i = 0;
-  TableSpace tables(/*answer_trie=*/true);
+  TableSpace tables(f.store.symbols(), /*answer_trie=*/true);
   auto [id, created] = tables.LookupOrCreate(
       Flatten(f.store, f.Parse("p(X)")), 0, 0);
   for (auto _ : state) {
@@ -117,6 +118,33 @@ void BM_AnswerInsertTrie(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnswerInsertTrie);
+
+void BM_InternGroundHit(benchmark::State& state) {
+  // Steady-state cost of re-interning an already-stored ground term (the
+  // common case: repeated answers and calls over a warmed table space).
+  Fixture f;
+  InternTable interns(&f.symbols);
+  FlatTerm t = Flatten(f.store, f.Parse("f(g(1,2), h(a, [b,c]))"));
+  benchmark::DoNotOptimize(interns.Intern(t));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interns.Intern(t));
+  }
+}
+BENCHMARK(BM_InternGroundHit);
+
+void BM_EncodeOpenAnswer(benchmark::State& state) {
+  // The per-answer encode step of AnswerTrie::Insert: functor kept open,
+  // ground compound arguments collapsed to interned tokens.
+  Fixture f;
+  InternTable interns(&f.symbols);
+  FlatTerm t = Flatten(f.store, f.Parse("p(g(7), f(1,2,3), X)"));
+  std::vector<Word> tokens;
+  for (auto _ : state) {
+    interns.EncodeOpen(t.cells, &tokens);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+}
+BENCHMARK(BM_EncodeOpenAnswer);
 
 }  // namespace
 }  // namespace xsb

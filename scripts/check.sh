@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full check: build and run the test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the `asan-ubsan` CMake preset), then — unless
+# --sanitized-only is given — under the default RelWithDebInfo preset too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+sanitized_only=0
+[[ "${1:-}" == "--sanitized-only" ]] && sanitized_only=1
+
+echo "== ASan+UBSan build =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+echo "== ASan+UBSan tests =="
+ctest --preset asan-ubsan -j "$jobs"
+
+if [[ "$sanitized_only" == 0 ]]; then
+  echo "== Default build =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  echo "== Default tests =="
+  ctest --preset default -j "$jobs"
+fi
+
+echo "All checks passed."

@@ -1,0 +1,85 @@
+#include "db/token_trie.h"
+
+#include <algorithm>
+
+namespace xsb {
+
+TokenTrie::Node* TokenTrie::Extend(Node* node, Word token, bool* created) {
+  if (node->child_index != nullptr) {
+    auto it = node->child_index->find(token);
+    if (it != node->child_index->end()) {
+      if (created != nullptr) *created = false;
+      return it->second;
+    }
+  } else {
+    for (Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+      if (c->token == token) {
+        if (created != nullptr) *created = false;
+        return c;
+      }
+    }
+  }
+  nodes_.push_back(Node{});
+  Node* child = &nodes_.back();
+  child->token = token;
+  child->parent = node;
+  child->next_sibling = node->first_child;
+  node->first_child = child;
+  ++node->num_children;
+  if (node->child_index != nullptr) {
+    node->child_index->emplace(token, child);
+  } else if (node->num_children > kHashThreshold) {
+    child_maps_.push_back(std::make_unique<ChildMap>());
+    node->child_index = child_maps_.back().get();
+    // Generous reserve: a node that escalates tends to keep growing, and
+    // incremental rehashing showed up hot in answer-insert profiles.
+    node->child_index->reserve(4 * kHashThreshold);
+    for (Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+      node->child_index->emplace(c->token, c);
+    }
+  }
+  if (created != nullptr) *created = true;
+  return child;
+}
+
+const TokenTrie::Node* TokenTrie::Find(const Node* node, Word token) {
+  if (node->child_index != nullptr) {
+    auto it = node->child_index->find(token);
+    return it == node->child_index->end() ? nullptr : it->second;
+  }
+  for (const Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->token == token) return c;
+  }
+  return nullptr;
+}
+
+std::vector<const TokenTrie::Node*> TokenTrie::SortedChildren(
+    const Node* node) {
+  std::vector<const Node*> out;
+  out.reserve(node->num_children);
+  for (const Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(), [](const Node* a, const Node* b) {
+    return a->token < b->token;
+  });
+  return out;
+}
+
+size_t TokenTrie::bytes() const {
+  size_t total = nodes_.size() * sizeof(Node);
+  for (const auto& map : child_maps_) {
+    total += sizeof(ChildMap) +
+             map->size() * (sizeof(std::pair<Word, Node*>) + 2 * sizeof(void*));
+  }
+  return total;
+}
+
+void TokenTrie::Clear() {
+  nodes_.clear();
+  child_maps_.clear();
+  nodes_.push_back(Node{});
+  root_ = &nodes_.back();
+}
+
+}  // namespace xsb

@@ -1,0 +1,80 @@
+#ifndef XSB_DB_TOKEN_TRIE_H_
+#define XSB_DB_TOKEN_TRIE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "term/cell.h"
+
+namespace xsb {
+
+// The trie node machinery shared by the first-string clause index
+// (db/trie_index.h) and the answer tries of table space
+// (tabling/table_space.h). A trie edge is labelled with one token Word
+// (functor / atom / int / local-variable / interned cell).
+//
+// Nodes carry a parent pointer so a stored entry can be *retrieved* from its
+// leaf by walking back to the root — the property that lets answer tables
+// enumerate answers straight out of the trie instead of keeping a parallel
+// materialized vector.
+//
+// Children hang off an intrusive first-child/next-sibling chain, so a node
+// costs no heap allocations of its own; lookup scans the chain for the
+// common low-fanout case and escalates to a hash map once a node's fanout
+// exceeds kHashThreshold (the XSB trie's buckets).
+class TokenTrie {
+ public:
+  struct Node;
+  using ChildMap = std::unordered_map<Word, Node*>;
+
+  struct Node {
+    Word token = 0;  // edge label from the parent to this node
+    Node* parent = nullptr;
+    Node* first_child = nullptr;
+    Node* next_sibling = nullptr;
+    ChildMap* child_index = nullptr;  // owned by the trie; set above threshold
+    uint32_t payload = kNoPayload;  // owner-defined index; kNoPayload if none
+    uint32_t num_children = 0;
+  };
+
+  static constexpr uint32_t kNoPayload = 0xffffffffu;
+  static constexpr uint32_t kHashThreshold = 8;
+
+  TokenTrie() { Clear(); }
+  TokenTrie(const TokenTrie&) = delete;
+  TokenTrie& operator=(const TokenTrie&) = delete;
+
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+
+  // Child of `node` along `token`, created if absent. *created (may be
+  // null) reports whether a new node was allocated.
+  Node* Extend(Node* node, Word token, bool* created);
+
+  // Lookup-only step; nullptr if no such child.
+  static const Node* Find(const Node* node, Word token);
+
+  // Children of `node` in ascending token order (deterministic iteration
+  // for dumps and subtree collection).
+  static std::vector<const Node*> SortedChildren(const Node* node);
+
+  size_t node_count() const { return nodes_.size(); }
+
+  // Approximate resident bytes of the trie structure.
+  size_t bytes() const;
+
+  void Clear();
+
+ private:
+  std::deque<Node> nodes_;  // arena; deque keeps node pointers stable
+  std::vector<std::unique_ptr<ChildMap>> child_maps_;  // escalated indexes
+  Node* root_ = nullptr;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_DB_TOKEN_TRIE_H_

@@ -11,22 +11,27 @@ void FirstStringIndex::Insert(ClauseId id, const SymbolTable& symbols,
   // Skip the head's own functor token (the trie is per-predicate, as in the
   // paper's Figure 3 which drops the leading p/1 token).
   size_t pos = head_pos + (IsFunctor(head_cells[head_pos]) ? 1 : 0);
-  Node* node = root_.get();
+  TokenTrie::Node* node = trie_.root();
   for (; pos < end; ++pos) {
     Word token = head_cells[pos];
     if (IsLocal(token)) break;  // first string stops at the first variable
-    auto [it, inserted] = node->children.try_emplace(token, nullptr);
-    if (inserted) it->second = std::make_unique<Node>();
-    node = it->second.get();
+    node = trie_.Extend(node, token, nullptr);
   }
-  node->ends_here.push_back(id);
+  if (node->payload == TokenTrie::kNoPayload) {
+    node->payload = static_cast<uint32_t>(endings_.size());
+    endings_.emplace_back();
+  }
+  endings_[node->payload].push_back(id);
 }
 
-void FirstStringIndex::CollectSubtree(const Node* node,
-                                      std::vector<ClauseId>* out) {
-  out->insert(out->end(), node->ends_here.begin(), node->ends_here.end());
-  for (const auto& [token, child] : node->children) {
-    CollectSubtree(child.get(), out);
+void FirstStringIndex::CollectSubtree(const TokenTrie::Node* node,
+                                      std::vector<ClauseId>* out) const {
+  if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
+    out->insert(out->end(), ends->begin(), ends->end());
+  }
+  for (const TokenTrie::Node* c = node->first_child; c != nullptr;
+       c = c->next_sibling) {
+    CollectSubtree(c, out);
   }
 }
 
@@ -43,16 +48,19 @@ std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
     for (int i = arity - 1; i >= 0; --i) work.push_back(store.Arg(goal, i));
   }
 
-  const Node* node = root_.get();
+  const TokenTrie::Node* node = trie_.root();
   while (true) {
-    out.insert(out.end(), node->ends_here.begin(), node->ends_here.end());
+    if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
+      out.insert(out.end(), ends->begin(), ends->end());
+    }
     if (work.empty()) break;  // call stream consumed
     Word x = store.Deref(work.back());
     work.pop_back();
     if (IsRef(x)) {
       // Unbound in the call: stop discriminating, everything below matches.
-      for (const auto& [token, child] : node->children) {
-        CollectSubtree(child.get(), &out);
+      for (const TokenTrie::Node* c = node->first_child; c != nullptr;
+           c = c->next_sibling) {
+        CollectSubtree(c, &out);
       }
       break;
     }
@@ -65,26 +73,14 @@ std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
     } else {
       token = x;
     }
-    auto it = node->children.find(token);
-    if (it == node->children.end()) break;  // only prefix-ended clauses match
-    node = it->second.get();
+    const TokenTrie::Node* next = TokenTrie::Find(node, token);
+    if (next == nullptr) break;  // only prefix-ended clauses match
+    node = next;
   }
 
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
-}
-
-size_t FirstStringIndex::NodeCount() const {
-  size_t count = 0;
-  auto walk = [&](auto&& self, const Node* node) -> void {
-    ++count;
-    for (const auto& [token, child] : node->children) {
-      self(self, child.get());
-    }
-  };
-  walk(walk, root_.get());
-  return count;
 }
 
 std::string FirstStringIndex::Dump(const SymbolTable& symbols) const {
@@ -102,24 +98,25 @@ std::string FirstStringIndex::Dump(const SymbolTable& symbols) const {
         return "?";
     }
   };
-  auto walk = [&](auto&& self, const Node* node, int depth) -> void {
-    if (!node->ends_here.empty()) {
+  auto walk = [&](auto&& self, const TokenTrie::Node* node,
+                  int depth) -> void {
+    if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
       out.append(static_cast<size_t>(depth) * 2, ' ');
       out += "* clauses:";
-      for (ClauseId id : node->ends_here) {
+      for (ClauseId id : *ends) {
         out += ' ';
         out += std::to_string(id);
       }
       out += '\n';
     }
-    for (const auto& [token, child] : node->children) {
+    for (const TokenTrie::Node* child : TokenTrie::SortedChildren(node)) {
       out.append(static_cast<size_t>(depth) * 2, ' ');
-      out += token_name(token);
+      out += token_name(child->token);
       out += '\n';
-      self(self, child.get(), depth + 1);
+      self(self, child, depth + 1);
     }
   };
-  walk(walk, root_.get(), 0);
+  walk(walk, trie_.root(), 0);
   return out;
 }
 

@@ -1,12 +1,11 @@
 #ifndef XSB_DB_TRIE_INDEX_H_
 #define XSB_DB_TRIE_INDEX_H_
 
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "db/index.h"
+#include "db/token_trie.h"
 #include "term/flat.h"
 #include "term/store.h"
 
@@ -20,9 +19,13 @@ namespace xsb {
 // ends at node N matches any call whose token stream reaches N (the clause
 // had a variable there); conversely a call token stream that hits a variable
 // *in the call* matches every clause in the subtree below the current node.
+//
+// The node machinery is the shared TokenTrie (db/token_trie.h), the same
+// structure that backs the answer tries of table space; each trie node's
+// payload indexes the list of clauses whose first string ends there.
 class FirstStringIndex {
  public:
-  FirstStringIndex() : root_(std::make_unique<Node>()) {}
+  FirstStringIndex() = default;
 
   // `head_cells` is the flattened clause head (functor cell + args).
   void Insert(ClauseId id, const SymbolTable& symbols,
@@ -33,20 +36,22 @@ class FirstStringIndex {
   std::vector<ClauseId> Lookup(const TermStore& store, Word goal) const;
 
   // Number of trie nodes (for tests and the indexing ablation bench).
-  size_t NodeCount() const;
+  size_t NodeCount() const { return trie_.node_count(); }
 
   // Renders the trie as an indented tree, as in the paper's Figure 3.
   std::string Dump(const SymbolTable& symbols) const;
 
  private:
-  struct Node {
-    std::map<Word, std::unique_ptr<Node>> children;
-    std::vector<ClauseId> ends_here;  // clauses whose first string ends here
-  };
+  const std::vector<ClauseId>* EndingsAt(const TokenTrie::Node* node) const {
+    if (node->payload == TokenTrie::kNoPayload) return nullptr;
+    return &endings_[node->payload];
+  }
+  void CollectSubtree(const TokenTrie::Node* node,
+                      std::vector<ClauseId>* out) const;
 
-  static void CollectSubtree(const Node* node, std::vector<ClauseId>* out);
-
-  std::unique_ptr<Node> root_;
+  TokenTrie trie_;
+  // Clause lists, referenced from trie-node payloads.
+  std::vector<std::vector<ClauseId>> endings_;
 };
 
 }  // namespace xsb

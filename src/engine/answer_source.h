@@ -1,0 +1,50 @@
+#ifndef XSB_ENGINE_ANSWER_SOURCE_H_
+#define XSB_ENGINE_ANSWER_SOURCE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "term/flat.h"
+
+namespace xsb {
+
+// A stably-indexed collection of stored answers that the machine's answer
+// choice points (and the SLG evaluator's consumers) enumerate. Index order
+// is insertion order and indices stay valid while the collection grows, so
+// a cursor is just a size_t — this is what lets consumers pick up answers
+// that arrive after they suspended.
+//
+// Implemented by the answer tables of table space (which read answers
+// straight out of the answer trie) and by the materialized instance lists
+// of clause/2.
+class AnswerSource {
+ public:
+  virtual ~AnswerSource() = default;
+
+  virtual size_t size() const = 0;
+
+  // Writes answer `i` into *out, reusing out's buffers (hot path: callers
+  // keep one scratch FlatTerm alive across a whole enumeration).
+  virtual void ReadAnswer(size_t i, FlatTerm* out) const = 0;
+};
+
+// Adapter over a materialized vector of flat terms.
+class VectorAnswerSource : public AnswerSource {
+ public:
+  explicit VectorAnswerSource(std::vector<FlatTerm> items)
+      : items_(std::move(items)) {}
+
+  size_t size() const override { return items_.size(); }
+  void ReadAnswer(size_t i, FlatTerm* out) const override {
+    out->cells = items_[i].cells;
+    out->num_vars = items_[i].num_vars;
+  }
+
+ private:
+  std::vector<FlatTerm> items_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_ENGINE_ANSWER_SOURCE_H_

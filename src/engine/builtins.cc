@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "parser/writer.h"
 
@@ -772,11 +773,8 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
   Predicate* pred = m.program()->Lookup(*functor);
   if (pred == nullptr) return BuiltinResult::kFail;
   // Materialize (Head :- Body) instances that match, then enumerate them
-  // through an answer-style choice point owned by the machine arena.
-  auto* instances = new std::vector<FlatTerm>();  // owned by machine arena?
-  // Avoid ownership issues: collect into a static-free vector stored in the
-  // FlatTerm answers choice point is designed for stable storage, so stash
-  // the vector in the machine-side registry below.
+  // through an answer choice point over a machine-adopted AnswerSource.
+  std::vector<FlatTerm> instances;
   FunctorId neck = symbols->InternFunctor(symbols->neck(), 2);
   Word pair_pattern = store->MakeStruct(neck, {head, body});
   for (ClauseId id : pred->Candidates(*store, head)) {
@@ -794,18 +792,59 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
     }
     Word cpair = store->MakeStruct(neck, {chead, cbody});
     if (store->Unify(pair_pattern, cpair)) {
-      instances->push_back(Flatten(*store, pair_pattern));
+      instances.push_back(Flatten(*store, pair_pattern));
     }
     store->UndoTrail(trail);
     store->TruncateHeap(heap);
   }
-  if (instances->empty()) {
-    delete instances;
-    return BuiltinResult::kFail;
-  }
-  m.AdoptClauseInstances(instances);
-  m.PushAnswerChoices(pair_pattern, instances, node->next);
+  if (instances.empty()) return BuiltinResult::kFail;
+  const AnswerSource* source = m.AdoptAnswerSource(
+      std::make_unique<VectorAnswerSource>(std::move(instances)));
+  m.PushAnswerChoices(pair_pattern, source, node->next);
   return BuiltinResult::kFail;  // enter the choice point
+}
+
+// table_stats/2: table_stats(Goal, Stats) unifies Stats with
+// [subgoals-N, answers-N, trie_nodes-N, interned_terms-N, bytes-N] for the
+// variant table of Goal, or aggregated over the whole table space when Goal
+// is the atom `all`. Fails when Goal has no table; errors when no tabling
+// evaluator is installed.
+BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
+  TermStore* store = m.store();
+  SymbolTable* symbols = store->symbols();
+  TabledCallHandler* handler = m.tabled_handler();
+  if (handler == nullptr) {
+    m.SetError(TypeError("table_stats/2: no tabling evaluator installed"));
+    return BuiltinResult::kError;
+  }
+  Word subject = store->Deref(Arg(m, goal, 0));
+  Word probe = 0;  // 0 = aggregate over the whole table space
+  if (!(IsAtom(subject) &&
+        AtomOf(subject) == symbols->InternAtom("all"))) {
+    if (!Program::CallableFunctor(*store, subject).has_value()) {
+      m.SetError(InstantiationError(
+          "table_stats/2: first argument must be `all` or a callable goal"));
+      return BuiltinResult::kError;
+    }
+    probe = subject;
+  }
+  TabledCallHandler::TableStatsInfo info = handler->GetTableStats(&m, probe);
+  if (!info.found) return BuiltinResult::kFail;
+  FunctorId dash = symbols->InternFunctor(symbols->InternAtom("-"), 2);
+  auto pair = [&](const char* name, uint64_t value) {
+    return store->MakeStruct(dash,
+                             {AtomCell(symbols->InternAtom(name)),
+                              IntCell(static_cast<int64_t>(value))});
+  };
+  std::vector<Word> items = {
+      pair("subgoals", info.subgoals),
+      pair("answers", info.answers),
+      pair("trie_nodes", info.trie_nodes),
+      pair("interned_terms", info.interned_terms),
+      pair("bytes", info.bytes),
+  };
+  Word list = store->MakeList(items, AtomCell(symbols->nil()));
+  return UnifyResult(m, Arg(m, goal, 1), list);
 }
 
 // --- Output ------------------------------------------------------------------------
@@ -883,6 +922,7 @@ BuiltinRegistry::BuiltinRegistry(SymbolTable* symbols) {
   Register(symbols, "atom_length", 2, BuiltinAtomLength);
   Register(symbols, "atom_concat", 3, BuiltinAtomConcat);
   Register(symbols, "clause", 2, BuiltinClause);
+  Register(symbols, "table_stats", 2, BuiltinTableStats);
   Register(symbols, "between", 3, BuiltinBetween);
   Register(symbols, "length", 2, BuiltinLength);
   Register(symbols, "assert", 1, BuiltinAssertz);

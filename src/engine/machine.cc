@@ -35,8 +35,7 @@ void Machine::CutTo(size_t depth) {
   if (cps_.size() > depth) cps_.resize(depth);
 }
 
-void Machine::PushAnswerChoices(Word goal,
-                                const std::vector<FlatTerm>* answers,
+void Machine::PushAnswerChoices(Word goal, const AnswerSource* answers,
                                 const GoalNode* cont) {
   ChoicePoint cp;
   cp.kind = ChoiceKind::kAnswers;
@@ -124,8 +123,8 @@ bool Machine::Backtrack(size_t base_cp, const GoalNode** goals) {
       }
       case ChoiceKind::kAnswers: {
         while (cp.next_answer < cp.answers->size()) {
-          const FlatTerm& answer = (*cp.answers)[cp.next_answer++];
-          Word t = Unflatten(store_, answer);
+          cp.answers->ReadAnswer(cp.next_answer++, &answer_scratch_);
+          Word t = Unflatten(store_, answer_scratch_);
           if (store_->Unify(cp.goal, t)) {
             *goals = cp.cont;
             return true;

@@ -9,6 +9,7 @@
 
 #include "base/status.h"
 #include "db/program.h"
+#include "engine/answer_source.h"
 #include "term/flat.h"
 #include "term/store.h"
 
@@ -54,6 +55,21 @@ class TabledCallHandler {
                                  const GoalNode* cont, bool existential) = 0;
   virtual CallOutcome OnTFindall(Machine* machine, Word templ, Word goal,
                                  Word result, const GoalNode* cont) = 0;
+
+  // Table-space statistics snapshot for the table_stats builtin.
+  struct TableStatsInfo {
+    bool found = false;
+    uint64_t subgoals = 0;
+    uint64_t answers = 0;
+    uint64_t trie_nodes = 0;
+    uint64_t interned_terms = 0;
+    uint64_t bytes = 0;
+  };
+  // Statistics for the variant table of `goal`, or aggregated over the
+  // whole table space when goal == 0. Default: no statistics available.
+  virtual TableStatsInfo GetTableStats(Machine* /*machine*/, Word /*goal*/) {
+    return TableStatsInfo{};
+  }
 };
 
 // Counters for the experiments (Figure 2 counts calls; section 3.2 compares
@@ -121,9 +137,10 @@ class Machine {
   void RequestStop() { stop_requested_ = true; }
 
   // Pushes a choice point that enumerates stored answers against `goal`.
-  // Used by the tabling evaluator for completed tables. The machine enters
-  // the choice point when the caller returns a fail-like outcome.
-  void PushAnswerChoices(Word goal, const std::vector<FlatTerm>* answers,
+  // Used by the tabling evaluator for completed tables (the source is the
+  // answer table, read straight from its trie) and by clause/2. The machine
+  // enters the choice point when the caller returns a fail-like outcome.
+  void PushAnswerChoices(Word goal, const AnswerSource* answers,
                          const GoalNode* cont);
 
   // Pushes a choice point enumerating integers low..high into `var`
@@ -146,10 +163,12 @@ class Machine {
   // Resets the goal arena; only call between top-level queries.
   void ResetArena() { arena_.clear(); }
 
-  // Takes ownership of a materialized instance list referenced by an
-  // answer choice point (clause/2); freed with the machine.
-  void AdoptClauseInstances(std::vector<FlatTerm>* instances) {
-    adopted_instances_.emplace_back(instances);
+  // Takes ownership of a materialized answer source referenced by an
+  // answer choice point (clause/2); freed with the machine. Returns the
+  // adopted pointer for use in PushAnswerChoices.
+  const AnswerSource* AdoptAnswerSource(std::unique_ptr<AnswerSource> source) {
+    adopted_sources_.push_back(std::move(source));
+    return adopted_sources_.back().get();
   }
 
   MachineStats& stats() { return stats_; }
@@ -180,7 +199,7 @@ class Machine {
     // kDisjunction
     Word alternative = 0;
     // kAnswers
-    const std::vector<FlatTerm>* answers = nullptr;
+    const AnswerSource* answers = nullptr;
     size_t next_answer = 0;
     // kBetween
     int64_t next_value = 0;
@@ -212,8 +231,9 @@ class Machine {
   std::unique_ptr<BuiltinRegistry> builtins_;
 
   std::deque<GoalNode> arena_;
-  std::vector<std::unique_ptr<std::vector<FlatTerm>>> adopted_instances_;
+  std::vector<std::unique_ptr<AnswerSource>> adopted_sources_;
   std::vector<ChoicePoint> cps_;
+  FlatTerm answer_scratch_;  // reused by the answer-choice backtracker
   Status error_;
   bool stop_requested_ = false;
 

@@ -6,7 +6,7 @@ namespace xsb {
 
 Evaluator::Evaluator(Machine* machine, Options options)
     : machine_(machine),
-      tables_(options.answer_trie),
+      tables_(machine->store()->symbols(), options.answer_trie),
       early_completion_(options.early_completion) {
   SymbolTable* symbols = machine->store()->symbols();
   f_resolve_clauses_ = symbols->InternFunctor(
@@ -52,7 +52,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
       }
     }
     const Subgoal& sg = tables_.subgoal(id);
-    machine->PushAnswerChoices(goal, &sg.answers->answers(), cont);
+    machine->PushAnswerChoices(goal, sg.answers.get(), cont);
     return CallOutcome::kContinue;
   }
 
@@ -61,7 +61,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
   Subgoal& sg = tables_.subgoal(id);
   if (!created) {
     if (sg.state == SubgoalState::kComplete) {
-      machine->PushAnswerChoices(goal, &sg.answers->answers(), cont);
+      machine->PushAnswerChoices(goal, sg.answers.get(), cont);
       return CallOutcome::kContinue;
     }
     if (sg.batch_id != batch.id) {
@@ -186,15 +186,15 @@ Status Evaluator::RunBatchLoop(size_t batch_index) {
     // answer vectors can both grow during a resumption, so everything is
     // re-fetched through indices.
     bool progressed = false;
+    FlatTerm answer;  // scratch reused across deliveries in this pass
     for (size_t ci = 0; ci < batches_[batch_index].consumers.size(); ++ci) {
       while (true) {
         if (batches_[batch_index].aborted) return Status::Ok();
         if (!batches_[batch_index].generator_queue.empty()) break;
         Consumer& c = batches_[batch_index].consumers[ci];
         const Subgoal& sg = tables_.subgoal(c.producer);
-        const std::vector<FlatTerm>& answers = sg.answers->answers();
-        if (c.next_answer >= answers.size()) break;
-        FlatTerm answer = answers[c.next_answer];
+        if (c.next_answer >= sg.answers->size()) break;
+        sg.answers->ReadAnswer(c.next_answer, &answer);
         ++batches_[batch_index].consumers[ci].next_answer;
         FlatTerm saved = batches_[batch_index].consumers[ci].saved;
         Status status = ResumeConsumer(std::move(saved), answer);
@@ -332,7 +332,10 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
 
   // Project each answer through (goal, templ), which share variables.
   std::vector<FlatTerm> instances;
-  for (const FlatTerm& answer : tables_.subgoal(id).answers->answers()) {
+  const AnswerTable& table = *tables_.subgoal(id).answers;
+  FlatTerm answer;
+  for (size_t i = 0; i < table.size(); ++i) {
+    table.ReadAnswer(i, &answer);
     size_t trail = store->TrailMark();
     size_t heap = store->HeapMark();
     Word answer_term = Unflatten(store, answer);
@@ -350,6 +353,32 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   Word list = store->MakeList(items, AtomCell(store->symbols()->nil()));
   return store->Unify(result, list) ? CallOutcome::kContinue
                                     : CallOutcome::kFail;
+}
+
+TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
+                                                           Word goal) {
+  TableStatsInfo info;
+  info.interned_terms = tables_.interns().num_terms();
+  if (goal == 0) {
+    // Aggregate over the whole table space.
+    info.found = true;
+    info.subgoals = tables_.num_subgoals();
+    info.answers = tables_.total_answers();
+    info.trie_nodes = tables_.total_trie_nodes();
+    info.bytes = tables_.table_bytes();
+    return info;
+  }
+  TermStore* store = machine->store();
+  FlatTerm canon = Flatten(*store, goal);
+  SubgoalId id = tables_.Lookup(canon);
+  if (id == kNoSubgoal) return info;  // found == false
+  const Subgoal& sg = tables_.subgoal(id);
+  info.found = true;
+  info.subgoals = 1;
+  info.answers = sg.answers->size();
+  info.trie_nodes = sg.answers->trie_nodes();
+  info.bytes = sg.answers->bytes();
+  return info;
 }
 
 }  // namespace xsb

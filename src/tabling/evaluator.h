@@ -34,7 +34,10 @@ namespace xsb {
 class Evaluator : public TabledCallHandler {
  public:
   struct Options {
-    bool answer_trie = false;  // index answers with a trie instead of a hash
+    // Store answers as interned token paths in a trie (the default). When
+    // false, falls back to the materialized vector + hash-set store, kept
+    // for the indexing-ablation bench.
+    bool answer_trie = true;
     // Complete ground subgoals as soon as their answer arrives, cutting off
     // the rest of their generator. This post-1994 XSB optimization makes
     // default tnot behave like e_tnot on Table 2's trees, so it is OFF by
@@ -69,6 +72,7 @@ class Evaluator : public TabledCallHandler {
                          bool existential) override;
   CallOutcome OnTFindall(Machine* machine, Word templ, Word goal, Word result,
                          const GoalNode* cont) override;
+  TableStatsInfo GetTableStats(Machine* machine, Word goal) override;
 
  private:
   struct Batch {

@@ -1,50 +1,91 @@
 #include "tabling/table_space.h"
 
+#include <algorithm>
+
 namespace xsb {
 
 bool AnswerTrie::Insert(const FlatTerm& answer) {
-  Node* node = root_.get();
-  for (Word w : answer.cells) {
-    auto [it, inserted] = node->children.try_emplace(w, nullptr);
-    if (inserted) it->second = std::make_unique<Node>();
-    node = it->second.get();
+  interns_->EncodeOpen(answer.cells, &encode_scratch_);
+  TokenTrie::Node* node = trie_.root();
+  for (Word token : encode_scratch_) {
+    node = trie_.Extend(node, token, nullptr);
   }
-  if (node->terminal) return false;
-  node->terminal = true;
-  ++count_;
+  if (node->payload != TokenTrie::kNoPayload) return false;  // duplicate
+  node->payload = static_cast<uint32_t>(leaves_.size());
+  leaves_.push_back(Leaf{node, answer.num_vars});
   return true;
 }
 
-bool AnswerTable::Insert(FlatTerm answer) {
-  bool fresh;
-  if (use_trie_) {
-    fresh = trie_index_.Insert(answer);
-  } else {
-    fresh = hash_index_.try_emplace(answer, true).second;
+void AnswerTrie::ReadAnswer(size_t i, FlatTerm* out) const {
+  const Leaf& leaf = leaves_[i];
+  path_scratch_.clear();
+  for (const TokenTrie::Node* n = leaf.node; n->parent != nullptr;
+       n = n->parent) {
+    path_scratch_.push_back(n->token);
   }
+  out->cells.clear();
+  out->num_vars = leaf.num_vars;
+  for (auto it = path_scratch_.rbegin(); it != path_scratch_.rend(); ++it) {
+    interns_->AppendExpansion(*it, &out->cells);
+  }
+}
+
+size_t AnswerTrie::bytes() const {
+  return trie_.bytes() + leaves_.capacity() * sizeof(Leaf);
+}
+
+bool AnswerTable::Insert(FlatTerm answer) {
+  if (use_trie_) return trie_.Insert(answer);
+  bool fresh = hash_index_.insert(answer).second;
   if (fresh) answers_.push_back(std::move(answer));
   return fresh;
+}
+
+void AnswerTable::ReadAnswer(size_t i, FlatTerm* out) const {
+  if (use_trie_) {
+    trie_.ReadAnswer(i, out);
+    return;
+  }
+  out->cells = answers_[i].cells;
+  out->num_vars = answers_[i].num_vars;
+}
+
+size_t AnswerTable::bytes() const {
+  if (use_trie_) return trie_.bytes();
+  size_t total = answers_.capacity() * sizeof(FlatTerm);
+  for (const FlatTerm& t : answers_) {
+    // Stored twice: once in the vector, once as the hash-set key.
+    total += 2 * t.cells.capacity() * sizeof(Word);
+  }
+  total += hash_index_.size() * (sizeof(FlatTerm) + 2 * sizeof(void*));
+  return total;
 }
 
 std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const FlatTerm& call,
                                                       FunctorId functor,
                                                       uint64_t batch_id) {
-  auto it = call_index_.find(call);
+  FlatTerm key;
+  key.num_vars = call.num_vars;
+  interns_.Encode(call.cells, &key.cells);
+  auto it = call_index_.find(key);
   if (it != call_index_.end()) return {it->second, false};
   SubgoalId id = static_cast<SubgoalId>(subgoals_.size());
   subgoals_.push_back(Subgoal{});
   Subgoal& sg = subgoals_.back();
   sg.call = call;
+  sg.call_key = key;
   sg.functor = functor;
   sg.batch_id = batch_id;
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_);
-  call_index_.emplace(call, id);
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
+  call_index_.emplace(std::move(key), id);
   ++stats_.subgoals_created;
   return {id, true};
 }
 
 SubgoalId TableSpace::Lookup(const FlatTerm& call) const {
-  auto it = call_index_.find(call);
+  FlatTerm key;
+  interns_.Encode(call.cells, &key.cells);
+  auto it = call_index_.find(key);
   return it == call_index_.end() ? kNoSubgoal : it->second;
 }
 
@@ -61,15 +102,37 @@ bool TableSpace::AddAnswer(SubgoalId id, FlatTerm answer) {
 void TableSpace::Dispose(SubgoalId id) {
   Subgoal& sg = subgoals_[id];
   if (sg.state == SubgoalState::kDisposed) return;
-  call_index_.erase(sg.call);
+  call_index_.erase(sg.call_key);
   sg.state = SubgoalState::kDisposed;
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_);
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
   ++stats_.subgoals_disposed;
 }
 
 void TableSpace::Clear() {
   call_index_.clear();
   subgoals_.clear();
+}
+
+size_t TableSpace::total_answers() const {
+  size_t total = 0;
+  for (const Subgoal& sg : subgoals_) total += sg.answers->size();
+  return total;
+}
+
+size_t TableSpace::total_trie_nodes() const {
+  size_t total = 0;
+  for (const Subgoal& sg : subgoals_) total += sg.answers->trie_nodes();
+  return total;
+}
+
+size_t TableSpace::table_bytes() const {
+  size_t total = interns_.bytes();
+  for (const Subgoal& sg : subgoals_) {
+    total += sg.answers->bytes();
+    total += sg.call.cells.capacity() * sizeof(Word);
+    total += sg.call_key.cells.capacity() * sizeof(Word);
+  }
+  return total;
 }
 
 }  // namespace xsb

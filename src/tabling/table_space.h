@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "db/token_trie.h"
+#include "engine/answer_source.h"
 #include "term/flat.h"
+#include "term/intern.h"
 
 namespace xsb {
 
@@ -21,44 +24,71 @@ enum class SubgoalState {
   kDisposed,    // deleted by tcut / existential negation
 };
 
-// Discrimination trie over flattened answers: the answer-clause index the
-// paper describes as under development (section 4.5), provided here as an
-// alternative to the hash index for the ablation bench.
+// Discrimination trie over answers: the answer-clause index of section 4.5,
+// here grown into the *primary* answer store. Answers are stored as token
+// streams (ground compound subterms collapsed to kInterned cells by the
+// shared InternTable), so one downward walk both checks and inserts, and
+// common prefixes — plus every repeated ground subterm engine-wide — are
+// stored once. Each answer's leaf is kept in insertion order, and answers
+// are read back by walking leaf-to-root parent pointers: enumeration works
+// directly off the trie with no materialized per-answer copies.
 class AnswerTrie {
  public:
-  AnswerTrie() : root_(std::make_unique<Node>()) {}
+  explicit AnswerTrie(InternTable* interns) : interns_(interns) {}
 
   // Returns true if the answer was new.
   bool Insert(const FlatTerm& answer);
-  size_t size() const { return count_; }
+
+  size_t size() const { return leaves_.size(); }
+
+  // Reconstructs answer `i` (insertion order) from its trie path, reusing
+  // out's buffers.
+  void ReadAnswer(size_t i, FlatTerm* out) const;
+
+  size_t node_count() const { return trie_.node_count(); }
+  size_t bytes() const;
 
  private:
-  struct Node {
-    std::map<Word, std::unique_ptr<Node>> children;
-    bool terminal = false;
+  struct Leaf {
+    const TokenTrie::Node* node;
+    uint32_t num_vars;
   };
-  std::unique_ptr<Node> root_;
-  size_t count_ = 0;
+
+  InternTable* interns_;
+  TokenTrie trie_;
+  std::vector<Leaf> leaves_;  // answers in insertion order
+  std::vector<Word> encode_scratch_;
+  mutable std::vector<Word> path_scratch_;
 };
 
-// The answers of one tabled subgoal, with duplicate elimination through
-// either a hash set (default) or an answer trie.
-class AnswerTable {
+// The answers of one tabled subgoal. The trie store (default) keeps answers
+// only as interned trie paths; the hash store (kept for the ablation bench)
+// keeps a materialized vector plus a hash set, which stores every answer's
+// cells twice.
+class AnswerTable : public AnswerSource {
  public:
-  explicit AnswerTable(bool use_trie) : use_trie_(use_trie) {}
+  AnswerTable(bool use_trie, InternTable* interns)
+      : use_trie_(use_trie), trie_(interns) {}
 
   // Returns true (and stores) if `answer` was not already present.
   bool Insert(FlatTerm answer);
 
-  const std::vector<FlatTerm>& answers() const { return answers_; }
-  size_t size() const { return answers_.size(); }
-  bool empty() const { return answers_.empty(); }
+  // AnswerSource: enumeration in insertion order, stable under growth.
+  size_t size() const override {
+    return use_trie_ ? trie_.size() : answers_.size();
+  }
+  void ReadAnswer(size_t i, FlatTerm* out) const override;
+
+  bool empty() const { return size() == 0; }
+
+  size_t trie_nodes() const { return use_trie_ ? trie_.node_count() : 0; }
+  size_t bytes() const;
 
  private:
   bool use_trie_;
-  std::vector<FlatTerm> answers_;
-  std::unordered_map<FlatTerm, bool, FlatTermHash> hash_index_;
-  AnswerTrie trie_index_;
+  AnswerTrie trie_;
+  std::vector<FlatTerm> answers_;  // hash mode only
+  std::unordered_set<FlatTerm, FlatTermHash> hash_index_;
 };
 
 // A suspended consumer: the copied (call, continuation) pair plus a cursor
@@ -73,6 +103,7 @@ struct Consumer {
 // One tabled subgoal: canonical call, state, answers.
 struct Subgoal {
   FlatTerm call;
+  FlatTerm call_key;  // interned token stream; the variant-index key
   FunctorId functor = 0;
   SubgoalState state = SubgoalState::kIncomplete;
   uint64_t batch_id = 0;  // evaluation batch that created it
@@ -91,11 +122,13 @@ struct TableStats {
 };
 
 // The table space (section 3.2): subgoal table with variant-based call
-// indexing plus per-subgoal answer tables.
+// indexing plus per-subgoal answer tables. Owns the engine-wide ground-term
+// intern store; calls are canonicalized into interned token streams before
+// variant lookup, so a repeated ground call is one hash over a short key.
 class TableSpace {
  public:
-  explicit TableSpace(bool answer_trie = false)
-      : answer_trie_(answer_trie) {}
+  explicit TableSpace(const SymbolTable* symbols, bool answer_trie = true)
+      : answer_trie_(answer_trie), interns_(symbols) {}
 
   // Variant lookup. Returns {id, created}.
   std::pair<SubgoalId, bool> LookupOrCreate(const FlatTerm& call,
@@ -114,15 +147,29 @@ class TableSpace {
   // existential negation). The id remains valid but disposed.
   void Dispose(SubgoalId id);
 
-  // Drops every table (abolish_all_tables/0).
+  // Drops every table (abolish_all_tables/0). The intern store survives: it
+  // is a cache of ground structure, not per-table state.
   void Clear();
 
   size_t num_subgoals() const { return subgoals_.size(); }
+
+  InternTable& interns() { return interns_; }
+  const InternTable& interns() const { return interns_; }
+
+  // Aggregates over all live tables (the table_stats/2 builtin).
+  size_t total_answers() const;
+  size_t total_trie_nodes() const;
+  // Answer-table bytes plus intern-store bytes.
+  size_t table_bytes() const;
+
   TableStats& stats() { return stats_; }
   const TableStats& stats() const { return stats_; }
 
  private:
   bool answer_trie_;
+  // Mutable: variant lookup interns fresh ground subterms of the probed
+  // call, which only grows the hash-cons cache — logically const.
+  mutable InternTable interns_;
   std::unordered_map<FlatTerm, SubgoalId, FlatTermHash> call_index_;
   std::deque<Subgoal> subgoals_;
   TableStats stats_;

@@ -20,6 +20,9 @@ namespace xsb {
 //             block (and inside flattened terms).
 //   kLocal    payload = variable ordinal; appears only inside FlatTerms
 //             (clause templates, table entries), never on the heap.
+//   kInterned payload = InternId of a hash-consed ground term; appears only
+//             inside table-space token streams (answer tries, canonical call
+//             keys), never on the heap.
 using Word = uint64_t;
 
 enum class Tag : unsigned {
@@ -29,6 +32,7 @@ enum class Tag : unsigned {
   kInt = 3,
   kFunctor = 4,
   kLocal = 5,
+  kInterned = 6,
 };
 
 constexpr unsigned kTagBits = 3;
@@ -53,6 +57,9 @@ inline Word FunctorCell(FunctorId functor) {
 inline Word LocalCell(uint64_t ordinal) {
   return MakeCell(Tag::kLocal, ordinal);
 }
+inline Word InternedCell(uint64_t intern_id) {
+  return MakeCell(Tag::kInterned, intern_id);
+}
 
 inline Word IntCell(int64_t value) {
   return MakeCell(Tag::kInt, static_cast<uint64_t>(value) & ((1ULL << 61) - 1));
@@ -68,6 +75,7 @@ inline bool IsAtom(Word w) { return TagOf(w) == Tag::kAtom; }
 inline bool IsInt(Word w) { return TagOf(w) == Tag::kInt; }
 inline bool IsFunctor(Word w) { return TagOf(w) == Tag::kFunctor; }
 inline bool IsLocal(Word w) { return TagOf(w) == Tag::kLocal; }
+inline bool IsInterned(Word w) { return TagOf(w) == Tag::kInterned; }
 inline bool IsAtomic(Word w) { return IsAtom(w) || IsInt(w); }
 
 inline AtomId AtomOf(Word w) { return static_cast<AtomId>(PayloadOf(w)); }

@@ -1,0 +1,165 @@
+#include "term/intern.h"
+
+namespace xsb {
+
+uint64_t InternTable::HashNode(FunctorId functor, const Word* args,
+                               int arity) {
+  uint64_t h = 1469598103934665603ULL;
+  h ^= functor;
+  h *= 1099511628211ULL;
+  for (int i = 0; i < arity; ++i) {
+    h ^= args[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool InternTable::NodeEquals(InternId id, FunctorId functor, const Word* args,
+                             int arity) const {
+  const Node& node = nodes_[id];
+  if (node.functor != functor) return false;
+  const Word* stored = arg_pool_.data() + node.first_arg;
+  for (int i = 0; i < arity; ++i) {
+    if (stored[i] != args[i]) return false;
+  }
+  return true;
+}
+
+Word InternTable::MakeNode(FunctorId functor, const Word* args, int arity) {
+  uint64_t h = HashNode(functor, args, arity);
+  auto [it, inserted] = dedup_.try_emplace(h, kNoId);
+  if (!inserted) {
+    for (InternId id = it->second; id != kNoId;
+         id = nodes_[id].next_same_hash) {
+      if (NodeEquals(id, functor, args, arity)) {
+        ++hits_;
+        return InternedCell(id);
+      }
+    }
+  }
+  ++misses_;
+  InternId id = static_cast<InternId>(nodes_.size());
+  Node node;
+  node.functor = functor;
+  node.first_arg = static_cast<uint32_t>(arg_pool_.size());
+  node.next_same_hash = it->second;  // chain any hash collisions
+  arg_pool_.insert(arg_pool_.end(), args, args + arity);
+  nodes_.push_back(node);
+  it->second = id;
+  return InternedCell(id);
+}
+
+Word InternTable::InternSubterm(const std::vector<Word>& cells, size_t pos,
+                                size_t* end) {
+  Word w = cells[pos];
+  if (!IsFunctor(w)) {
+    // Ground atomic cell (atom or int): already canonical.
+    if (end != nullptr) *end = pos + 1;
+    return w;
+  }
+  FunctorId functor = FunctorOf(w);
+  int arity = symbols_->FunctorArity(functor);
+  Word small[8];
+  std::vector<Word> large;
+  Word* args = small;
+  if (arity > 8) {
+    large.resize(static_cast<size_t>(arity));
+    args = large.data();
+  }
+  size_t p = pos + 1;
+  for (int i = 0; i < arity; ++i) {
+    args[i] = InternSubterm(cells, p, &p);
+  }
+  if (end != nullptr) *end = p;
+  return MakeNode(functor, args, arity);
+}
+
+bool InternTable::EncodeSubterm(const std::vector<Word>& cells, size_t pos,
+                                size_t* end, std::vector<Word>* out) {
+  Word w = cells[pos];
+  if (!IsFunctor(w)) {
+    out->push_back(w);
+    *end = pos + 1;
+    return !IsLocal(w);
+  }
+  // Emit the functor cell speculatively; every ground argument collapses to
+  // exactly one token, so if the whole subterm turns out ground, the args
+  // sit in out[mark+1 .. mark+arity] and are replaced by one interned token.
+  FunctorId functor = FunctorOf(w);
+  int arity = symbols_->FunctorArity(functor);
+  size_t mark = out->size();
+  out->push_back(w);
+  size_t p = pos + 1;
+  bool ground = true;
+  for (int i = 0; i < arity; ++i) {
+    ground &= EncodeSubterm(cells, p, &p, out);
+  }
+  *end = p;
+  if (ground) {
+    Word token = MakeNode(functor, out->data() + mark + 1, arity);
+    out->resize(mark);
+    out->push_back(token);
+  }
+  return ground;
+}
+
+void InternTable::Encode(const std::vector<Word>& cells,
+                         std::vector<Word>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < cells.size()) {
+    EncodeSubterm(cells, pos, &pos, out);
+  }
+}
+
+void InternTable::EncodeOpen(const std::vector<Word>& cells,
+                             std::vector<Word>* out) {
+  out->clear();
+  if (cells.empty() || !IsFunctor(cells[0])) {
+    size_t pos = 0;
+    while (pos < cells.size()) EncodeSubterm(cells, pos, &pos, out);
+    return;
+  }
+  out->push_back(cells[0]);
+  int arity = symbols_->FunctorArity(FunctorOf(cells[0]));
+  size_t pos = 1;
+  for (int i = 0; i < arity; ++i) {
+    EncodeSubterm(cells, pos, &pos, out);
+  }
+}
+
+void InternTable::AppendExpansion(Word token, std::vector<Word>* out) const {
+  if (!IsInterned(token)) {
+    out->push_back(token);
+    return;
+  }
+  InternId id = InternIdOf(token);
+  const Node& node = nodes_[id];
+  out->push_back(FunctorCell(node.functor));
+  int arity = symbols_->FunctorArity(node.functor);
+  const Word* args = arg_pool_.data() + node.first_arg;
+  for (int i = 0; i < arity; ++i) AppendExpansion(args[i], out);
+}
+
+FlatTerm InternTable::Decode(const std::vector<Word>& tokens) const {
+  FlatTerm out;
+  for (Word token : tokens) AppendExpansion(token, &out.cells);
+  for (Word w : out.cells) {
+    if (IsLocal(w)) {
+      uint32_t ordinal = static_cast<uint32_t>(PayloadOf(w));
+      if (ordinal + 1 > out.num_vars) out.num_vars = ordinal + 1;
+    }
+  }
+  return out;
+}
+
+size_t InternTable::bytes() const {
+  size_t total = nodes_.capacity() * sizeof(Node) +
+                 arg_pool_.capacity() * sizeof(Word);
+  // Node-based hash map overhead (key + value + pointers), approximated.
+  total += dedup_.size() *
+           (sizeof(uint64_t) + sizeof(InternId) + 2 * sizeof(void*));
+  return total;
+}
+
+}  // namespace xsb

@@ -1,0 +1,126 @@
+#ifndef XSB_TERM_INTERN_H_
+#define XSB_TERM_INTERN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "term/cell.h"
+#include "term/flat.h"
+#include "term/symbols.h"
+
+namespace xsb {
+
+// Id of a hash-consed ground compound term. Ids are dense and stable for the
+// lifetime of the InternTable; two interned terms are equal iff their ids
+// are equal, so ground-term comparison is one integer compare.
+using InternId = uint32_t;
+
+inline InternId InternIdOf(Word w) {
+  return static_cast<InternId>(PayloadOf(w));
+}
+
+// Hash-consing store for ground terms (Warren, "Interning Ground Terms in
+// XSB"): every distinct ground compound term is stored exactly once as a
+// functor plus interned argument tokens, giving full structure sharing
+// across table space. Atoms and integers are already canonical single
+// cells, so only compound terms get table entries.
+//
+// A *token* is a Word that is either a plain atomic cell (kAtom / kInt), a
+// kLocal variable cell, or a kInterned cell naming a stored compound term.
+// Token streams are the compressed form of FlatTerm cell streams: every
+// maximal ground compound subterm collapses to one kInterned token. Answer
+// tries and canonical call keys are built over tokens, which is what makes
+// tabled answer check/insert effectively constant-time on ground-heavy
+// workloads.
+class InternTable {
+ public:
+  explicit InternTable(const SymbolTable* symbols) : symbols_(symbols) {}
+  InternTable(const InternTable&) = delete;
+  InternTable& operator=(const InternTable&) = delete;
+
+  // Interns the ground term `t`; its cells must contain no kLocal cell.
+  // Returns the token for it: an atomic cell for atoms/ints, a kInterned
+  // cell for compounds.
+  Word Intern(const FlatTerm& t) { return InternSubterm(t.cells, 0, nullptr); }
+
+  // Rewrites a flat cell stream into a token stream: each maximal ground
+  // compound subterm becomes one kInterned token; atoms, ints and kLocal
+  // variables pass through unchanged. `out` is cleared first.
+  void Encode(const std::vector<Word>& cells, std::vector<Word>* out);
+
+  // Like Encode, but a compound at the top level keeps its functor cell
+  // uncollapsed (only its arguments are tokenized). Answer tries use this:
+  // answers of one subgoal share their functor/leading-argument prefix as
+  // trie edges, while nested ground structure still collapses to interned
+  // tokens. A fully ground answer costs no intern-table probe unless it has
+  // compound arguments.
+  void EncodeOpen(const std::vector<Word>& cells, std::vector<Word>* out);
+
+  // Appends the plain flat-cell expansion of `token` to *out (the inverse
+  // of Encode, one token at a time).
+  void AppendExpansion(Word token, std::vector<Word>* out) const;
+
+  // Expands a whole token stream back into a FlatTerm. num_vars is
+  // recomputed from the kLocal ordinals present.
+  FlatTerm Decode(const std::vector<Word>& tokens) const;
+
+  // Functor and argument tokens of an interned compound.
+  FunctorId FunctorOfId(InternId id) const { return nodes_[id].functor; }
+  const Word* ArgsOfId(InternId id) const {
+    return arg_pool_.data() + nodes_[id].first_arg;
+  }
+  int ArityOfId(InternId id) const {
+    return symbols_->FunctorArity(nodes_[id].functor);
+  }
+
+  // --- Statistics -----------------------------------------------------------
+
+  size_t num_terms() const { return nodes_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  // Approximate resident bytes of the store (nodes + arg pool + hash map).
+  size_t bytes() const;
+
+ private:
+  static constexpr InternId kNoId = 0xffffffffu;
+
+  struct Node {
+    FunctorId functor;
+    uint32_t first_arg;          // offset into arg_pool_
+    InternId next_same_hash;     // intrusive collision chain for dedup_
+  };
+
+  // Interns the subterm starting at `pos` of `cells` (which must be ground
+  // over that extent); returns its token and, if `end` is non-null, the
+  // position just past the subterm.
+  Word InternSubterm(const std::vector<Word>& cells, size_t pos, size_t* end);
+
+  // Single-pass encoder: emits the token stream for the subterm at `pos`
+  // into *out and returns whether that subterm was ground (in which case it
+  // contributed exactly one token).
+  bool EncodeSubterm(const std::vector<Word>& cells, size_t pos, size_t* end,
+                     std::vector<Word>* out);
+
+  // Hash-conses (functor, args); args are tokens.
+  Word MakeNode(FunctorId functor, const Word* args, int arity);
+
+  static uint64_t HashNode(FunctorId functor, const Word* args, int arity);
+  bool NodeEquals(InternId id, FunctorId functor, const Word* args,
+                  int arity) const;
+
+  const SymbolTable* symbols_;
+  std::vector<Node> nodes_;
+  std::vector<Word> arg_pool_;
+  // Hash -> chain head; collisions resolved by structural compare of the
+  // (functor, args) key — one level deep thanks to hash-consing — walking
+  // the intrusive next_same_hash chain.
+  std::unordered_map<uint64_t, InternId> dedup_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_TERM_INTERN_H_

@@ -45,7 +45,8 @@ struct Answer {
 class Engine {
  public:
   struct Options {
-    bool answer_trie = false;       // trie-based answer tables
+    bool answer_trie = true;        // trie-based answer tables (default);
+                                    // false = hash-set store (ablation)
     bool early_completion = false;  // complete ground calls at first answer
   };
 

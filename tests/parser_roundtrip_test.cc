@@ -1,0 +1,156 @@
+// Parser/writer round-trip fuzzing:
+//   1. Structured: random terms built directly in the store are written with
+//      WriteTerm(quoted) and re-parsed; the reparse must be a *variant* of
+//      the original (identical FlatTerm cells — Flatten canonicalizes
+//      variable names, so variance == cell equality).
+//   2. Token soup: random token streams are thrown at the parser; whenever
+//      one happens to parse, its printed form must parse back to a variant.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "parser/reader.h"
+#include "parser/writer.h"
+#include "term/flat.h"
+#include "xsb/engine.h"
+
+namespace xsb {
+namespace {
+
+class TermFuzzer {
+ public:
+  TermFuzzer(TermStore* store, uint32_t seed) : store_(store), rng_(seed) {}
+
+  Word Random(int depth) {
+    switch (Pick(depth <= 0 ? 3 : 6)) {
+      case 0:
+        return AtomCell(store_->symbols()->InternAtom(RandomAtomName()));
+      case 1:
+        return IntCell(RandomInt());
+      case 2:
+        return Var(rng_() % 4);
+      case 3: {  // compound
+        int arity = 1 + static_cast<int>(rng_() % 3);
+        std::vector<Word> args;
+        for (int i = 0; i < arity; ++i) args.push_back(Random(depth - 1));
+        FunctorId f = store_->symbols()->InternFunctor(
+            store_->symbols()->InternAtom(RandomAtomName()), arity);
+        return store_->MakeStruct(f, args);
+      }
+      case 4: {  // proper list
+        int len = static_cast<int>(rng_() % 3);
+        std::vector<Word> items;
+        for (int i = 0; i < len; ++i) items.push_back(Random(depth - 1));
+        return store_->MakeList(items,
+                                AtomCell(store_->symbols()->nil()));
+      }
+      default: {  // partial list with variable tail
+        std::vector<Word> items = {Random(depth - 1)};
+        return store_->MakeList(items, Var(rng_() % 4));
+      }
+    }
+  }
+
+  std::string RandomToken() {
+    static const char* kTokens[] = {
+        "foo", "bar",  "'a b'", "X",  "Y",   "_",  "42", "0",  "(", ")",
+        "[",   "]",    "|",     ",",  "f",   "g",  "-",  "+",  "*", "is",
+        ":-",  "]",    ")",     "a",  "7",   "[]", "h",  "Zs", ".", "=",
+    };
+    return kTokens[rng_() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+  }
+
+ private:
+  uint32_t Pick(uint32_t n) { return rng_() % n; }
+
+  int64_t RandomInt() { return static_cast<int64_t>(rng_() % 2000); }
+
+  std::string RandomAtomName() {
+    // Plain atoms, capitalized/space-laden ones that need quoting, and a
+    // quote-bearing name that needs escaping.
+    static const char* kNames[] = {"a",     "foo",  "bar_1", "Caps",
+                                   "two words", "it''s ok-ish", "f",
+                                   "nil",   "+",    "yes"};
+    std::string name = kNames[rng_() % (sizeof(kNames) / sizeof(kNames[0]))];
+    // Undo the doubled quote: the pool stores source-escaped forms.
+    std::string out;
+    for (size_t i = 0; i < name.size(); ++i) {
+      out += name[i];
+      if (name[i] == '\'' && i + 1 < name.size() && name[i + 1] == '\'') ++i;
+    }
+    return out;
+  }
+
+  Word Var(uint32_t slot) {
+    while (vars_.size() <= slot) vars_.push_back(store_->MakeVar());
+    return vars_[slot];
+  }
+
+  TermStore* store_;
+  std::mt19937 rng_;
+  std::vector<Word> vars_;
+};
+
+class ParserRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParserRoundTrip, RandomTermsSurviveWriteThenParse) {
+  Engine engine;  // gives us a store + default operator table
+  TermStore& store = engine.store();
+  const OpTable* ops = engine.program().ops();
+  TermFuzzer fuzz(&store, GetParam());
+
+  for (int round = 0; round < 40; ++round) {
+    size_t trail = store.TrailMark();
+    Word original = fuzz.Random(3);
+    FlatTerm before = Flatten(store, original);
+    std::string text = WriteTerm(store, *ops, original);
+    Result<Word> reparsed = ParseTermString(&store, ops, text);
+    ASSERT_TRUE(reparsed.ok())
+        << "seed " << GetParam() << " round " << round
+        << ": writer output did not reparse: " << text;
+    FlatTerm after = Flatten(store, reparsed.value());
+    EXPECT_EQ(before.cells, after.cells)
+        << "seed " << GetParam() << " round " << round << ": " << text;
+    EXPECT_EQ(before.num_vars, after.num_vars) << text;
+    store.UndoTrail(trail);
+  }
+}
+
+TEST_P(ParserRoundTrip, TokenSoupParsesAreStable) {
+  Engine engine;
+  TermStore& store = engine.store();
+  const OpTable* ops = engine.program().ops();
+  TermFuzzer fuzz(&store, GetParam() * 7919u + 13);
+  std::mt19937 rng(GetParam());
+
+  int parsed_ok = 0;
+  for (int round = 0; round < 120; ++round) {
+    int len = 1 + static_cast<int>(rng() % 8);
+    std::string text;
+    for (int i = 0; i < len; ++i) {
+      if (i > 0) text += " ";
+      text += fuzz.RandomToken();
+    }
+    Result<Word> first = ParseTermString(&store, ops, text);
+    if (!first.ok()) continue;  // rejection is fine; crashes are not
+    ++parsed_ok;
+    FlatTerm before = Flatten(store, first.value());
+    std::string printed = WriteTerm(store, *ops, first.value());
+    Result<Word> second = ParseTermString(&store, ops, printed);
+    ASSERT_TRUE(second.ok())
+        << "accepted input printed unparsable: " << text << " -> " << printed;
+    FlatTerm after = Flatten(store, second.value());
+    EXPECT_EQ(before.cells, after.cells)
+        << text << " -> " << printed << " (seed " << GetParam() << ")";
+  }
+  // The vocabulary guarantees some single-token parses (atoms, ints, vars).
+  EXPECT_GT(parsed_ok, 0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip, ::testing::Range(0u, 12u));
+
+}  // namespace
+}  // namespace xsb

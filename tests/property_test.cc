@@ -8,11 +8,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
+#include <set>
 #include <string>
+#include <unordered_set>
 
 #include "bottomup/magic.h"
 #include "bottomup/seminaive.h"
 #include "parser/reader.h"
+#include "tabling/table_space.h"
+#include "term/intern.h"
 #include "wam/compile.h"
 #include "wam/emulator.h"
 #include "wfs/wfs.h"
@@ -266,6 +271,158 @@ TEST_P(SortAgreement, SetofEqualsSortedDedupedFindall) {
 
 INSTANTIATE_TEST_SUITE_P(FactCounts, SortAgreement,
                          ::testing::Values(1, 3, 8, 20));
+
+// --- Interning and answer-trie properties ------------------------------------
+
+// Random FlatTerm generator over a fixed small vocabulary; `ground` controls
+// whether kLocal variable cells may appear.
+class FlatTermGen {
+ public:
+  FlatTermGen(TermStore* store, uint32_t seed, bool ground)
+      : store_(store), rng_(seed), ground_(ground) {}
+
+  FlatTerm Next() {
+    vars_.clear();
+    size_t trail = store_->TrailMark();
+    Word t = Build(2 + static_cast<int>(rng_() % 2));
+    FlatTerm flat = Flatten(*store_, t);
+    store_->UndoTrail(trail);
+    return flat;
+  }
+
+ private:
+  Word Build(int depth) {
+    SymbolTable* symbols = store_->symbols();
+    uint32_t choice = rng_() % (depth <= 0 ? (ground_ ? 2 : 3) : 5);
+    switch (choice) {
+      case 0:
+        return AtomCell(symbols->InternAtom(kAtoms[rng_() % 4]));
+      case 1:
+        return IntCell(static_cast<int64_t>(rng_() % 50));
+      case 2:
+        if (!ground_) {
+          uint32_t slot = rng_() % 3;
+          while (vars_.size() <= slot) vars_.push_back(store_->MakeVar());
+          return vars_[slot];
+        }
+        [[fallthrough]];
+      default: {
+        int arity = 1 + static_cast<int>(rng_() % 3);
+        std::vector<Word> args;
+        for (int i = 0; i < arity; ++i) args.push_back(Build(depth - 1));
+        FunctorId f = symbols->InternFunctor(
+            symbols->InternAtom(kAtoms[rng_() % 4]), arity);
+        return store_->MakeStruct(f, args);
+      }
+    }
+  }
+
+  static constexpr const char* kAtoms[4] = {"a", "b", "f", "g"};
+  TermStore* store_;
+  std::mt19937 rng_;
+  bool ground_;
+  std::vector<Word> vars_;
+};
+
+class InternProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(InternProperty, InternIsIdempotentAndRoundTrips) {
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  InternTable interns(&symbols);
+  FlatTermGen gen(&store, GetParam(), /*ground=*/true);
+
+  for (int round = 0; round < 60; ++round) {
+    FlatTerm t = gen.Next();
+    Word token1 = interns.Intern(t);
+    Word token2 = interns.Intern(t);
+    // Hash-consing: the same ground term always maps to the same token, so
+    // term equality is token (integer) equality.
+    EXPECT_EQ(token1, token2);
+    FlatTerm back = interns.Decode({token1});
+    EXPECT_EQ(back.cells, t.cells) << "round " << round;
+    EXPECT_EQ(back.num_vars, 0u);
+  }
+}
+
+TEST_P(InternProperty, EncodeDecodeRoundTripsNonGroundTerms) {
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  InternTable interns(&symbols);
+  FlatTermGen gen(&store, GetParam() + 1000, /*ground=*/false);
+
+  for (int round = 0; round < 60; ++round) {
+    FlatTerm t = gen.Next();
+    std::vector<Word> tokens;
+    interns.Encode(t.cells, &tokens);
+    // Tokens never exceed the original cells, and collapse below them as
+    // soon as a ground compound subterm appears.
+    EXPECT_LE(tokens.size(), t.cells.size());
+    FlatTerm back = interns.Decode(tokens);
+    EXPECT_EQ(back.cells, t.cells) << "round " << round;
+    EXPECT_EQ(back.num_vars, t.num_vars) << "round " << round;
+  }
+}
+
+TEST_P(InternProperty, DistinctTermsGetDistinctTokens) {
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  InternTable interns(&symbols);
+  FlatTermGen gen(&store, GetParam() + 2000, /*ground=*/true);
+
+  std::set<std::vector<Word>> seen_terms;
+  std::set<Word> seen_tokens;
+  for (int round = 0; round < 60; ++round) {
+    FlatTerm t = gen.Next();
+    Word token = interns.Intern(t);
+    bool new_term = seen_terms.insert(t.cells).second;
+    bool new_token = seen_tokens.insert(token).second;
+    EXPECT_EQ(new_term, new_token) << "round " << round;
+  }
+}
+
+class AnswerTrieProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(AnswerTrieProperty, InsertMatchesHashSetOracleAndEnumeratesAll) {
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  InternTable interns(&symbols);
+  AnswerTrie trie(&interns);
+  std::unordered_set<FlatTerm, FlatTermHash> oracle;
+  std::vector<FlatTerm> inserted;  // insertion order, first occurrences
+
+  FlatTermGen ground_gen(&store, GetParam(), /*ground=*/true);
+  FlatTermGen open_gen(&store, GetParam() + 500, /*ground=*/false);
+  std::mt19937 rng(GetParam());
+
+  for (int round = 0; round < 120; ++round) {
+    FlatTerm t;
+    if (rng() % 4 == 0 && !inserted.empty()) {
+      t = inserted[rng() % inserted.size()];  // forced duplicate
+    } else {
+      t = (rng() % 2 == 0) ? ground_gen.Next() : open_gen.Next();
+    }
+    bool fresh_trie = trie.Insert(t);
+    bool fresh_oracle = oracle.insert(t).second;
+    EXPECT_EQ(fresh_trie, fresh_oracle) << "round " << round;
+    if (fresh_oracle) inserted.push_back(t);
+  }
+
+  // Enumeration: same count, same order as first insertion, and exactly the
+  // oracle's contents once each.
+  ASSERT_EQ(trie.size(), inserted.size());
+  FlatTerm out;
+  for (size_t i = 0; i < trie.size(); ++i) {
+    trie.ReadAnswer(i, &out);
+    EXPECT_EQ(out.cells, inserted[i].cells) << "index " << i;
+    EXPECT_EQ(out.num_vars, inserted[i].num_vars) << "index " << i;
+  }
+  EXPECT_GT(trie.node_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternProperty, ::testing::Range(0u, 8u));
+INSTANTIATE_TEST_SUITE_P(Seeds, AnswerTrieProperty,
+                         ::testing::Range(0u, 12u));
 
 TEST(SortBuiltins, Basics) {
   Engine engine;

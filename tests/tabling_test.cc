@@ -400,22 +400,39 @@ TEST_F(TablingTest, PropertyTabledMatchesSldnfOnAcyclicGraphs) {
 
 class TablingTrieTest : public TablingTest {};
 
-TEST_F(TablingTrieTest, AnswerTrieModeGivesSameResults) {
-  // Build a second evaluator in trie mode on a fresh machine.
+TEST_F(TablingTrieTest, HashAblationModeGivesSameResults) {
+  // The default store is the answer trie; build a second evaluator in the
+  // legacy hash-set mode on a fresh machine and check agreement.
   Machine machine2(&store_, &program_);
   Evaluator::Options options;
-  options.answer_trie = true;
+  options.answer_trie = false;
   Evaluator evaluator2(&machine2, options);
   Load(":- table path/2.\n"
        "edge(1,2). edge(2,3). edge(3,1). edge(1,3).\n"
        "path(X,Y) :- edge(X,Y).\n"
        "path(X,Y) :- path(X,Z), edge(Z,Y).\n");
-  Result<size_t> hash_count = machine_.CountSolutions(Parse("path(1,X)"));
-  Result<size_t> trie_count = machine2.CountSolutions(Parse("path(1,X)"));
-  ASSERT_TRUE(hash_count.ok());
+  Result<size_t> trie_count = machine_.CountSolutions(Parse("path(1,X)"));
+  Result<size_t> hash_count = machine2.CountSolutions(Parse("path(1,X)"));
   ASSERT_TRUE(trie_count.ok());
-  EXPECT_EQ(hash_count.value(), trie_count.value());
+  ASSERT_TRUE(hash_count.ok());
+  EXPECT_EQ(trie_count.value(), hash_count.value());
   EXPECT_EQ(trie_count.value(), 3u);
+}
+
+TEST_F(TablingTrieTest, TrieStoreReportsNodesAndInterns) {
+  Load(":- table path/2.\n"
+       "edge(a,b). edge(b,c). edge(c,d).\n"
+       "path(X,Y) :- edge(X,Y).\n"
+       "path(X,Y) :- edge(X,Z), path(Z,Y).\n");
+  Result<size_t> n = machine_.CountSolutions(Parse("path(a,X)"));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3u);
+  const TableSpace& tables = evaluator_.tables();
+  EXPECT_GT(tables.total_answers(), 0u);
+  EXPECT_GT(tables.total_trie_nodes(), 0u);
+  // Trie nodes never outnumber total inserted tokens, and shared prefixes
+  // make them strictly fewer than answers * path-length here.
+  EXPECT_GT(tables.table_bytes(), 0u);
 }
 
 }  // namespace
