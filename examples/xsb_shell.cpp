@@ -7,7 +7,7 @@
 //   X = 2 ;
 //   ...
 //
-// Meta-commands: :load FILE, :tables, :stats, :abolish, :halt.
+// Meta-commands: :load FILE, :analyze, :tables, :stats, :abolish, :halt.
 
 #include <iostream>
 #include <string>
@@ -19,6 +19,7 @@ namespace {
 void PrintHelp() {
   std::cout << "Enter goals ending in '.'; meta-commands:\n"
                "  :load FILE    consult a source file\n"
+               "  :analyze      run the program analyzer, print diagnostics\n"
                "  :tables       table-space statistics\n"
                "  :stats        machine statistics\n"
                "  :abolish      drop all tables\n"
@@ -50,6 +51,19 @@ int main(int argc, char** argv) {
       if (line == ":halt" || line == ":q") break;
       if (line == ":help") {
         PrintHelp();
+      } else if (line == ":analyze") {
+        xsb::analysis::AnalysisResult result = engine.Analyze();
+        std::cout << result.sccs.size() << " SCC"
+                  << (result.sccs.size() == 1 ? "" : "s") << ", "
+                  << (result.stratified() ? "stratified"
+                                          : "not stratified (WFS required)")
+                  << (result.widened ? ", call graph widened by meta-calls"
+                                     : "")
+                  << "\n";
+        for (const xsb::analysis::Diagnostic& diag : result.diagnostics) {
+          std::cout << FormatDiagnostic(engine.symbols(), diag) << "\n";
+        }
+        if (result.diagnostics.empty()) std::cout << "no diagnostics.\n";
       } else if (line == ":tables") {
         const auto& stats = engine.evaluator().tables().stats();
         std::cout << "subgoals created:   " << stats.subgoals_created << "\n"

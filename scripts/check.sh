@@ -1,13 +1,34 @@
 #!/usr/bin/env bash
-# Full check: build and run the test suite under AddressSanitizer +
-# UndefinedBehaviorSanitizer (the `asan-ubsan` CMake preset), then — unless
-# --sanitized-only is given — under the default RelWithDebInfo preset too.
+# Full check: style gates (clang-format / clang-tidy, skipped when the tools
+# are not installed), then build and run the test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the `asan-ubsan` CMake
+# preset), then — unless --sanitized-only is given — under the default
+# RelWithDebInfo preset too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 sanitized_only=0
 [[ "${1:-}" == "--sanitized-only" ]] && sanitized_only=1
+
+cxx_sources() {
+  find src tests examples bench -name '*.cc' -o -name '*.h' -o -name '*.cpp'
+}
+
+if command -v clang-format >/dev/null 2>&1; then
+  echo "== clang-format check =="
+  cxx_sources | xargs clang-format --dry-run --Werror
+else
+  echo "== clang-format not installed; skipping format check =="
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  cmake --preset default >/dev/null
+  find src -name '*.cc' | xargs clang-tidy -p build --quiet
+else
+  echo "== clang-tidy not installed; skipping lint check =="
+fi
 
 echo "== ASan+UBSan build =="
 cmake --preset asan-ubsan

@@ -1,0 +1,94 @@
+#ifndef XSB_ANALYSIS_ANALYZER_H_
+#define XSB_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "db/program.h"
+
+namespace xsb::analysis {
+
+// How a call site reaches its callee, as far as stratification is concerned.
+// Negative and aggregated edges both force the callee into a strictly lower
+// stratum; they are distinguished only for diagnostics.
+enum class EdgeKind { kPositive, kNegative, kAggregate };
+
+// One edge of the predicate call graph. `span` locates the clause the edge
+// was collected from, so stratification errors can cite source positions.
+struct CallEdge {
+  FunctorId from;
+  FunctorId to;
+  EdgeKind kind;
+  SourceSpan span;
+};
+
+// A strongly connected component of the call graph, in Tarjan (reverse
+// topological) discovery order: every edge out of a component leads to an
+// earlier component.
+struct SccInfo {
+  std::vector<FunctorId> members;   // sorted by functor id
+  bool recursive = false;           // a cycle runs through the component
+  bool negative_internal = false;   // ...and crosses negation/aggregation
+  // For negative_internal components: one witness edge for the message.
+  CallEdge witness{};
+};
+
+enum class StratVerdict {
+  kStratified,   // no negation inside any SCC: SLG/bottom-up safe as-is
+  kWfsRequired,  // negation inside an SCC: downgrade to well-founded
+                 // semantics (or rely on runtime modular-stratification
+                 // checks, which may reject the query)
+};
+
+// Everything the consult-time pass pipeline produced.
+struct AnalysisResult {
+  std::vector<CallEdge> edges;
+  std::vector<SccInfo> sccs;
+  std::unordered_map<FunctorId, int> scc_of;
+  StratVerdict verdict = StratVerdict::kStratified;
+  // True when a HiLog/var call forced conservative widening (edges to every
+  // in-scope predicate), making SCCs coarser than the real call structure.
+  bool widened = false;
+
+  std::vector<Diagnostic> diagnostics;
+
+  // Auto-table advisor output: untabled predicates in recursive SCCs.
+  std::vector<FunctorId> table_suggestions;
+  // Index advisor output: predicate -> 1-based argument to index on.
+  std::vector<std::pair<FunctorId, int>> index_suggestions;
+
+  bool stratified() const { return verdict == StratVerdict::kStratified; }
+};
+
+struct AnalyzeOptions {
+  bool safety_pass = true;
+  bool advisor_pass = true;
+  bool lint_pass = true;
+};
+
+// Runs the pass pipeline over every predicate of `program`: call-graph
+// construction (positive/negative/aggregated edges, HiLog calls widened
+// conservatively), Tarjan SCCs, stratification check, safety analysis,
+// auto-table and index advisors, and style lints. Appends the consult-time
+// lints stored on the program (singleton variables) to the diagnostics.
+// Read-only: never mutates the program.
+AnalysisResult Analyze(const Program& program,
+                       const AnalyzeOptions& options = AnalyzeOptions());
+
+// Applies `result`'s auto-table suggestions restricted to `scope` (the
+// predicates a consult unit defined; empty = all). Returns the functors
+// newly tabled. This is what `:- auto_table.` runs.
+std::vector<FunctorId> ApplyTableSuggestions(
+    Program* program, const AnalysisResult& result,
+    const std::vector<FunctorId>& scope);
+
+// Stores the stratification verdict on the program: every member of a
+// negation-infected SCC gets its S001 message, which the tabling evaluator
+// uses to replace its generic runtime kStratification error.
+void PublishVerdict(Program* program, const AnalysisResult& result);
+
+}  // namespace xsb::analysis
+
+#endif  // XSB_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,66 @@
+#ifndef XSB_ANALYSIS_DIAGNOSTIC_H_
+#define XSB_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "term/symbols.h"
+
+namespace xsb {
+
+// A source location carried from the lexer through the reader into stored
+// clauses and analysis diagnostics. `file` is an interned atom naming the
+// consult unit ("path.P" or "<consult-N>" for string consults); 0 together
+// with line 0 means unknown (e.g. clauses asserted at runtime).
+struct SourceSpan {
+  AtomId file = 0;
+  int line = 0;  // 1-based; 0 = unknown
+  int column = 0;
+
+  bool known() const { return line > 0; }
+};
+
+namespace analysis {
+
+enum class Severity { kError, kWarning, kInfo };
+
+// Stable diagnostic codes; the full table lives in DESIGN.md.
+enum class DiagCode {
+  // Stratification / safety (S...)
+  kNonStratified,    // S001: negation or aggregation inside a call-graph SCC
+  kUnsafeNegation,   // S002: variable under \+/tnot not bound by the body
+  kUnsafeHead,       // S003: head variable not range-restricted by the body
+  kUnsafeArith,      // S004: unbound variable in an arithmetic expression
+  // Advisors (A...)
+  kAutoTable,        // A001: predicate in a recursive SCC should be tabled
+  kIndexAdvice,      // A002: call sites suggest a different index directive
+  // Style lints (L...)
+  kSingletonVar,     // L001: named variable occurs once in its clause
+  kDiscontiguous,    // L002: clauses of a predicate are not contiguous
+  kUnknownPredicate, // L003: call to a predicate with no clauses
+};
+
+// "S001", "A002", ...
+const char* DiagCodeName(DiagCode code);
+const char* SeverityName(Severity severity);
+
+// Marks a diagnostic that concerns the whole program, not one predicate.
+inline constexpr FunctorId kNoFunctor = 0xffffffffu;
+
+// One structured finding of the consult-time analyzer.
+struct Diagnostic {
+  DiagCode code;
+  Severity severity;
+  FunctorId functor = kNoFunctor;  // the predicate concerned
+  std::string message;
+  SourceSpan span;
+};
+
+// "FILE:LINE:COL: warning S002 [p/2]: message" (omitting unknown parts).
+std::string FormatDiagnostic(const SymbolTable& symbols,
+                             const Diagnostic& diagnostic);
+
+}  // namespace analysis
+}  // namespace xsb
+
+#endif  // XSB_ANALYSIS_DIAGNOSTIC_H_

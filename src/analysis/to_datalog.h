@@ -1,0 +1,23 @@
+#ifndef XSB_ANALYSIS_TO_DATALOG_H_
+#define XSB_ANALYSIS_TO_DATALOG_H_
+
+#include "base/status.h"
+#include "bottomup/rules.h"
+#include "db/program.h"
+
+namespace xsb::analysis {
+
+// Translates the datalog subset of `program` into the bottom-up engine's
+// representation: facts with atom/integer arguments, and rules whose bodies
+// are conjunctions of positive literals and negated (\+/tnot/not) literals
+// with variable or atomic arguments. Returns kInvalid for anything outside
+// that subset (compound arguments, arithmetic, disjunction, cut, ...).
+//
+// This is the bridge the differential tests use: a program the analyzer
+// calls stratified must be accepted by datalog::Stratify() and produce the
+// same answers under SLG, semi-naive bottom-up, and WFS.
+Status ToDatalog(const Program& program, datalog::DatalogProgram* out);
+
+}  // namespace xsb::analysis
+
+#endif  // XSB_ANALYSIS_TO_DATALOG_H_

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "parser/reader.h"
 
 namespace xsb {
@@ -41,6 +42,27 @@ Status Loader::HandleTableSpec(Word spec) {
   Result<FunctorId> functor = ParsePredSpec(spec);
   if (!functor.ok()) return functor.status();
   return program_->DeclareTabled(functor.value());
+}
+
+Status Loader::HandleDiscontiguousSpec(Word spec) {
+  SymbolTable* symbols = store_->symbols();
+  spec = store_->Deref(spec);
+  FunctorId comma = symbols->InternFunctor(symbols->comma(), 2);
+  FunctorId cons = symbols->InternFunctor(symbols->dot(), 2);
+  if (IsStruct(spec)) {
+    FunctorId f = store_->StructFunctor(spec);
+    if (f == comma || f == cons) {
+      Status s = HandleDiscontiguousSpec(store_->Arg(spec, 0));
+      if (!s.ok()) return s;
+      Word rest = store_->Deref(store_->Arg(spec, 1));
+      if (IsAtom(rest) && AtomOf(rest) == symbols->nil()) return Status::Ok();
+      return HandleDiscontiguousSpec(rest);
+    }
+  }
+  Result<FunctorId> functor = ParsePredSpec(spec);
+  if (!functor.ok()) return functor.status();
+  program_->LookupOrCreate(functor.value())->set_discontiguous_ok(true);
+  return Status::Ok();
 }
 
 Status Loader::HandleIndexSpec(Word pred_spec, Word index_spec) {
@@ -112,6 +134,10 @@ Status Loader::HandleDirective(Word directive) {
       table_all_requested_ = true;
       return Status::Ok();
     }
+    if (name == "auto_table") {
+      auto_table_requested_ = true;
+      return Status::Ok();
+    }
     return InvalidError("unsupported directive: " + name);
   }
   if (!IsStruct(directive)) return InvalidError("bad directive");
@@ -149,8 +175,13 @@ Status Loader::HandleDirective(Word directive) {
   if (name == "dynamic" && arity == 1) {
     Result<FunctorId> functor = ParsePredSpec(store_->Arg(directive, 0));
     if (!functor.ok()) return functor.status();
-    program_->LookupOrCreate(functor.value())->set_dynamic(true);
+    Predicate* pred = program_->LookupOrCreate(functor.value());
+    pred->set_dynamic(true);
+    pred->set_declared(true);
     return Status::Ok();
+  }
+  if (name == "discontiguous" && arity == 1) {
+    return HandleDiscontiguousSpec(store_->Arg(directive, 0));
   }
   if (name == "module" && arity >= 1) {
     Word module = store_->Deref(store_->Arg(directive, 0));
@@ -198,6 +229,12 @@ Status Loader::ConsultString(std::string_view text) {
   AtomId eof = symbols->InternAtom("end_of_file");
   FunctorId neck1 = symbols->InternFunctor(symbols->neck(), 1);
 
+  if (source_name_.empty()) {
+    source_name_ = "<consult-" + std::to_string(program_->NextConsultId()) +
+                   ">";
+  }
+  AtomId file = symbols->InternAtom(source_name_);
+
   while (!reader.AtEof()) {
     Result<Word> clause = reader.ReadClause();
     if (!clause.ok()) return clause.status();
@@ -227,8 +264,18 @@ Status Loader::ConsultString(std::string_view text) {
         }
         if (!seen) defined_.push_back(*functor);
       }
+      // L001: a named variable (not '_'-prefixed) occurring exactly once.
+      // Collected here because variable names do not survive flattening.
+      for (const Reader::VarInfo& info : reader.var_infos()) {
+        if (info.occurrences != 1 || info.name[0] == '_') continue;
+        program_->AddConsultLint(analysis::Diagnostic{
+            analysis::DiagCode::kSingletonVar, analysis::Severity::kWarning,
+            *functor, "singleton variable " + info.name,
+            SourceSpan{file, info.line, info.column}});
+      }
     }
-    Status s = program_->AddClauseTerm(*store_, t);
+    SourceSpan span{file, reader.clause_line(), reader.clause_column()};
+    Status s = program_->AddClauseTerm(*store_, t, /*front=*/false, span);
     if (!s.ok()) return s;
   }
   if (table_all_requested_) {
@@ -236,7 +283,32 @@ Status Loader::ConsultString(std::string_view text) {
     table_all_requested_ = false;
   }
   // The section 4.4 static analysis: no cut may close over a table.
-  return CheckCutSafety(*program_, defined_);
+  Status cut = CheckCutSafety(*program_, defined_);
+  if (!cut.ok()) return cut;
+  return RunAnalysis();
+}
+
+Status Loader::RunAnalysis() {
+  analysis::AnalysisResult result = analysis::Analyze(*program_);
+  if (auto_table_requested_) {
+    // :- auto_table. applies the advisor's suggestions, restricted to the
+    // predicates this consult unit defined; then the analysis re-runs so the
+    // published diagnostics describe the final program.
+    analysis::ApplyTableSuggestions(program_, result, defined_);
+    auto_table_requested_ = false;
+    result = analysis::Analyze(*program_);
+  }
+  analysis::PublishVerdict(program_, result);
+  if (strict_) {
+    for (const analysis::Diagnostic& diagnostic : result.diagnostics) {
+      if (diagnostic.severity == analysis::Severity::kError) {
+        return StratificationError(
+            FormatDiagnostic(*program_->symbols(), diagnostic));
+      }
+    }
+  }
+  program_->SetAnalysisDiagnostics(std::move(result.diagnostics));
+  return Status::Ok();
 }
 
 Status Loader::ConsultFile(const std::string& path) {
@@ -244,6 +316,7 @@ Status Loader::ConsultFile(const std::string& path) {
   if (!in) return IoError("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  if (source_name_.empty()) source_name_ = path;
   return ConsultString(buffer.str());
 }
 

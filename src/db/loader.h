@@ -21,6 +21,14 @@ class Loader {
   Loader(TermStore* store, Program* program)
       : store_(store), program_(program) {}
 
+  // Names the consult unit in source spans and diagnostics. ConsultFile sets
+  // it to the path; ConsultString units otherwise get "<consult-N>".
+  void set_source_name(std::string name) { source_name_ = std::move(name); }
+
+  // In strict mode, error-severity analysis diagnostics (non-stratified
+  // programs) fail the consult instead of being recorded for later.
+  void set_strict(bool strict) { strict_ = strict; }
+
   Status ConsultString(std::string_view text);
   Status ConsultFile(const std::string& path);
 
@@ -40,12 +48,19 @@ class Loader {
   Status HandleDirective(Word directive);
   Status HandleTableSpec(Word spec);
   Status HandleIndexSpec(Word pred_spec, Word index_spec);
+  Status HandleDiscontiguousSpec(Word spec);
   Result<FunctorId> ParsePredSpec(Word spec);  // name/arity
+  // Runs the consult-time analyzer over the program, applies auto_table if
+  // requested, publishes the stratification verdict and diagnostics.
+  Status RunAnalysis();
 
   TermStore* store_;
   Program* program_;
   std::vector<FunctorId> defined_;
+  std::string source_name_;
   bool table_all_requested_ = false;
+  bool auto_table_requested_ = false;
+  bool strict_ = false;
 };
 
 // Static cut-safety check (section 4.4): reports an error when a clause

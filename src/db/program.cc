@@ -199,10 +199,11 @@ std::optional<FunctorId> Program::CallableFunctor(const TermStore& store,
 }
 
 Status Program::AddClauseTerm(const TermStore& store, Word clause_term,
-                              bool front) {
+                              bool front, SourceSpan span) {
   clause_term = store.Deref(clause_term);
   Clause clause;
   clause.term = Flatten(store, clause_term);
+  clause.span = span;
 
   // Split H :- B.
   Word head = clause_term;
@@ -226,7 +227,9 @@ Status Program::AddClauseTerm(const TermStore& store, Word clause_term,
 }
 
 Status Program::DeclareTabled(FunctorId functor) {
-  LookupOrCreate(functor)->set_tabled(true);
+  Predicate* pred = LookupOrCreate(functor);
+  pred->set_tabled(true);
+  pred->set_declared(true);
   return Status::Ok();
 }
 
@@ -248,12 +251,16 @@ Status Program::DeclareIndex(FunctorId functor,
       }
     }
   }
-  LookupOrCreate(functor)->SetHashIndex(*symbols_, std::move(field_sets));
+  Predicate* pred = LookupOrCreate(functor);
+  pred->SetHashIndex(*symbols_, std::move(field_sets));
+  pred->set_declared(true);
   return Status::Ok();
 }
 
 Status Program::DeclareFirstString(FunctorId functor) {
-  LookupOrCreate(functor)->SetFirstStringIndex(*symbols_);
+  Predicate* pred = LookupOrCreate(functor);
+  pred->SetFirstStringIndex(*symbols_);
+  pred->set_declared(true);
   return Status::Ok();
 }
 

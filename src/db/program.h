@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "base/status.h"
 #include "db/index.h"
 #include "db/trie_index.h"
@@ -32,6 +33,7 @@ struct Clause {
   bool is_rule = false;
   bool erased = false;  // tombstone left by retract
   size_t head_pos = 0;  // position of the head within term.cells
+  SourceSpan span;      // where the clause was read; unknown for asserts
 };
 
 // A predicate: its clauses plus indexing and evaluation attributes.
@@ -47,6 +49,13 @@ class Predicate {
   void set_tabled(bool value) { tabled_ = value; }
   bool dynamic() const { return dynamic_; }
   void set_dynamic(bool value) { dynamic_ = value; }
+  // Declared via a directive (table/dynamic/index/...): calling it with no
+  // clauses is intentional, so the unknown-predicate lint stays quiet.
+  bool declared() const { return declared_; }
+  void set_declared(bool value) { declared_ = value; }
+  // :- discontiguous p/N. suppresses the L002 lint.
+  bool discontiguous_ok() const { return discontiguous_ok_; }
+  void set_discontiguous_ok(bool value) { discontiguous_ok_ = value; }
 
   IndexKind index_kind() const { return index_kind_; }
 
@@ -89,6 +98,8 @@ class Predicate {
   AtomId module_;
   bool tabled_ = false;
   bool dynamic_ = true;
+  bool declared_ = false;
+  bool discontiguous_ok_ = false;
   size_t live_count_ = 0;
 
   IndexKind index_kind_ = IndexKind::kFirstArg;
@@ -123,9 +134,10 @@ class Program {
   Predicate* LookupOrCreate(FunctorId functor);
 
   // Adds the clause `clause_term` (a heap term: fact or H :- B).
-  // `front` selects asserta semantics.
+  // `front` selects asserta semantics. `span` records where the clause was
+  // read from (default: unknown, as for runtime asserts).
   Status AddClauseTerm(const TermStore& store, Word clause_term,
-                       bool front = false);
+                       bool front = false, SourceSpan span = SourceSpan());
 
   // Declarations (normally issued via directives during a consult).
   Status DeclareTabled(FunctorId functor);
@@ -152,6 +164,44 @@ class Program {
   static std::optional<FunctorId> CallableFunctor(const TermStore& store,
                                                   Word goal);
 
+  // --- Consult-time analysis state ------------------------------------------
+
+  // Lints collected while reading (singleton variables need the variable
+  // names, which do not survive flattening). Analyze() folds these into its
+  // diagnostics.
+  void AddConsultLint(analysis::Diagnostic lint) {
+    consult_lints_.push_back(std::move(lint));
+  }
+  const std::vector<analysis::Diagnostic>& consult_lints() const {
+    return consult_lints_;
+  }
+
+  // Diagnostics produced by the most recent consult-time analysis, for
+  // analyze/1 and shell reporting.
+  void SetAnalysisDiagnostics(std::vector<analysis::Diagnostic> diags) {
+    analysis_diagnostics_ = std::move(diags);
+  }
+  const std::vector<analysis::Diagnostic>& analysis_diagnostics() const {
+    return analysis_diagnostics_;
+  }
+
+  // Per-predicate stratification verdict published by the analyzer: maps
+  // each member of a negation-infected SCC to its S001 message. The tabling
+  // evaluator cites this instead of its generic runtime error.
+  void SetUnstratified(std::unordered_map<FunctorId, std::string> reasons) {
+    unstratified_ = std::move(reasons);
+  }
+  // Returns the S001 message for `functor`, or nullptr if the analyzer
+  // found it stratified (or never ran).
+  const std::string* UnstratifiedReason(FunctorId functor) const {
+    auto it = unstratified_.find(functor);
+    return it == unstratified_.end() ? nullptr : &it->second;
+  }
+
+  // Monotone counter naming anonymous consult units ("<consult-N>"), so
+  // clauses from different ConsultString calls never appear interleaved.
+  int NextConsultId() { return ++consult_counter_; }
+
  private:
   SymbolTable* symbols_;
   OpTable ops_;
@@ -159,6 +209,10 @@ class Program {
   AtomId current_module_;
   std::unordered_map<FunctorId, std::unique_ptr<Predicate>> predicates_;
   std::unordered_set<AtomId> hilog_atoms_;
+  std::vector<analysis::Diagnostic> consult_lints_;
+  std::vector<analysis::Diagnostic> analysis_diagnostics_;
+  std::unordered_map<FunctorId, std::string> unstratified_;
+  int consult_counter_ = 0;
 };
 
 }  // namespace xsb

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "parser/writer.h"
 
 namespace xsb {
@@ -847,6 +848,74 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
   return UnifyResult(m, Arg(m, goal, 1), list);
 }
 
+// analyze/1: reruns the consult-time program analyzer on demand and unifies
+// its argument with a report:
+//   [sccs-N, stratified-B, widened-B,
+//    table_suggestions-[p/N, ...],
+//    index_suggestions-[index(p/N, K), ...],
+//    diagnostics-[diag(Code, Severity, p/N, Message, span(File, Line, Col)),
+//                 ...]]
+// Also refreshes the program's published stratification verdict, so asserts
+// made since the last consult are taken into account.
+BuiltinResult BuiltinAnalyze(Machine& m, Word goal, const GoalNode*) {
+  TermStore* store = m.store();
+  SymbolTable* symbols = store->symbols();
+  analysis::AnalysisResult result = analysis::Analyze(*m.program());
+  analysis::PublishVerdict(m.program(), result);
+
+  FunctorId dash = symbols->InternFunctor(symbols->InternAtom("-"), 2);
+  FunctorId slash = symbols->InternFunctor(symbols->InternAtom("/"), 2);
+  FunctorId diag5 = symbols->InternFunctor(symbols->InternAtom("diag"), 5);
+  FunctorId span3 = symbols->InternFunctor(symbols->InternAtom("span"), 3);
+  FunctorId index2 = symbols->InternFunctor(symbols->InternAtom("index"), 2);
+  Word nil = AtomCell(symbols->nil());
+  auto atom = [&](const char* name) {
+    return AtomCell(symbols->InternAtom(name));
+  };
+  auto pred_indicator = [&](FunctorId f) {
+    return store->MakeStruct(slash,
+                             {AtomCell(symbols->FunctorAtom(f)),
+                              IntCell(symbols->FunctorArity(f))});
+  };
+  auto pair = [&](const char* name, Word value) {
+    return store->MakeStruct(dash,
+                             {AtomCell(symbols->InternAtom(name)), value});
+  };
+
+  std::vector<Word> tables;
+  for (FunctorId f : result.table_suggestions) {
+    tables.push_back(pred_indicator(f));
+  }
+  std::vector<Word> indexes;
+  for (const auto& [f, argnum] : result.index_suggestions) {
+    indexes.push_back(
+        store->MakeStruct(index2, {pred_indicator(f), IntCell(argnum)}));
+  }
+  std::vector<Word> diags;
+  for (const analysis::Diagnostic& d : result.diagnostics) {
+    Word subject = d.functor == analysis::kNoFunctor ? atom("program")
+                                                     : pred_indicator(d.functor);
+    Word file = d.span.file != 0 ? AtomCell(d.span.file) : atom("unknown");
+    Word span = store->MakeStruct(
+        span3, {file, IntCell(d.span.line), IntCell(d.span.column)});
+    diags.push_back(store->MakeStruct(
+        diag5, {atom(analysis::DiagCodeName(d.code)),
+                atom(analysis::SeverityName(d.severity)), subject,
+                AtomCell(symbols->InternAtom(d.message)), span}));
+  }
+  std::vector<Word> items = {
+      pair("sccs", IntCell(static_cast<int64_t>(result.sccs.size()))),
+      pair("stratified", atom(result.stratified() ? "true" : "false")),
+      pair("widened", atom(result.widened ? "true" : "false")),
+      pair("table_suggestions", store->MakeList(tables, nil)),
+      pair("index_suggestions", store->MakeList(indexes, nil)),
+      pair("diagnostics", store->MakeList(diags, nil)),
+  };
+  Word report = store->MakeList(items, nil);
+  m.program()->SetAnalysisDiagnostics(std::move(result.diagnostics));
+  return UnifyResult(m, Arg(m, goal, 0), report);
+}
+
 // --- Output ------------------------------------------------------------------------
 
 BuiltinResult WriteImpl(Machine& m, Word goal, bool quoted, bool newline) {
@@ -923,6 +992,7 @@ BuiltinRegistry::BuiltinRegistry(SymbolTable* symbols) {
   Register(symbols, "atom_concat", 3, BuiltinAtomConcat);
   Register(symbols, "clause", 2, BuiltinClause);
   Register(symbols, "table_stats", 2, BuiltinTableStats);
+  Register(symbols, "analyze", 1, BuiltinAnalyze);
   Register(symbols, "between", 3, BuiltinBetween);
   Register(symbols, "length", 2, BuiltinLength);
   Register(symbols, "assert", 1, BuiltinAssertz);

@@ -13,6 +13,7 @@ OpTable::OpTable(SymbolTable* symbols) {
   def(1150, OpType::kFx, "table");
   def(1150, OpType::kFx, "hilog");
   def(1150, OpType::kFx, "dynamic");
+  def(1150, OpType::kFx, "discontiguous");
   def(1150, OpType::kFx, "module");
   def(1150, OpType::kFx, "import");
   def(1100, OpType::kXfy, ";");

@@ -39,16 +39,24 @@ Status Reader::ErrorHere(const std::string& message) {
 
 Word Reader::VarFor(const std::string& name) {
   if (name == "_") return store_->MakeVar();
-  for (const auto& [n, cell] : var_names_) {
-    if (n == name) return cell;
+  for (VarInfo& info : var_infos_) {
+    if (info.name == name) {
+      ++info.occurrences;
+      return info.cell;
+    }
   }
   Word v = store_->MakeVar();
+  // cur_ is still the variable's own token here.
+  var_infos_.push_back(VarInfo{name, v, 1, cur_.line, cur_.column});
   var_names_.emplace_back(name, v);
   return v;
 }
 
 Result<Word> Reader::ReadClause() {
   var_names_.clear();
+  var_infos_.clear();
+  clause_line_ = cur_.line;
+  clause_column_ = cur_.column;
   if (cur_.kind == TokenKind::kEof) {
     return AtomCell(symbols_->InternAtom("end_of_file"));
   }

@@ -40,6 +40,21 @@ class Reader {
     return var_names_;
   }
 
+  // Everything the singleton lint needs about a named variable: how often
+  // it occurred in the clause and where it was first seen.
+  struct VarInfo {
+    std::string name;
+    Word cell;
+    int occurrences;
+    int line;
+    int column;
+  };
+  const std::vector<VarInfo>& var_infos() const { return var_infos_; }
+
+  // Position of the first token of the most recent ReadClause.
+  int clause_line() const { return clause_line_; }
+  int clause_column() const { return clause_column_; }
+
   bool AtEof();
 
  private:
@@ -67,6 +82,9 @@ class Reader {
   Lexer lexer_;
   Token cur_;
   std::vector<std::pair<std::string, Word>> var_names_;
+  std::vector<VarInfo> var_infos_;
+  int clause_line_ = 0;
+  int clause_column_ = 0;
 };
 
 // Convenience: parse a single term from `text` (no trailing period needed).

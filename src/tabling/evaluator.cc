@@ -3,6 +3,22 @@
 #include "parser/writer.h"
 
 namespace xsb {
+namespace {
+
+// Prefers the consult-time analyzer's S001 verdict (which carries a source
+// span and the offending component) over the generic runtime message. The
+// runtime trigger itself is unchanged; the generic text remains the fallback
+// when the analyzer never saw this predicate (runtime asserts, skipped
+// analysis).
+Status StratificationFailure(Machine* machine, FunctorId functor,
+                             const char* fallback) {
+  const std::string* reason =
+      machine->program()->UnstratifiedReason(functor);
+  if (reason != nullptr) return StratificationError(*reason);
+  return StratificationError(fallback);
+}
+
+}  // namespace
 
 Evaluator::Evaluator(Machine* machine, Options options)
     : machine_(machine),
@@ -65,7 +81,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
       return CallOutcome::kContinue;
     }
     if (sg.batch_id != batch.id) {
-      machine->SetError(StratificationError(
+      machine->SetError(StratificationFailure(
+          machine, *functor,
           "tabled subgoal depends on an incomplete table of an enclosing "
           "negation: the program is not modularly stratified"));
       return CallOutcome::kError;
@@ -279,7 +296,8 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
       return sg.answers->empty() ? CallOutcome::kContinue
                                  : CallOutcome::kFail;
     }
-    machine->SetError(StratificationError(
+    machine->SetError(StratificationFailure(
+        machine, *functor,
         "tnot over an incomplete table: the program is not modularly "
         "stratified"));
     return CallOutcome::kError;
@@ -325,7 +343,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   } else if (tables_.subgoal(id).state != SubgoalState::kComplete) {
     // The paper's tfindall *suspends* until completion; under local
     // scheduling a same-SCC tfindall would deadlock, which we report.
-    machine->SetError(StratificationError(
+    machine->SetError(StratificationFailure(
+        machine, *functor,
         "tfindall/3 on a table of the same recursive component"));
     return CallOutcome::kError;
   }

@@ -27,7 +27,8 @@ std::string Answer::ToString() const {
 Engine::Engine() : Engine(Options()) {}
 
 Engine::Engine(Options options)
-    : symbols_(std::make_unique<SymbolTable>()),
+    : strict_analysis_(options.strict_analysis),
+      symbols_(std::make_unique<SymbolTable>()),
       store_(std::make_unique<TermStore>(symbols_.get())),
       program_(std::make_unique<Program>(symbols_.get())),
       machine_(std::make_unique<Machine>(store_.get(), program_.get())) {
@@ -41,11 +42,13 @@ Engine::~Engine() = default;
 
 Status Engine::ConsultString(std::string_view text) {
   Loader loader(store_.get(), program_.get());
+  loader.set_strict(strict_analysis_);
   return loader.ConsultString(text);
 }
 
 Status Engine::ConsultFile(const std::string& path) {
   Loader loader(store_.get(), program_.get());
+  loader.set_strict(strict_analysis_);
   return loader.ConsultFile(path);
 }
 
@@ -128,5 +131,12 @@ Result<std::vector<Answer>> Engine::FindAll(std::string_view goal) {
 }
 
 void Engine::AbolishAllTables() { evaluator_->AbolishAllTables(); }
+
+analysis::AnalysisResult Engine::Analyze(
+    const analysis::AnalyzeOptions& options) {
+  analysis::AnalysisResult result = analysis::Analyze(*program_, options);
+  analysis::PublishVerdict(program_.get(), result);
+  return result;
+}
 
 }  // namespace xsb

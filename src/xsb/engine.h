@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "base/status.h"
 #include "db/loader.h"
 #include "db/program.h"
@@ -48,6 +49,10 @@ class Engine {
     bool answer_trie = true;        // trie-based answer tables (default);
                                     // false = hash-set store (ablation)
     bool early_completion = false;  // complete ground calls at first answer
+    bool strict_analysis = false;   // consults fail on error-severity
+                                    // analysis diagnostics (non-stratified
+                                    // programs) instead of deferring to the
+                                    // runtime checks
   };
 
   Engine();
@@ -92,6 +97,13 @@ class Engine {
   // Drops all tables (answers will be recomputed on the next call).
   void AbolishAllTables();
 
+  // --- Analysis ---------------------------------------------------------------
+
+  // Runs the consult-time program analyzer on demand (the C++ face of the
+  // analyze/1 builtin) and republishes the stratification verdict.
+  analysis::AnalysisResult Analyze(
+      const analysis::AnalyzeOptions& options = analysis::AnalyzeOptions());
+
   // --- Escape hatches for benchmarks and tests --------------------------------
 
   TermStore& store() { return *store_; }
@@ -101,6 +113,7 @@ class Engine {
   SymbolTable& symbols() { return *symbols_; }
 
  private:
+  bool strict_analysis_ = false;
   std::unique_ptr<SymbolTable> symbols_;
   std::unique_ptr<TermStore> store_;
   std::unique_ptr<Program> program_;

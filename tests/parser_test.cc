@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "parser/lexer.h"
 #include "parser/reader.h"
 #include "parser/writer.h"
 #include "term/store.h"
@@ -194,6 +195,66 @@ TEST_F(ParserTest, QuotedAtomsWithEscapes) {
 TEST_F(ParserTest, CurlyBraces) {
   EXPECT_EQ(RoundTrip("{a,b}"), "{}(','(a,b))");
   EXPECT_EQ(RoundTrip("{}"), "{}");
+}
+
+// --- Source spans (consumed by the analyzer's diagnostics) -------------------
+
+TEST(LexerSpanTest, TokensAfterLineCommentKeepColumns) {
+  Lexer lexer("% leading comment\n  foo(X)");
+  Token foo = lexer.Next();
+  EXPECT_EQ(foo.kind, TokenKind::kAtom);
+  EXPECT_EQ(foo.line, 2);
+  EXPECT_EQ(foo.column, 3);
+  Token paren = lexer.Next();
+  EXPECT_EQ(paren.kind, TokenKind::kFuncLParen);
+  EXPECT_EQ(paren.column, 6);
+  Token var = lexer.Next();
+  EXPECT_EQ(var.kind, TokenKind::kVar);
+  EXPECT_EQ(var.line, 2);
+  EXPECT_EQ(var.column, 7);
+}
+
+TEST(LexerSpanTest, TrailingLineCommentDoesNotSkewNextLine) {
+  Lexer lexer("a. % comment after a clause\nbcd.");
+  EXPECT_EQ(lexer.Next().text, "a");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kEnd);
+  Token b = lexer.Next();
+  EXPECT_EQ(b.text, "bcd");
+  EXPECT_EQ(b.line, 2);
+  EXPECT_EQ(b.column, 1);
+}
+
+TEST(LexerSpanTest, BlockCommentsTrackLinesAndColumns) {
+  Lexer lexer("/* one\n   two */ x /* inline */ Y");
+  Token x = lexer.Next();
+  EXPECT_EQ(x.text, "x");
+  EXPECT_EQ(x.line, 2);
+  EXPECT_EQ(x.column, 11);
+  Token y = lexer.Next();
+  EXPECT_EQ(y.kind, TokenKind::kVar);
+  EXPECT_EQ(y.line, 2);
+  EXPECT_EQ(y.column, 26);
+}
+
+TEST_F(ParserTest, ReaderReportsClauseAndVariableSpans) {
+  Reader reader(&store_, &ops_,
+                "% header\nfirst(1).\n  second(X, Y) :- q(X, X).\n");
+  ASSERT_TRUE(reader.ReadClause().ok());
+  EXPECT_EQ(reader.clause_line(), 2);
+  EXPECT_EQ(reader.clause_column(), 1);
+
+  ASSERT_TRUE(reader.ReadClause().ok());
+  EXPECT_EQ(reader.clause_line(), 3);
+  EXPECT_EQ(reader.clause_column(), 3);
+  const std::vector<Reader::VarInfo>& vars = reader.var_infos();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0].name, "X");
+  EXPECT_EQ(vars[0].occurrences, 3);
+  EXPECT_EQ(vars[0].line, 3);
+  EXPECT_EQ(vars[0].column, 10);
+  EXPECT_EQ(vars[1].name, "Y");
+  EXPECT_EQ(vars[1].occurrences, 1);
+  EXPECT_EQ(vars[1].column, 13);
 }
 
 }  // namespace
