@@ -721,4 +721,38 @@ void PublishVerdict(Program* program, const AnalysisResult& result) {
   program->SetUnstratified(std::move(reasons));
 }
 
+std::unordered_map<FunctorId, std::vector<FunctorId>> IncrementalDependencies(
+    const Program& program, const AnalysisResult& result) {
+  // Reverse adjacency: for each callee, who calls it. Edge kinds do not
+  // matter here — a change below a negation or aggregation still changes
+  // the caller's answers.
+  std::unordered_map<FunctorId, std::vector<FunctorId>> callers;
+  for (const CallEdge& edge : result.edges) {
+    callers[edge.to].push_back(edge.from);
+  }
+  std::unordered_map<FunctorId, std::vector<FunctorId>> deps;
+  for (const auto& [functor, pred] : program.predicates()) {
+    if (!pred->incremental()) continue;
+    // Every predicate that can reach `functor` (including itself) depends
+    // on it: walk the reversed call graph.
+    std::vector<FunctorId> work{functor};
+    std::unordered_set<FunctorId> seen{functor};
+    while (!work.empty()) {
+      FunctorId reached = work.back();
+      work.pop_back();
+      deps[reached].push_back(functor);
+      auto it = callers.find(reached);
+      if (it == callers.end()) continue;
+      for (FunctorId caller : it->second) {
+        if (seen.insert(caller).second) work.push_back(caller);
+      }
+    }
+  }
+  return deps;
+}
+
+void PublishIncrementalDeps(Program* program, const AnalysisResult& result) {
+  program->SetIncrementalDeps(IncrementalDependencies(*program, result));
+}
+
 }  // namespace xsb::analysis

@@ -89,6 +89,18 @@ std::vector<FunctorId> ApplyTableSuggestions(
 // uses to replace its generic runtime kStratification error.
 void PublishVerdict(Program* program, const AnalysisResult& result);
 
+// Per-predicate sets of incremental dynamic predicates reachable through the
+// call graph (a predicate declared incremental reaches itself). These seed
+// the table space's subgoal->predicate dependency edges, guaranteeing that
+// invalidation over-approximates the truly affected tables even where the
+// runtime edge capture is blind (call/N, HiLog widening).
+std::unordered_map<FunctorId, std::vector<FunctorId>> IncrementalDependencies(
+    const Program& program, const AnalysisResult& result);
+
+// Stores IncrementalDependencies() on the program for the evaluator to read
+// when it creates tables.
+void PublishIncrementalDeps(Program* program, const AnalysisResult& result);
+
 }  // namespace xsb::analysis
 
 #endif  // XSB_ANALYSIS_ANALYZER_H_

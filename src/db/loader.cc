@@ -23,7 +23,8 @@ Result<FunctorId> Loader::ParsePredSpec(Word spec) {
   return InvalidError("expected a Name/Arity predicate specification");
 }
 
-Status Loader::HandleTableSpec(Word spec) {
+Status Loader::ForEachPredSpec(Word spec,
+                               const std::function<Status(FunctorId)>& fn) {
   SymbolTable* symbols = store_->symbols();
   spec = store_->Deref(spec);
   // Allow conjunctions and lists of specs.
@@ -32,37 +33,28 @@ Status Loader::HandleTableSpec(Word spec) {
   if (IsStruct(spec)) {
     FunctorId f = store_->StructFunctor(spec);
     if (f == comma || f == cons) {
-      Status s = HandleTableSpec(store_->Arg(spec, 0));
+      Status s = ForEachPredSpec(store_->Arg(spec, 0), fn);
       if (!s.ok()) return s;
       Word rest = store_->Deref(store_->Arg(spec, 1));
       if (IsAtom(rest) && AtomOf(rest) == symbols->nil()) return Status::Ok();
-      return HandleTableSpec(rest);
+      return ForEachPredSpec(rest, fn);
     }
   }
   Result<FunctorId> functor = ParsePredSpec(spec);
   if (!functor.ok()) return functor.status();
-  return program_->DeclareTabled(functor.value());
+  return fn(functor.value());
+}
+
+Status Loader::HandleTableSpec(Word spec) {
+  return ForEachPredSpec(
+      spec, [this](FunctorId f) { return program_->DeclareTabled(f); });
 }
 
 Status Loader::HandleDiscontiguousSpec(Word spec) {
-  SymbolTable* symbols = store_->symbols();
-  spec = store_->Deref(spec);
-  FunctorId comma = symbols->InternFunctor(symbols->comma(), 2);
-  FunctorId cons = symbols->InternFunctor(symbols->dot(), 2);
-  if (IsStruct(spec)) {
-    FunctorId f = store_->StructFunctor(spec);
-    if (f == comma || f == cons) {
-      Status s = HandleDiscontiguousSpec(store_->Arg(spec, 0));
-      if (!s.ok()) return s;
-      Word rest = store_->Deref(store_->Arg(spec, 1));
-      if (IsAtom(rest) && AtomOf(rest) == symbols->nil()) return Status::Ok();
-      return HandleDiscontiguousSpec(rest);
-    }
-  }
-  Result<FunctorId> functor = ParsePredSpec(spec);
-  if (!functor.ok()) return functor.status();
-  program_->LookupOrCreate(functor.value())->set_discontiguous_ok(true);
-  return Status::Ok();
+  return ForEachPredSpec(spec, [this](FunctorId f) {
+    program_->LookupOrCreate(f)->set_discontiguous_ok(true);
+    return Status::Ok();
+  });
 }
 
 Status Loader::HandleIndexSpec(Word pred_spec, Word index_spec) {
@@ -173,12 +165,17 @@ Status Loader::HandleDirective(Word directive) {
                            store_->Arg(directive, 1));
   }
   if (name == "dynamic" && arity == 1) {
-    Result<FunctorId> functor = ParsePredSpec(store_->Arg(directive, 0));
-    if (!functor.ok()) return functor.status();
-    Predicate* pred = program_->LookupOrCreate(functor.value());
-    pred->set_dynamic(true);
-    pred->set_declared(true);
-    return Status::Ok();
+    return ForEachPredSpec(store_->Arg(directive, 0), [this](FunctorId f) {
+      Predicate* pred = program_->LookupOrCreate(f);
+      pred->set_dynamic(true);
+      pred->set_declared(true);
+      return Status::Ok();
+    });
+  }
+  if (name == "incremental" && arity == 1) {
+    return ForEachPredSpec(store_->Arg(directive, 0), [this](FunctorId f) {
+      return program_->DeclareIncremental(f);
+    });
   }
   if (name == "discontiguous" && arity == 1) {
     return HandleDiscontiguousSpec(store_->Arg(directive, 0));
@@ -299,6 +296,7 @@ Status Loader::RunAnalysis() {
     result = analysis::Analyze(*program_);
   }
   analysis::PublishVerdict(program_, result);
+  analysis::PublishIncrementalDeps(program_, result);
   if (strict_) {
     for (const analysis::Diagnostic& diagnostic : result.diagnostics) {
       if (diagnostic.severity == analysis::Severity::kError) {

@@ -1,6 +1,7 @@
 #ifndef XSB_DB_LOADER_H_
 #define XSB_DB_LOADER_H_
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -13,9 +14,9 @@
 namespace xsb {
 
 // Consults source text into a Program: reads clauses, processes directives
-// (:- table, :- table_all, :- hilog, :- index, :- dynamic, :- module), and
-// asserts everything else. One Loader per consult unit; the paper's
-// `table_all` directive is scoped to the unit it appears in.
+// (:- table, :- table_all, :- hilog, :- index, :- dynamic, :- incremental,
+// :- module), and asserts everything else. One Loader per consult unit; the
+// paper's `table_all` directive is scoped to the unit it appears in.
 class Loader {
  public:
   Loader(TermStore* store, Program* program)
@@ -46,6 +47,10 @@ class Loader {
 
  private:
   Status HandleDirective(Word directive);
+  // Applies `fn` to each Name/Arity in `spec` (a single spec, a conjunction,
+  // or a list of specs).
+  Status ForEachPredSpec(Word spec,
+                         const std::function<Status(FunctorId)>& fn);
   Status HandleTableSpec(Word spec);
   Status HandleIndexSpec(Word pred_spec, Word index_spec);
   Status HandleDiscontiguousSpec(Word spec);

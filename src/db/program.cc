@@ -223,6 +223,7 @@ Status Program::AddClauseTerm(const TermStore& store, Word clause_term,
   }
   Predicate* pred = LookupOrCreate(*functor);
   pred->AddClause(*symbols_, std::move(clause), front);
+  if (pred->incremental()) NotifyIncrementalUpdate(*functor);
   return Status::Ok();
 }
 
@@ -230,6 +231,18 @@ Status Program::DeclareTabled(FunctorId functor) {
   Predicate* pred = LookupOrCreate(functor);
   pred->set_tabled(true);
   pred->set_declared(true);
+  return Status::Ok();
+}
+
+Status Program::DeclareIncremental(FunctorId functor) {
+  Predicate* pred = LookupOrCreate(functor);
+  bool newly_incremental = !pred->incremental();
+  pred->set_incremental(true);
+  pred->set_dynamic(true);
+  pred->set_declared(true);
+  if (newly_incremental && update_listener_ != nullptr) {
+    update_listener_->OnIncrementalDeclaration(functor);
+  }
   return Status::Ok();
 }
 

@@ -49,6 +49,11 @@ class Predicate {
   void set_tabled(bool value) { tabled_ = value; }
   bool dynamic() const { return dynamic_; }
   void set_dynamic(bool value) { dynamic_ = value; }
+  // Declared via :- incremental(p/N): updates to this predicate's clauses
+  // are reported to the table-maintenance listener so dependent tables can
+  // be invalidated instead of going silently stale.
+  bool incremental() const { return incremental_; }
+  void set_incremental(bool value) { incremental_ = value; }
   // Declared via a directive (table/dynamic/index/...): calling it with no
   // clauses is intentional, so the unknown-predicate lint stays quiet.
   bool declared() const { return declared_; }
@@ -98,6 +103,7 @@ class Predicate {
   AtomId module_;
   bool tabled_ = false;
   bool dynamic_ = true;
+  bool incremental_ = false;
   bool declared_ = false;
   bool discontiguous_ok_ = false;
   size_t live_count_ = 0;
@@ -109,6 +115,22 @@ class Predicate {
   std::unique_ptr<FirstStringIndex> trie_;
 
   std::vector<Clause> clauses_;
+};
+
+// Receives change notifications for incremental dynamic predicates. The
+// tabling evaluator registers itself here so assert/retract/consult on a
+// `:- incremental` predicate invalidates exactly the dependent tables.
+class TableUpdateListener {
+ public:
+  virtual ~TableUpdateListener() = default;
+
+  // Predicate `functor` (declared incremental) gained or lost a clause.
+  virtual void OnIncrementalUpdate(FunctorId functor) = 0;
+
+  // Predicate `functor` just *became* incremental. Tables created before the
+  // declaration carry no dependency entries for it, so a late (runtime)
+  // declaration must be handled conservatively.
+  virtual void OnIncrementalDeclaration(FunctorId /*functor*/) {}
 };
 
 // The clause database: predicates, HiLog declarations, the operator table,
@@ -141,6 +163,8 @@ class Program {
 
   // Declarations (normally issued via directives during a consult).
   Status DeclareTabled(FunctorId functor);
+  // :- incremental(p/N): dynamic + update events feed table maintenance.
+  Status DeclareIncremental(FunctorId functor);
   Status DeclareHilog(AtomId atom);
   Status DeclareIndex(FunctorId functor,
                       std::vector<std::vector<int>> field_sets);
@@ -202,6 +226,34 @@ class Program {
   // clauses from different ConsultString calls never appear interleaved.
   int NextConsultId() { return ++consult_counter_; }
 
+  // --- Incremental update maintenance ---------------------------------------
+
+  // Registers the table-maintenance listener (the tabling evaluator).
+  void set_update_listener(TableUpdateListener* listener) {
+    update_listener_ = listener;
+  }
+  // Reports a clause change on incremental predicate `functor`. AddClauseTerm
+  // calls this itself; the retract family of builtins calls it after erasing.
+  void NotifyIncrementalUpdate(FunctorId functor) {
+    if (update_listener_ != nullptr) {
+      update_listener_->OnIncrementalUpdate(functor);
+    }
+  }
+
+  // Static dependency seeds published by the analyzer: for each predicate,
+  // the incremental predicates reachable through the call graph (including
+  // itself when incremental). New tables are registered as readers of every
+  // seed, which makes invalidation a superset of the truly affected tables
+  // even for calls the runtime capture cannot see (call/N, HiLog).
+  void SetIncrementalDeps(
+      std::unordered_map<FunctorId, std::vector<FunctorId>> deps) {
+    incremental_deps_ = std::move(deps);
+  }
+  const std::vector<FunctorId>* IncrementalDepsOf(FunctorId functor) const {
+    auto it = incremental_deps_.find(functor);
+    return it == incremental_deps_.end() ? nullptr : &it->second;
+  }
+
  private:
   SymbolTable* symbols_;
   OpTable ops_;
@@ -213,6 +265,8 @@ class Program {
   std::vector<analysis::Diagnostic> analysis_diagnostics_;
   std::unordered_map<FunctorId, std::string> unstratified_;
   int consult_counter_ = 0;
+  TableUpdateListener* update_listener_ = nullptr;
+  std::unordered_map<FunctorId, std::vector<FunctorId>> incremental_deps_;
 };
 
 }  // namespace xsb

@@ -594,6 +594,7 @@ BuiltinResult BuiltinRetract(Machine& m, Word goal, const GoalNode*) {
     // (H :- B) pattern matches against the stored body.
     if (store->Unify(head, chead) && store->Unify(body, cbody)) {
       pred->EraseClause(id);
+      if (pred->incremental()) m.program()->NotifyIncrementalUpdate(*functor);
       return BuiltinResult::kTrue;  // bindings stay, as in ISO retract
     }
     store->UndoTrail(trail);
@@ -612,6 +613,7 @@ BuiltinResult BuiltinRetractAll(Machine& m, Word goal, const GoalNode*) {
   }
   Predicate* pred = m.program()->Lookup(*functor);
   if (pred == nullptr) return BuiltinResult::kTrue;
+  bool erased_any = false;
   for (ClauseId id : pred->Candidates(*store, head)) {
     const Clause& clause = pred->clause(id);
     if (clause.erased) continue;
@@ -620,9 +622,15 @@ BuiltinResult BuiltinRetractAll(Machine& m, Word goal, const GoalNode*) {
     Word inst = Unflatten(store, clause.term);
     Word chead = inst;
     if (clause.is_rule) chead = store->Arg(store->Deref(inst), 0);
-    if (store->Unify(head, chead)) pred->EraseClause(id);
+    if (store->Unify(head, chead)) {
+      pred->EraseClause(id);
+      erased_any = true;
+    }
     store->UndoTrail(trail);
     store->TruncateHeap(heap);
+  }
+  if (erased_any && pred->incremental()) {
+    m.program()->NotifyIncrementalUpdate(*functor);
   }
   return BuiltinResult::kTrue;
 }
@@ -646,8 +654,12 @@ BuiltinResult BuiltinAbolish(Machine& m, Word goal, const GoalNode*) {
                                        static_cast<int>(IntValue(arity)));
   Predicate* pred = m.program()->Lookup(f);
   if (pred != nullptr) {
+    bool erased_any = pred->num_live_clauses() > 0;
     for (ClauseId id = 0; id < pred->clauses().size(); ++id) {
       pred->EraseClause(id);
+    }
+    if (erased_any && pred->incremental()) {
+      m.program()->NotifyIncrementalUpdate(f);
     }
   }
   return BuiltinResult::kTrue;
@@ -862,6 +874,7 @@ BuiltinResult BuiltinAnalyze(Machine& m, Word goal, const GoalNode*) {
   SymbolTable* symbols = store->symbols();
   analysis::AnalysisResult result = analysis::Analyze(*m.program());
   analysis::PublishVerdict(m.program(), result);
+  analysis::PublishIncrementalDeps(m.program(), result);
 
   FunctorId dash = symbols->InternFunctor(symbols->InternAtom("-"), 2);
   FunctorId slash = symbols->InternFunctor(symbols->InternAtom("/"), 2);
@@ -914,6 +927,105 @@ BuiltinResult BuiltinAnalyze(Machine& m, Word goal, const GoalNode*) {
   Word report = store->MakeList(items, nil);
   m.program()->SetAnalysisDiagnostics(std::move(result.diagnostics));
   return UnifyResult(m, Arg(m, goal, 0), report);
+}
+
+// --- Incremental table maintenance ----------------------------------------------
+
+// Walks an incremental/1 spec: Name/Arity, a comma conjunction, or a list.
+Status DeclareIncrementalSpec(Machine& m, Word spec) {
+  TermStore* store = m.store();
+  SymbolTable* symbols = store->symbols();
+  spec = store->Deref(spec);
+  FunctorId comma = symbols->InternFunctor(symbols->comma(), 2);
+  FunctorId cons = symbols->InternFunctor(symbols->dot(), 2);
+  FunctorId slash = symbols->InternFunctor(symbols->InternAtom("/"), 2);
+  if (IsStruct(spec)) {
+    FunctorId f = store->StructFunctor(spec);
+    if (f == comma || f == cons) {
+      Status s = DeclareIncrementalSpec(m, store->Arg(spec, 0));
+      if (!s.ok()) return s;
+      Word rest = store->Deref(store->Arg(spec, 1));
+      if (IsAtom(rest) && AtomOf(rest) == symbols->nil()) return Status::Ok();
+      return DeclareIncrementalSpec(m, rest);
+    }
+    if (f == slash) {
+      Word name = store->Deref(store->Arg(spec, 0));
+      Word arity = store->Deref(store->Arg(spec, 1));
+      if (IsAtom(name) && IsInt(arity)) {
+        FunctorId functor = symbols->InternFunctor(
+            AtomOf(name), static_cast<int>(IntValue(arity)));
+        return m.program()->DeclareIncremental(functor);
+      }
+    }
+  }
+  return TypeError("incremental/1: expected Name/Arity spec(s)");
+}
+
+// incremental/1: runtime counterpart of the `:- incremental(p/N)` directive.
+// After declaring, reruns the analyzer so the static dependency seeds given
+// to tables created from here on cover the fresh declarations.
+BuiltinResult BuiltinIncremental(Machine& m, Word goal, const GoalNode*) {
+  Status status = DeclareIncrementalSpec(m, Arg(m, goal, 0));
+  if (!status.ok()) {
+    m.SetError(status);
+    return BuiltinResult::kError;
+  }
+  analysis::AnalysisResult result = analysis::Analyze(*m.program());
+  analysis::PublishIncrementalDeps(m.program(), result);
+  return BuiltinResult::kTrue;
+}
+
+// abolish_table_call/1: disposes the variant table of Goal (its dependents
+// are untouched — use updates for that). Fails when Goal has no table.
+BuiltinResult BuiltinAbolishTableCall(Machine& m, Word goal, const GoalNode*) {
+  TabledCallHandler* handler = m.tabled_handler();
+  if (handler == nullptr) {
+    m.SetError(
+        TypeError("abolish_table_call/1: no tabling evaluator installed"));
+    return BuiltinResult::kError;
+  }
+  TermStore* store = m.store();
+  Word subject = store->Deref(Arg(m, goal, 0));
+  if (!Program::CallableFunctor(*store, subject).has_value()) {
+    m.SetError(
+        InstantiationError("abolish_table_call/1: goal must be callable"));
+    return BuiltinResult::kError;
+  }
+  return handler->AbolishTableCall(&m, subject) ? BuiltinResult::kTrue
+                                                : BuiltinResult::kFail;
+}
+
+// table_state/2: table_state(Goal, State) unifies State with the variant
+// table's lifecycle state: undefined | incomplete | complete | invalid.
+BuiltinResult BuiltinTableState(Machine& m, Word goal, const GoalNode*) {
+  TabledCallHandler* handler = m.tabled_handler();
+  if (handler == nullptr) {
+    m.SetError(TypeError("table_state/2: no tabling evaluator installed"));
+    return BuiltinResult::kError;
+  }
+  TermStore* store = m.store();
+  SymbolTable* symbols = store->symbols();
+  Word subject = store->Deref(Arg(m, goal, 0));
+  if (!Program::CallableFunctor(*store, subject).has_value()) {
+    m.SetError(InstantiationError("table_state/2: goal must be callable"));
+    return BuiltinResult::kError;
+  }
+  const char* name = "undefined";
+  switch (handler->GetTableState(&m, subject)) {
+    case TabledCallHandler::TableState::kNoTable:
+      name = "undefined";
+      break;
+    case TabledCallHandler::TableState::kIncomplete:
+      name = "incomplete";
+      break;
+    case TabledCallHandler::TableState::kComplete:
+      name = "complete";
+      break;
+    case TabledCallHandler::TableState::kInvalid:
+      name = "invalid";
+      break;
+  }
+  return UnifyResult(m, Arg(m, goal, 1), AtomCell(symbols->InternAtom(name)));
 }
 
 // --- Output ------------------------------------------------------------------------
@@ -992,7 +1104,10 @@ BuiltinRegistry::BuiltinRegistry(SymbolTable* symbols) {
   Register(symbols, "atom_concat", 3, BuiltinAtomConcat);
   Register(symbols, "clause", 2, BuiltinClause);
   Register(symbols, "table_stats", 2, BuiltinTableStats);
+  Register(symbols, "table_state", 2, BuiltinTableState);
   Register(symbols, "analyze", 1, BuiltinAnalyze);
+  Register(symbols, "incremental", 1, BuiltinIncremental);
+  Register(symbols, "abolish_table_call", 1, BuiltinAbolishTableCall);
   Register(symbols, "between", 3, BuiltinBetween);
   Register(symbols, "length", 2, BuiltinLength);
   Register(symbols, "assert", 1, BuiltinAssertz);

@@ -182,6 +182,14 @@ Machine::StepResult Machine::CallUserPredicate(Word goal, FunctorId functor,
     }
   }
 
+  // From here on the goal resolves against clauses (this includes the
+  // tabling evaluator's own $resolve_clauses episodes): tell the table
+  // maintenance subsystem when the predicate is incremental, so the table
+  // being computed records its dependency on these clauses.
+  if (pred != nullptr && pred->incremental() && handler_ != nullptr) {
+    handler_->OnIncrementalAccess(functor);
+  }
+
   SymbolTable* symbols = store_->symbols();
   if (pred == nullptr || pred->num_live_clauses() == 0) {
     // HiLog runtime dispatch: apply(F, Args...) with F bound to an atom and

@@ -70,6 +70,31 @@ class TabledCallHandler {
   virtual TableStatsInfo GetTableStats(Machine* /*machine*/, Word /*goal*/) {
     return TableStatsInfo{};
   }
+
+  // --- Incremental table maintenance hooks ----------------------------------
+
+  // Clause resolution is about to touch incremental dynamic predicate
+  // `functor` — the evaluator records a dependency edge from the table being
+  // computed (if any) to the predicate. Default: no tracking.
+  virtual void OnIncrementalAccess(FunctorId /*functor*/) {}
+
+  // abolish_table_call/1: disposes the variant table of `goal`. Returns
+  // true when such a table existed.
+  virtual bool AbolishTableCall(Machine* /*machine*/, Word /*goal*/) {
+    return false;
+  }
+
+  // table_state/2 snapshot of the variant table of `goal`.
+  enum class TableState {
+    kNoTable,     // never called (or abolished): `undefined`
+    kIncomplete,  // mid-evaluation
+    kComplete,    // completed and current
+    kInvalid,     // completed, but invalidated by an update; will lazily
+                  // re-evaluate on its next call
+  };
+  virtual TableState GetTableState(Machine* /*machine*/, Word /*goal*/) {
+    return TableState::kNoTable;
+  }
 };
 
 // Counters for the experiments (Figure 2 counts calls; section 3.2 compares

@@ -23,7 +23,8 @@ Status StratificationFailure(Machine* machine, FunctorId functor,
 Evaluator::Evaluator(Machine* machine, Options options)
     : machine_(machine),
       tables_(machine->store()->symbols(), options.answer_trie),
-      early_completion_(options.early_completion) {
+      early_completion_(options.early_completion),
+      incremental_(options.incremental) {
   SymbolTable* symbols = machine->store()->symbols();
   f_resolve_clauses_ = symbols->InternFunctor(
       symbols->InternAtom("$resolve_clauses"), 1);
@@ -31,9 +32,67 @@ Evaluator::Evaluator(Machine* machine, Options options)
       symbols->InternFunctor(symbols->InternAtom("$tabled_answer"), 2);
   f_consumer_ = symbols->InternFunctor(symbols->InternAtom("$consumer"), 2);
   machine->set_tabled_handler(this);
+  machine->program()->set_update_listener(this);
 }
 
+Evaluator::~Evaluator() { machine_->program()->set_update_listener(nullptr); }
+
 void Evaluator::AbolishAllTables() { tables_.Clear(); }
+
+void Evaluator::SeedSubgoalDeps(SubgoalId id, FunctorId functor) {
+  const std::vector<FunctorId>* seeds =
+      machine_->program()->IncrementalDepsOf(functor);
+  if (seeds != nullptr) {
+    for (FunctorId pred : *seeds) tables_.AddPredReader(pred, id);
+  }
+  // Runtime-declared incremental predicates may predate any analysis run;
+  // a table always depends on its own predicate's clauses.
+  const Predicate* pred = machine_->program()->Lookup(functor);
+  if (pred != nullptr && pred->incremental()) {
+    tables_.AddPredReader(functor, id);
+  }
+}
+
+void Evaluator::OnIncrementalAccess(FunctorId functor) {
+  SubgoalId current = CurrentSubgoal();
+  if (current != kNoSubgoal) tables_.AddPredReader(functor, current);
+}
+
+void Evaluator::OnIncrementalUpdate(FunctorId functor) {
+  ++stats_.update_events;
+  if (!incremental_) {
+    // Baseline policy: any update to incremental data invalidates the world.
+    // Deferred while a batch is live — Clear() would pull the tables out
+    // from under the running evaluation.
+    if (batches_.empty()) {
+      tables_.Clear();
+    } else {
+      pending_full_abolish_ = true;
+    }
+    return;
+  }
+  tables_.InvalidateForPredicate(functor);
+}
+
+void Evaluator::OnIncrementalDeclaration(FunctorId /*functor*/) {
+  if (tables_.num_subgoals() == 0) return;
+  if (!incremental_) {
+    if (batches_.empty()) {
+      tables_.Clear();
+    } else {
+      pending_full_abolish_ = true;
+    }
+    return;
+  }
+  tables_.InvalidateAll();
+}
+
+void Evaluator::ApplyPendingAbolish() {
+  if (pending_full_abolish_ && batches_.empty()) {
+    tables_.Clear();
+    pending_full_abolish_ = false;
+  }
+}
 
 Word Evaluator::BuildConsumerTerm(Word goal, const GoalNode* cont) {
   TermStore* store = machine_->store();
@@ -56,9 +115,11 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
   }
 
   if (batches_.empty()) {
-    // Top-level call: evaluate to completion, then enumerate answers.
+    // Top-level call: evaluate to completion (also when an update left the
+    // table invalid), then enumerate answers.
+    ApplyPendingAbolish();
     SubgoalId id = tables_.Lookup(canon);
-    if (id == kNoSubgoal) {
+    if (id == kNoSubgoal || tables_.NeedsReevaluation(id)) {
       bool has_answer = false;
       Status st = EvaluateToCompletion(goal, *functor, /*existential=*/false,
                                        &has_answer, &id);
@@ -74,13 +135,23 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
 
   Batch& batch = batches_.back();
   auto [id, created] = tables_.LookupOrCreate(canon, *functor, batch.id);
+  // The consuming table depends on the consumed one: an update invalidating
+  // `id` must also invalidate whoever built answers from it.
+  SubgoalId caller = CurrentSubgoal();
+  if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
   Subgoal& sg = tables_.subgoal(id);
   if (!created) {
     if (sg.state == SubgoalState::kComplete) {
-      machine->PushAnswerChoices(goal, sg.answers.get(), cont);
-      return CallOutcome::kContinue;
-    }
-    if (sg.batch_id != batch.id) {
+      if (!tables_.NeedsReevaluation(id)) {
+        machine->PushAnswerChoices(goal, sg.answers.get(), cont);
+        return CallOutcome::kContinue;
+      }
+      // Invalid table called mid-batch: reopen it as a generator of this
+      // batch; the caller suspends as an ordinary consumer below.
+      tables_.ResetForReevaluation(id, batch.id);
+      batch.subgoals.push_back(id);
+      batch.generator_queue.push_back(id);
+    } else if (sg.batch_id != batch.id) {
       machine->SetError(StratificationFailure(
           machine, *functor,
           "tabled subgoal depends on an incomplete table of an enclosing "
@@ -88,12 +159,14 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
       return CallOutcome::kError;
     }
   } else {
+    SeedSubgoalDeps(id, *functor);
     batch.subgoals.push_back(id);
     batch.generator_queue.push_back(id);
   }
   // Suspend the caller as a consumer; the batch loop resumes it per answer.
   Consumer consumer;
   consumer.producer = id;
+  consumer.owner = caller;
   consumer.saved = Flatten(*store, BuildConsumerTerm(goal, cont));
   batch.consumers.push_back(std::move(consumer));
   ++tables_.stats().consumer_suspensions;
@@ -143,14 +216,17 @@ Status Evaluator::RunGeneratorEpisode(SubgoalId id) {
   uint32_t cut_depth = static_cast<uint32_t>(machine_->choice_point_count());
   const GoalNode* chain = machine_->Cons(
       resolve, machine_->Cons(marker, nullptr, cut_depth), cut_depth);
+  eval_stack_.push_back(id);
   Status status =
       machine_->Run(chain, []() { return SolveAction::kContinue; });
+  eval_stack_.pop_back();
   store->UndoTrail(trail);
   store->TruncateHeap(heap);
   return status;
 }
 
-Status Evaluator::ResumeConsumer(FlatTerm saved, const FlatTerm& answer) {
+Status Evaluator::ResumeConsumer(SubgoalId owner, FlatTerm saved,
+                                 const FlatTerm& answer) {
   ++stats_.resumptions;
   ++tables_.stats().consumer_resumptions;
   TermStore* store = machine_->store();
@@ -180,8 +256,12 @@ Status Evaluator::ResumeConsumer(FlatTerm saved, const FlatTerm& answer) {
   for (auto it = goals.rbegin(); it != goals.rend(); ++it) {
     chain = machine_->Cons(*it, chain, cut_depth);
   }
+  // The continuation is part of `owner`'s clause bodies: run it in the
+  // owner's dependency-capture context.
+  eval_stack_.push_back(owner);
   Status status =
       machine_->Run(chain, []() { return SolveAction::kContinue; });
+  eval_stack_.pop_back();
   store->UndoTrail(trail);
   store->TruncateHeap(heap);
   return status;
@@ -213,8 +293,9 @@ Status Evaluator::RunBatchLoop(size_t batch_index) {
         if (c.next_answer >= sg.answers->size()) break;
         sg.answers->ReadAnswer(c.next_answer, &answer);
         ++batches_[batch_index].consumers[ci].next_answer;
+        SubgoalId owner = batches_[batch_index].consumers[ci].owner;
         FlatTerm saved = batches_[batch_index].consumers[ci].saved;
-        Status status = ResumeConsumer(std::move(saved), answer);
+        Status status = ResumeConsumer(owner, std::move(saved), answer);
         if (!status.ok()) return status;
         progressed = true;
       }
@@ -241,6 +322,11 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
   FlatTerm canon = Flatten(*store, goal);
   auto [root, created] =
       tables_.LookupOrCreate(canon, functor, batches_[batch_index].id);
+  if (created) {
+    SeedSubgoalDeps(root, functor);
+  } else if (tables_.NeedsReevaluation(root)) {
+    tables_.ResetForReevaluation(root, batches_[batch_index].id);
+  }
   batches_[batch_index].subgoals.push_back(root);
   batches_[batch_index].generator_queue.push_back(root);
   if (existential) batches_[batch_index].stop_on_answer = root;
@@ -290,9 +376,12 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
 
   FlatTerm canon = Flatten(*store, goal);
   SubgoalId id = tables_.Lookup(canon);
-  if (id != kNoSubgoal) {
+  SubgoalId caller = CurrentSubgoal();
+  // An invalid table falls through to re-evaluation below.
+  if (id != kNoSubgoal && !tables_.NeedsReevaluation(id)) {
     const Subgoal& sg = tables_.subgoal(id);
     if (sg.state == SubgoalState::kComplete) {
+      if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
       return sg.answers->empty() ? CallOutcome::kContinue
                                  : CallOutcome::kFail;
     }
@@ -305,10 +394,16 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
 
   bool has_answer = false;
   Status status = EvaluateToCompletion(goal, *functor, existential,
-                                       &has_answer, nullptr);
+                                       &has_answer, &id);
   if (!status.ok()) {
     machine->SetError(status);
     return CallOutcome::kError;
+  }
+  // The negation's truth value depends on the negated table (which is
+  // disposed after an existential abort; the edge is skipped there).
+  if (caller != kNoSubgoal && id != kNoSubgoal &&
+      tables_.subgoal(id).state == SubgoalState::kComplete) {
+    tables_.AddDependent(id, caller);
   }
   return has_answer ? CallOutcome::kFail : CallOutcome::kContinue;
 }
@@ -333,7 +428,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
 
   FlatTerm canon = Flatten(*store, goal);
   SubgoalId id = tables_.Lookup(canon);
-  if (id == kNoSubgoal) {
+  if (id == kNoSubgoal || tables_.NeedsReevaluation(id)) {
     Status status = EvaluateToCompletion(goal, *functor,
                                          /*existential=*/false, nullptr, &id);
     if (!status.ok()) {
@@ -348,6 +443,9 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
         "tfindall/3 on a table of the same recursive component"));
     return CallOutcome::kError;
   }
+
+  SubgoalId caller = CurrentSubgoal();
+  if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
 
   // Project each answer through (goal, templ), which share variables.
   std::vector<FlatTerm> instances;
@@ -372,6 +470,36 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   Word list = store->MakeList(items, AtomCell(store->symbols()->nil()));
   return store->Unify(result, list) ? CallOutcome::kContinue
                                     : CallOutcome::kFail;
+}
+
+bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
+  TermStore* store = machine->store();
+  FlatTerm canon = Flatten(*store, goal);
+  SubgoalId id = tables_.Lookup(canon);
+  if (id == kNoSubgoal) return false;
+  // A table mid-evaluation belongs to a live batch; pulling it out would
+  // corrupt the batch, so abolishing it is a no-op.
+  if (tables_.subgoal(id).state == SubgoalState::kIncomplete) return false;
+  tables_.Dispose(id);
+  return true;
+}
+
+TabledCallHandler::TableState Evaluator::GetTableState(Machine* machine,
+                                                       Word goal) {
+  TermStore* store = machine->store();
+  FlatTerm canon = Flatten(*store, goal);
+  SubgoalId id = tables_.Lookup(canon);
+  if (id == kNoSubgoal) return TableState::kNoTable;
+  const Subgoal& sg = tables_.subgoal(id);
+  switch (sg.state) {
+    case SubgoalState::kIncomplete:
+      return TableState::kIncomplete;
+    case SubgoalState::kComplete:
+      return sg.invalid ? TableState::kInvalid : TableState::kComplete;
+    case SubgoalState::kDisposed:
+      break;  // disposed tables are unreachable via Lookup; be safe
+  }
+  return TableState::kNoTable;
 }
 
 TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,

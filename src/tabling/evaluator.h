@@ -31,7 +31,15 @@ namespace xsb {
 // Ground calls complete early: as soon as a ground subgoal gets its answer,
 // its generator is cut off (XSB's early completion), which is what makes
 // e_tnot explore sqrt(2)^n rather than 2^n nodes of the win/1 tree.
-class Evaluator : public TabledCallHandler {
+//
+// Incremental maintenance: the evaluator registers as the program's update
+// listener. While a table is being computed it records which incremental
+// dynamic predicates its clauses read and which subsidiary tables it
+// consumed (refining the analyzer's static seeds). An assert/retract on an
+// incremental predicate then marks exactly the completed tables that
+// transitively depend on it invalid; an invalid table is re-evaluated
+// lazily on its next call, reusing every still-valid subsidiary table.
+class Evaluator : public TabledCallHandler, public TableUpdateListener {
  public:
   struct Options {
     // Store answers as interned token paths in a trie (the default). When
@@ -43,10 +51,15 @@ class Evaluator : public TabledCallHandler {
     // default tnot behave like e_tnot on Table 2's trees, so it is OFF by
     // default and exercised by the ablation bench.
     bool early_completion = false;
+    // Maintain tables across updates to :- incremental predicates (the
+    // default). When false, such an update abolishes the whole table space
+    // — the from-scratch baseline the update bench compares against.
+    bool incremental = true;
   };
 
   explicit Evaluator(Machine* machine) : Evaluator(machine, Options()) {}
   Evaluator(Machine* machine, Options options);
+  ~Evaluator() override;
 
   TableSpace& tables() { return tables_; }
   const TableSpace& tables() const { return tables_; }
@@ -60,6 +73,7 @@ class Evaluator : public TabledCallHandler {
     uint64_t resumptions = 0;
     uint64_t early_completions = 0;
     uint64_t existential_aborts = 0;
+    uint64_t update_events = 0;  // incremental-predicate change reports
   };
   const EvalStats& stats() const { return stats_; }
 
@@ -73,6 +87,16 @@ class Evaluator : public TabledCallHandler {
   CallOutcome OnTFindall(Machine* machine, Word templ, Word goal, Word result,
                          const GoalNode* cont) override;
   TableStatsInfo GetTableStats(Machine* machine, Word goal) override;
+  void OnIncrementalAccess(FunctorId functor) override;
+  bool AbolishTableCall(Machine* machine, Word goal) override;
+  TableState GetTableState(Machine* machine, Word goal) override;
+
+  // TableUpdateListener: an incremental predicate gained or lost clauses.
+  void OnIncrementalUpdate(FunctorId functor) override;
+  // A predicate became incremental after tables may have been built over it:
+  // no dependency entries exist, so every completed table is conservatively
+  // invalidated (or, in baseline mode, the table space abolished).
+  void OnIncrementalDeclaration(FunctorId functor) override;
 
  private:
   struct Batch {
@@ -92,15 +116,33 @@ class Evaluator : public TabledCallHandler {
 
   Status RunBatchLoop(size_t batch_index);
   Status RunGeneratorEpisode(SubgoalId id);
-  Status ResumeConsumer(FlatTerm saved, const FlatTerm& answer);
+  Status ResumeConsumer(SubgoalId owner, FlatTerm saved,
+                        const FlatTerm& answer);
 
   // Builds '$consumer'(Goal, [G1, ..., Gk]) for the continuation chain.
   Word BuildConsumerTerm(Word goal, const GoalNode* cont);
 
+  // The subgoal whose generator/consumer code is currently running, or
+  // kNoSubgoal outside tabled evaluation. Dependency edges captured during
+  // evaluation are attributed to it.
+  SubgoalId CurrentSubgoal() const {
+    return eval_stack_.empty() ? kNoSubgoal : eval_stack_.back();
+  }
+
+  // Registers a fresh subgoal with the analyzer's static dependency seeds.
+  void SeedSubgoalDeps(SubgoalId id, FunctorId functor);
+
+  // Applies a deferred full abolish (baseline mode) once no batch is live.
+  void ApplyPendingAbolish();
+
   Machine* machine_;
   TableSpace tables_;
   bool early_completion_;
+  bool incremental_;
   std::vector<Batch> batches_;
+  // Subgoals whose evaluation frames are active, innermost last.
+  std::vector<SubgoalId> eval_stack_;
+  bool pending_full_abolish_ = false;
   uint64_t next_batch_id_ = 1;
   EvalStats stats_;
 

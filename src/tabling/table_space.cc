@@ -104,13 +104,82 @@ void TableSpace::Dispose(SubgoalId id) {
   if (sg.state == SubgoalState::kDisposed) return;
   call_index_.erase(sg.call_key);
   sg.state = SubgoalState::kDisposed;
+  retired_answers_.push_back(std::move(sg.answers));
   sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
   ++stats_.subgoals_disposed;
 }
 
 void TableSpace::Clear() {
+  for (Subgoal& sg : subgoals_) {
+    if (sg.answers != nullptr) {
+      retired_answers_.push_back(std::move(sg.answers));
+    }
+  }
   call_index_.clear();
   subgoals_.clear();
+  pred_readers_.clear();
+}
+
+void TableSpace::AddDependent(SubgoalId callee, SubgoalId caller) {
+  if (callee == caller) return;
+  std::vector<SubgoalId>& deps = subgoals_[callee].dependents;
+  if (std::find(deps.begin(), deps.end(), caller) == deps.end()) {
+    deps.push_back(caller);
+  }
+}
+
+void TableSpace::AddPredReader(FunctorId pred, SubgoalId reader) {
+  pred_readers_[pred].insert(reader);
+}
+
+size_t TableSpace::InvalidateForPredicate(FunctorId pred) {
+  auto it = pred_readers_.find(pred);
+  if (it == pred_readers_.end()) return 0;
+  size_t count = 0;
+  std::vector<SubgoalId> work(it->second.begin(), it->second.end());
+  std::unordered_set<SubgoalId> visited(work.begin(), work.end());
+  while (!work.empty()) {
+    SubgoalId id = work.back();
+    work.pop_back();
+    Subgoal& sg = subgoals_[id];
+    if (sg.state == SubgoalState::kDisposed) continue;
+    // Incomplete tables are flagged too: they are mid-evaluation and may
+    // have read the predicate before the update, so they complete as
+    // already-invalid and re-evaluate on their next call. Already invalid
+    // tables still propagate: edges may have been added since they were
+    // first flagged.
+    if (!sg.invalid) {
+      sg.invalid = true;
+      if (sg.state == SubgoalState::kComplete) ++count;
+    }
+    for (SubgoalId dep : sg.dependents) {
+      if (visited.insert(dep).second) work.push_back(dep);
+    }
+  }
+  stats_.tables_invalidated += count;
+  return count;
+}
+
+size_t TableSpace::InvalidateAll() {
+  size_t count = 0;
+  for (Subgoal& sg : subgoals_) {
+    if (sg.state == SubgoalState::kComplete && !sg.invalid) {
+      sg.invalid = true;
+      ++count;
+    }
+  }
+  stats_.tables_invalidated += count;
+  return count;
+}
+
+void TableSpace::ResetForReevaluation(SubgoalId id, uint64_t batch_id) {
+  Subgoal& sg = subgoals_[id];
+  retired_answers_.push_back(std::move(sg.answers));
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
+  sg.state = SubgoalState::kIncomplete;
+  sg.invalid = false;
+  sg.batch_id = batch_id;
+  ++stats_.tables_reevaluated;
 }
 
 size_t TableSpace::total_answers() const {

@@ -93,14 +93,18 @@ class AnswerTable : public AnswerSource {
 
 // A suspended consumer: the copied (call, continuation) pair plus a cursor
 // into the producer's answer list. This is the copying (CAT-style)
-// realization of the SLG-WAM's frozen consumer choice points.
+// realization of the SLG-WAM's frozen consumer choice points. `owner` is the
+// subgoal whose generator episode suspended here — resumptions run in its
+// context so dependency edges they capture are attributed correctly.
 struct Consumer {
   SubgoalId producer;
+  SubgoalId owner = kNoSubgoal;
   FlatTerm saved;  // '$consumer'(CallTerm, [Goal1, ..., GoalK])
   size_t next_answer = 0;
 };
 
-// One tabled subgoal: canonical call, state, answers.
+// One tabled subgoal: canonical call, state, answers, and its place in the
+// incremental dependency graph.
 struct Subgoal {
   FlatTerm call;
   FlatTerm call_key;  // interned token stream; the variant-index key
@@ -108,6 +112,12 @@ struct Subgoal {
   SubgoalState state = SubgoalState::kIncomplete;
   uint64_t batch_id = 0;  // evaluation batch that created it
   std::unique_ptr<AnswerTable> answers;
+  // Incremental maintenance: a completed table whose support changed is
+  // marked invalid and lazily re-evaluated on its next call.
+  bool invalid = false;
+  // Subgoals that consumed this table's answers (reverse call edges captured
+  // during SLG evaluation); invalidation propagates along these.
+  std::vector<SubgoalId> dependents;
 
   bool ground_call() const { return call.ground(); }
 };
@@ -119,6 +129,8 @@ struct TableStats {
   uint64_t duplicate_answers = 0;
   uint64_t consumer_suspensions = 0;
   uint64_t consumer_resumptions = 0;
+  uint64_t tables_invalidated = 0;
+  uint64_t tables_reevaluated = 0;
 };
 
 // The table space (section 3.2): subgoal table with variant-based call
@@ -144,12 +156,51 @@ class TableSpace {
   bool AddAnswer(SubgoalId id, FlatTerm answer);
 
   // Removes the subgoal from the call index and drops its answers (tcut /
-  // existential negation). The id remains valid but disposed.
+  // existential negation, abolish_table_call/1). The id remains valid but
+  // disposed. The answer table is retired, not destroyed, so open cursors
+  // keep enumerating their frozen snapshot.
   void Dispose(SubgoalId id);
 
   // Drops every table (abolish_all_tables/0). The intern store survives: it
-  // is a cache of ground structure, not per-table state.
+  // is a cache of ground structure, not per-table state. Answer tables are
+  // retired (see Dispose) until ReleaseRetiredAnswers().
   void Clear();
+
+  // --- Incremental dependency graph ----------------------------------------
+
+  // Records that `caller` consumed answers of `callee` (an SLG call edge).
+  void AddDependent(SubgoalId callee, SubgoalId caller);
+
+  // Records that subgoal `reader` resolved clauses of incremental dynamic
+  // predicate `pred` (directly, or via the analyzer's static seeding).
+  void AddPredReader(FunctorId pred, SubgoalId reader);
+
+  // An update hit `pred`: marks every completed table that (transitively)
+  // read it invalid. Returns the number of tables newly invalidated.
+  size_t InvalidateForPredicate(FunctorId pred);
+
+  // Marks every completed table invalid (a predicate became incremental
+  // after tables were built: no dependency entries exist for it, so every
+  // table is conservatively suspect). Returns the number newly invalidated.
+  size_t InvalidateAll();
+
+  // True when `id` is a completed table marked invalid: its next call must
+  // re-evaluate instead of reusing the stale answers.
+  bool NeedsReevaluation(SubgoalId id) const {
+    const Subgoal& sg = subgoals_[id];
+    return sg.state == SubgoalState::kComplete && sg.invalid;
+  }
+
+  // Reopens an invalid table for re-evaluation in `batch_id`: the old answer
+  // table is retired (open cursors keep their frozen snapshot) and a fresh
+  // one installed. The variant index entry is reused, so dependency edges
+  // pointing at this subgoal survive re-evaluation.
+  void ResetForReevaluation(SubgoalId id, uint64_t batch_id);
+
+  // Frees retired answer tables. Safe only when no answer cursor can still
+  // be walking one — the engine calls this between top-level queries.
+  void ReleaseRetiredAnswers() { retired_answers_.clear(); }
+  size_t num_retired_answers() const { return retired_answers_.size(); }
 
   size_t num_subgoals() const { return subgoals_.size(); }
 
@@ -172,6 +223,11 @@ class TableSpace {
   mutable InternTable interns_;
   std::unordered_map<FlatTerm, SubgoalId, FlatTermHash> call_index_;
   std::deque<Subgoal> subgoals_;
+  // Incremental predicate -> tables that read its clauses.
+  std::unordered_map<FunctorId, std::unordered_set<SubgoalId>> pred_readers_;
+  // Answer tables detached by Dispose/Clear/ResetForReevaluation but kept
+  // alive for still-open cursors (freeze semantics).
+  std::vector<std::unique_ptr<AnswerTable>> retired_answers_;
   TableStats stats_;
 };
 

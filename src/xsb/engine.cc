@@ -35,6 +35,7 @@ Engine::Engine(Options options)
   Evaluator::Options eval_options;
   eval_options.answer_trie = options.answer_trie;
   eval_options.early_completion = options.early_completion;
+  eval_options.incremental = options.incremental;
   evaluator_ = std::make_unique<Evaluator>(machine_.get(), eval_options);
 }
 
@@ -86,6 +87,7 @@ Status Engine::ForEach(std::string_view goal,
 
   size_t trail = store_->TrailMark();
   size_t heap = store_->HeapMark();
+  ++query_depth_;
   Status status = machine_->Solve(parsed.value(), [&]() {
     Answer answer;
     answer.bindings.reserve(names.size());
@@ -95,8 +97,13 @@ Status Engine::ForEach(std::string_view goal,
     }
     return on_answer(answer) ? SolveAction::kContinue : SolveAction::kStop;
   });
+  --query_depth_;
   store_->UndoTrail(trail);
   store_->TruncateHeap(heap);
+  // Frozen answer snapshots (tables retired by updates or abolishes while a
+  // cursor was open) can only be referenced by choice points of some live
+  // query; once the outermost query unwinds they are garbage.
+  if (query_depth_ == 0) evaluator_->tables().ReleaseRetiredAnswers();
   return status;
 }
 
@@ -130,12 +137,16 @@ Result<std::vector<Answer>> Engine::FindAll(std::string_view goal) {
   return answers;
 }
 
-void Engine::AbolishAllTables() { evaluator_->AbolishAllTables(); }
+void Engine::AbolishAllTables() {
+  evaluator_->AbolishAllTables();
+  if (query_depth_ == 0) evaluator_->tables().ReleaseRetiredAnswers();
+}
 
 analysis::AnalysisResult Engine::Analyze(
     const analysis::AnalyzeOptions& options) {
   analysis::AnalysisResult result = analysis::Analyze(*program_, options);
   analysis::PublishVerdict(program_.get(), result);
+  analysis::PublishIncrementalDeps(program_.get(), result);
   return result;
 }
 

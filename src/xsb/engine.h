@@ -53,6 +53,9 @@ class Engine {
                                     // analysis diagnostics (non-stratified
                                     // programs) instead of deferring to the
                                     // runtime checks
+    bool incremental = true;        // maintain tables across updates to
+                                    // :- incremental predicates; false =
+                                    // abolish-everything baseline
   };
 
   Engine();
@@ -114,6 +117,9 @@ class Engine {
 
  private:
   bool strict_analysis_ = false;
+  // Depth of nested ForEach calls: retired answer tables (frozen snapshots
+  // kept alive for open cursors) are released when the outermost query ends.
+  int query_depth_ = 0;
   std::unique_ptr<SymbolTable> symbols_;
   std::unique_ptr<TermStore> store_;
   std::unique_ptr<Program> program_;

@@ -424,6 +424,159 @@ INSTANTIATE_TEST_SUITE_P(Seeds, InternProperty, ::testing::Range(0u, 8u));
 INSTANTIATE_TEST_SUITE_P(Seeds, AnswerTrieProperty,
                          ::testing::Range(0u, 12u));
 
+// --- Incremental invalidation properties --------------------------------------
+//
+// Two bounding properties of the dependency graph, checked from opposite
+// sides:
+//   * soundness (superset): any variant whose from-scratch answers change
+//     under an update must be marked invalid the moment the update lands —
+//     over-approximation is allowed, missing a truly affected table is not;
+//   * precision (no collateral damage): an update to one component must not
+//     invalidate or re-evaluate the tables of an independent component.
+
+// State atom of `goal`'s variant table: undefined|incomplete|complete|invalid.
+std::string VariantTableState(Engine& engine, const std::string& goal) {
+  std::string state;
+  Status status =
+      engine.ForEach("table_state(" + goal + ", S)", [&](const Answer& a) {
+        state = a["S"];
+        return false;
+      });
+  EXPECT_TRUE(status.ok()) << status.message();
+  return state;
+}
+
+std::set<std::string> PathAnswers(Engine& engine, const std::string& goal) {
+  std::set<std::string> result;
+  EXPECT_TRUE(engine
+                  .ForEach(goal,
+                           [&result](const Answer& a) {
+                             result.insert(a.ToString());
+                             return true;
+                           })
+                  .ok());
+  return result;
+}
+
+class InvalidationSuperset : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(InvalidationSuperset, EveryAffectedVariantIsMarkedInvalid) {
+  std::mt19937 rng(GetParam() * 977 + 3);
+  const int n = 4 + static_cast<int>(rng() % 4);
+  std::set<std::pair<int, int>> edges;
+  int count = n + static_cast<int>(rng() % n);
+  for (int k = 0; k < count; ++k) {
+    edges.insert({1 + static_cast<int>(rng() % n),
+                  1 + static_cast<int>(rng() % n)});
+  }
+  auto program_text = [&](const std::set<std::pair<int, int>>& es) {
+    std::string text =
+        ":- table path/2.\n"
+        ":- incremental(edge/2).\n"
+        "path(X,Y) :- edge(X,Y).\n"
+        "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+    for (auto [a, b] : es) {
+      text += "edge(" + std::to_string(a) + "," + std::to_string(b) + ").\n";
+    }
+    return text;
+  };
+
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(program_text(edges)).ok());
+
+  // Materialize one table per source node plus the open variant.
+  std::vector<std::string> variants = {"path(X, Y)"};
+  for (int i = 1; i <= n; ++i) {
+    variants.push_back("path(" + std::to_string(i) + ", Y)");
+  }
+  std::vector<std::set<std::string>> before;
+  for (const std::string& v : variants) {
+    before.push_back(PathAnswers(engine, v));
+    ASSERT_EQ(VariantTableState(engine, v), "complete") << v;
+  }
+
+  // One random update: assert a fresh edge or retract an existing one.
+  std::set<std::pair<int, int>> updated = edges;
+  if (rng() % 2 == 0 || edges.empty()) {
+    std::pair<int, int> f;
+    do {
+      f = {1 + static_cast<int>(rng() % n), 1 + static_cast<int>(rng() % n)};
+    } while (updated.count(f) != 0);
+    updated.insert(f);
+    ASSERT_TRUE(engine
+                    .Holds("assert(edge(" + std::to_string(f.first) + "," +
+                           std::to_string(f.second) + "))")
+                    .value());
+  } else {
+    auto it = edges.begin();
+    std::advance(it, rng() % edges.size());
+    updated.erase(*it);
+    ASSERT_TRUE(engine
+                    .Holds("retract(edge(" + std::to_string(it->first) + "," +
+                           std::to_string(it->second) + "))")
+                    .value());
+  }
+
+  // From-scratch truth for the updated facts.
+  Engine oracle;
+  ASSERT_TRUE(oracle.ConsultString(program_text(updated)).ok());
+  for (size_t i = 0; i < variants.size(); ++i) {
+    std::set<std::string> after = PathAnswers(oracle, variants[i]);
+    std::string state = VariantTableState(engine, variants[i]);
+    if (after != before[i]) {
+      EXPECT_EQ(state, "invalid")
+          << "variant " << variants[i]
+          << " changed under the update but its table was not invalidated";
+    } else {
+      EXPECT_TRUE(state == "complete" || state == "invalid")
+          << "variant " << variants[i] << " in state " << state;
+    }
+    // And re-querying the live engine must agree with the oracle.
+    EXPECT_EQ(PathAnswers(engine, variants[i]), after)
+        << "variant " << variants[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvalidationSuperset,
+                         ::testing::Range(0u, 24u));
+
+TEST(InvalidationPrecision, IrrelevantUpdateLeavesIndependentTablesAlone) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString(
+                      ":- table path/2.\n"
+                      ":- table rpath/2.\n"
+                      ":- incremental(edge/2).\n"
+                      ":- incremental(redge/2).\n"
+                      "path(X,Y) :- edge(X,Y).\n"
+                      "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+                      "rpath(X,Y) :- redge(X,Y).\n"
+                      "rpath(X,Y) :- rpath(X,Z), redge(Z,Y).\n"
+                      "edge(1,2). edge(2,3).\n"
+                      "redge(a,b). redge(b,c).\n")
+                  .ok());
+  ASSERT_EQ(engine.Count("path(X, Y)").value(), 3u);
+  ASSERT_EQ(engine.Count("rpath(X, Y)").value(), 3u);
+  ASSERT_EQ(VariantTableState(engine, "path(X, Y)"), "complete");
+  ASSERT_EQ(VariantTableState(engine, "rpath(X, Y)"), "complete");
+
+  // Update only the edge/path component.
+  ASSERT_TRUE(engine.Holds("assert(edge(3,4))").value());
+  EXPECT_EQ(VariantTableState(engine, "path(X, Y)"), "invalid");
+  EXPECT_EQ(VariantTableState(engine, "rpath(X, Y)"), "complete")
+      << "an update to edge/2 must not touch the independent rpath table";
+
+  // Re-querying rpath must not re-evaluate anything.
+  uint64_t reevals = engine.evaluator().tables().stats().tables_reevaluated;
+  EXPECT_EQ(engine.Count("rpath(X, Y)").value(), 3u);
+  EXPECT_EQ(engine.evaluator().tables().stats().tables_reevaluated, reevals);
+
+  // Re-querying path re-evaluates exactly the invalidated component.
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
+  EXPECT_GT(engine.evaluator().tables().stats().tables_reevaluated, reevals);
+  EXPECT_EQ(VariantTableState(engine, "path(X, Y)"), "complete");
+}
+
 TEST(SortBuiltins, Basics) {
   Engine engine;
   ASSERT_TRUE(engine.ConsultString("p(1).\n").ok());

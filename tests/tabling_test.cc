@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "db/loader.h"
 #include "engine/machine.h"
 #include "parser/reader.h"
 #include "parser/writer.h"
 #include "tabling/evaluator.h"
 #include "term/store.h"
+#include "xsb/engine.h"
 
 namespace xsb {
 namespace {
@@ -467,6 +471,226 @@ TEST_F(CutSafetyTest, CutInsideNegationScopeIsAllowed) {
       "ok(X) :- tnot p(X), !.\n"
       "ok(_).\n");
   EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+// --- Incremental table maintenance -------------------------------------------
+
+// These run through the Engine facade: the update/requery lifecycle spans
+// consult, builtins, the evaluator and the table space, and the cursor tests
+// below need Engine::ForEach's retired-snapshot release discipline.
+
+const char kChainProgram[] =
+    ":- table path/2.\n"
+    ":- incremental(edge/2).\n"
+    "path(X,Y) :- edge(X,Y).\n"
+    "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+    "edge(1,2). edge(2,3). edge(3,4). edge(4,5).\n";
+
+std::string StateOf(Engine& engine, const std::string& goal) {
+  std::string state;
+  Status status =
+      engine.ForEach("table_state(" + goal + ", S)", [&](const Answer& a) {
+        state = a["S"];
+        return false;
+      });
+  EXPECT_TRUE(status.ok()) << status.message();
+  return state;
+}
+
+TEST(IncrementalMaintenance, AssertInvalidatesAndRequeryAgrees) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  EXPECT_EQ(StateOf(engine, "path(1, Y)"), "undefined");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "complete");
+
+  ASSERT_TRUE(engine.Holds("assert(edge(5,6))").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "invalid");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 15u);
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "complete");
+  EXPECT_GE(engine.evaluator().tables().stats().tables_reevaluated, 1u);
+}
+
+TEST(IncrementalMaintenance, RetractInvalidatesAndRequeryDropsAnswers) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  ASSERT_TRUE(engine.Holds("retract(edge(4,5))").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "invalid");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
+  // Retracting a fact that is not there changes nothing.
+  EXPECT_FALSE(engine.Holds("retract(edge(4,5))").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "complete");
+}
+
+TEST(IncrementalMaintenance, RetractallAndAbolishNotifyToo) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  ASSERT_TRUE(engine.Holds("retractall(edge(_, _))").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "invalid");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 0u);
+
+  ASSERT_TRUE(engine.Holds("assert(edge(1,2))").value());
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 1u);
+  ASSERT_TRUE(engine.Holds("abolish(edge/2)").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "invalid");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 0u);
+}
+
+TEST(IncrementalMaintenance, AbolishTableCallDisposesOneVariant) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  EXPECT_EQ(engine.Count("path(1, Y)").value(), 4u);
+  EXPECT_EQ(engine.Count("path(2, Y)").value(), 3u);
+  EXPECT_TRUE(engine.Holds("abolish_table_call(path(1, Y))").value());
+  EXPECT_EQ(StateOf(engine, "path(1, Y)"), "undefined");
+  EXPECT_EQ(StateOf(engine, "path(2, Y)"), "complete");
+  // A second abolish finds nothing; the next call rebuilds the table.
+  EXPECT_FALSE(engine.Holds("abolish_table_call(path(1, Y))").value());
+  EXPECT_EQ(engine.Count("path(1, Y)").value(), 4u);
+}
+
+TEST(IncrementalMaintenance, LateRuntimeDeclarationInvalidatesConservatively) {
+  // Tables built before a predicate becomes incremental carry no dependency
+  // entries for it; the incremental/1 builtin must invalidate them all.
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString(
+                      ":- table path/2.\n"
+                      ":- dynamic(edge/2).\n"
+                      "path(X,Y) :- edge(X,Y).\n"
+                      "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+                      "edge(1,2). edge(2,3).\n")
+                  .ok());
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 3u);
+  ASSERT_TRUE(engine.Holds("incremental(edge/2)").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "invalid");
+  ASSERT_TRUE(engine.Holds("assert(edge(3,4))").value());
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
+  // The re-evaluated table captured its dependencies at runtime, so further
+  // updates invalidate it precisely.
+  ASSERT_TRUE(engine.Holds("assert(edge(4,5))").value());
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "invalid");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+}
+
+TEST(IncrementalMaintenance, UpdateDuringEvaluationCompletesTableAsInvalid) {
+  // An assert fired from inside a tabled derivation: the running table may
+  // already have read the old clause set, so it must complete as invalid and
+  // re-evaluate on the next call.
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString(
+                      ":- table p/1.\n"
+                      ":- incremental(d/1).\n"
+                      "d(1).\n"
+                      "p(X) :- d(X).\n"
+                      "p(X) :- X = 0, \\+ d(2), assert(d(2)), fail.\n")
+                  .ok());
+  EXPECT_EQ(engine.Count("p(X)").value(), 1u);
+  EXPECT_EQ(StateOf(engine, "p(X)"), "invalid");
+  EXPECT_EQ(engine.Count("p(X)").value(), 2u);
+  EXPECT_EQ(StateOf(engine, "p(X)"), "complete");
+}
+
+TEST(IncrementalMaintenance, BaselineModeAbolishesAndRecomputes) {
+  Engine::Options options;
+  options.incremental = false;
+  Engine engine(options);
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  // Consulting the facts already fired one update event per edge clause.
+  uint64_t consult_events = engine.evaluator().stats().update_events;
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  ASSERT_TRUE(engine.Holds("assert(edge(5,6))").value());
+  // Baseline: the update dropped the whole table space.
+  EXPECT_EQ(StateOf(engine, "path(X, Y)"), "undefined");
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 15u);
+  ASSERT_TRUE(engine.Holds("retract(edge(5,6))").value());
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  EXPECT_EQ(engine.evaluator().stats().update_events, consult_events + 2);
+}
+
+// --- Open-cursor freeze semantics --------------------------------------------
+
+TEST(IncrementalCursor, RetractAndReevalDuringOpenEnumerationKeepsSnapshot) {
+  // Regression: a retract + nested requery while an answer cursor is open
+  // retires the cursor's answer table. The cursor must keep enumerating its
+  // frozen snapshot (this is a use-after-free without retirement; the ASan
+  // job exists to prove it).
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  ASSERT_EQ(engine.Count("path(X, Y)").value(), 10u);
+
+  std::set<std::string> outer;
+  size_t nested_count = 0;
+  size_t retired_during = 0;
+  bool mutated = false;
+  ASSERT_TRUE(engine
+                  .ForEach("path(X, Y)",
+                           [&](const Answer& a) {
+                             outer.insert(a["X"] + "," + a["Y"]);
+                             if (!mutated) {
+                               mutated = true;
+                               EXPECT_TRUE(
+                                   engine.Holds("retract(edge(4,5))").value());
+                               // Nested requery: re-evaluates the invalid
+                               // table out from under the outer cursor.
+                               nested_count =
+                                   engine.Count("path(X, Y)").value();
+                               retired_during = engine.evaluator()
+                                                    .tables()
+                                                    .num_retired_answers();
+                             }
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(outer.size(), 10u) << "outer cursor must see its frozen snapshot";
+  EXPECT_EQ(nested_count, 6u) << "nested query must see the updated world";
+  EXPECT_GT(retired_during, 0u);
+  // The snapshot is released once the outermost query unwinds.
+  EXPECT_EQ(engine.evaluator().tables().num_retired_answers(), 0u);
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
+}
+
+TEST(IncrementalCursor, AbolishAllTablesDuringOpenEnumerationKeepsSnapshot) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  ASSERT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  size_t outer = 0;
+  bool abolished = false;
+  ASSERT_TRUE(engine
+                  .ForEach("path(X, Y)",
+                           [&](const Answer&) {
+                             ++outer;
+                             if (!abolished) {
+                               abolished = true;
+                               engine.AbolishAllTables();
+                             }
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(outer, 10u);
+  EXPECT_EQ(engine.evaluator().tables().num_retired_answers(), 0u);
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+}
+
+TEST(IncrementalCursor, EarlyStopStillReleasesRetiredSnapshots) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  ASSERT_EQ(engine.Count("path(X, Y)").value(), 10u);
+  // Stop after the first answer, having mutated mid-flight.
+  ASSERT_TRUE(engine
+                  .ForEach("path(X, Y)",
+                           [&](const Answer&) {
+                             EXPECT_TRUE(
+                                 engine.Holds("retract(edge(1,2))").value());
+                             EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
+                             return false;
+                           })
+                  .ok());
+  EXPECT_EQ(engine.evaluator().tables().num_retired_answers(), 0u);
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
 }
 
 }  // namespace
