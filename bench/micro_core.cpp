@@ -95,29 +95,51 @@ BENCHMARK(BM_ClauseResolutionStep);
 
 void BM_AnswerInsertHash(benchmark::State& state) {
   Fixture f;
-  int i = 0;
+  int64_t i = 0;
   TableSpace tables(f.store.symbols(), /*answer_trie=*/false);
-  auto [id, created] = tables.LookupOrCreate(
-      Flatten(f.store, f.Parse("p(X)")), 0, 0);
+  Word goal = f.Parse("p(X)");
+  FunctorId p1 = f.symbols.InternFunctor(f.symbols.InternAtom("p"), 1);
+  auto [id, created] = tables.LookupOrCreate(f.store, goal, p1, 0);
+  Word var = f.store.Deref(f.store.Arg(goal, 0));
   for (auto _ : state) {
-    FlatTerm answer = Flatten(f.store, IntCell(i++ % 4096));
-    benchmark::DoNotOptimize(tables.AddAnswer(id, std::move(answer)));
+    size_t trail = f.store.TrailMark();
+    f.store.Bind(var, IntCell(i++ % 4096));
+    benchmark::DoNotOptimize(tables.AddAnswer(id, f.store, goal));
+    f.store.UndoTrail(trail);
   }
 }
 BENCHMARK(BM_AnswerInsertHash);
 
 void BM_AnswerInsertTrie(benchmark::State& state) {
   Fixture f;
-  int i = 0;
+  int64_t i = 0;
   TableSpace tables(f.store.symbols(), /*answer_trie=*/true);
-  auto [id, created] = tables.LookupOrCreate(
-      Flatten(f.store, f.Parse("p(X)")), 0, 0);
+  Word goal = f.Parse("p(X)");
+  FunctorId p1 = f.symbols.InternFunctor(f.symbols.InternAtom("p"), 1);
+  auto [id, created] = tables.LookupOrCreate(f.store, goal, p1, 0);
+  Word var = f.store.Deref(f.store.Arg(goal, 0));
   for (auto _ : state) {
-    FlatTerm answer = Flatten(f.store, IntCell(i++ % 4096));
-    benchmark::DoNotOptimize(tables.AddAnswer(id, std::move(answer)));
+    size_t trail = f.store.TrailMark();
+    f.store.Bind(var, IntCell(i++ % 4096));
+    benchmark::DoNotOptimize(tables.AddAnswer(id, f.store, goal));
+    f.store.UndoTrail(trail);
   }
 }
 BENCHMARK(BM_AnswerInsertTrie);
+
+void BM_CallTrieVariantHit(benchmark::State& state) {
+  // The tabling hot path: variant check of an already-tabled call, walked
+  // straight off the live heap term (no FlatTerm materialization).
+  Fixture f;
+  TableSpace tables(f.store.symbols(), /*answer_trie=*/true);
+  Word goal = f.Parse("path(f(a, g(1,2)), X, Y)");
+  FunctorId path3 = f.symbols.InternFunctor(f.symbols.InternAtom("path"), 3);
+  tables.LookupOrCreate(f.store, goal, path3, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tables.Lookup(f.store, goal));
+  }
+}
+BENCHMARK(BM_CallTrieVariantHit);
 
 void BM_InternGroundHit(benchmark::State& state) {
   // Steady-state cost of re-interning an already-stored ground term (the

@@ -79,7 +79,10 @@ int main(int argc, char** argv) {
         std::cout << "user calls:         " << stats.user_calls << "\n"
                   << "builtin calls:      " << stats.builtin_calls << "\n"
                   << "choice points:      " << stats.choice_points << "\n"
-                  << "head unifications:  " << stats.head_unifications
+                  << "head unifications:  " << stats.head_unifications << "\n"
+                  << "factored returns:   " << stats.factored_answer_returns
+                  << "\n"
+                  << "flatten reuses:     " << stats.findall_flatten_reuses
                   << "\n";
       } else if (line == ":abolish") {
         engine.AbolishAllTables();

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Builds the optimized (default, RelWithDebInfo) preset and runs the
+# benchmark suite uniformly. Every suite's stdout lands in
+# bench-out/<name>.log; suites with machine-readable output additionally
+# write bench-out/BENCH_<name>.json — the same shape as the BENCH_*.json
+# snapshots tracked at the repo root, so refreshing a tracked snapshot is
+# `./scripts/bench.sh && cp bench-out/BENCH_foo.json BENCH_foo.json` plus
+# updating its commentary fields. CI runs this non-gating and uploads
+# bench-out/ as an artifact.
+#
+# Usage: scripts/bench.sh [--quick]
+#   --quick   only the JSON-emitting suites (the ones PRs track)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== Build (default preset, optimized) =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+mkdir -p bench-out
+
+run() {  # run <name> [args...] — log stdout, keep going on failure
+  local name=$1
+  shift
+  echo "== bench: $name =="
+  if ./build/bench/"$name" "$@" | tee "bench-out/$name.log"; then
+    return 0
+  else
+    echo "(bench $name failed; continuing)" | tee -a "bench-out/$name.log"
+  fi
+}
+
+# JSON-emitting suites: arg 1 is the snapshot path.
+run subst_factoring bench-out/BENCH_subst_factoring.json
+run incremental_updates bench-out/BENCH_incremental.json
+
+if [[ "$quick" == 0 ]]; then
+  run fig5_path
+  run leftrec_chain
+  run datalog_suite
+  run table3_join
+  run table2_negation
+  run fig2_win_calls
+  run indexing_ablation
+  run micro_core --benchmark_filter='AnswerInsert|CallTrie|Intern|Encode'
+fi
+
+echo "All benchmarks done; outputs in bench-out/."

@@ -4,82 +4,95 @@
 
 namespace xsb {
 
-TokenTrie::Node* TokenTrie::Extend(Node* node, Word token, bool* created) {
-  if (node->child_index != nullptr) {
-    auto it = node->child_index->find(token);
-    if (it != node->child_index->end()) {
-      if (created != nullptr) *created = false;
-      return it->second;
-    }
-  } else {
-    for (Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
-      if (c->token == token) {
+TokenTrie::NodeId TokenTrie::Extend(NodeId id, Word token, bool* created) {
+  {
+    const Node& node = nodes_[id];
+    if (node.child_map != kNoChildMap) {
+      const ChildMap& map = *child_maps_[node.child_map];
+      auto it = map.find(token);
+      if (it != map.end()) {
         if (created != nullptr) *created = false;
-        return c;
+        return it->second;
+      }
+    } else {
+      for (NodeId c = node.first_child; c != kNilNode;
+           c = nodes_[c].next_sibling) {
+        if (nodes_[c].token == token) {
+          if (created != nullptr) *created = false;
+          return c;
+        }
       }
     }
   }
+  NodeId child = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(Node{});
-  Node* child = &nodes_.back();
-  child->token = token;
-  child->parent = node;
-  child->next_sibling = node->first_child;
-  node->first_child = child;
-  ++node->num_children;
-  if (node->child_index != nullptr) {
-    node->child_index->emplace(token, child);
-  } else if (node->num_children > kHashThreshold) {
+  Node& node = nodes_[id];  // re-fetch: push_back may have reallocated
+  Node& child_node = nodes_[child];
+  child_node.token = token;
+  child_node.parent = id;
+  child_node.next_sibling = node.first_child;
+  node.first_child = child;
+  ++node.num_children;
+  if (node.child_map != kNoChildMap) {
+    child_maps_[node.child_map]->emplace(token, child);
+  } else if (node.num_children > kHashThreshold) {
+    node.child_map = static_cast<uint32_t>(child_maps_.size());
     child_maps_.push_back(std::make_unique<ChildMap>());
-    node->child_index = child_maps_.back().get();
+    ChildMap& map = *child_maps_.back();
     // Generous reserve: a node that escalates tends to keep growing, and
     // incremental rehashing showed up hot in answer-insert profiles.
-    node->child_index->reserve(4 * kHashThreshold);
-    for (Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
-      node->child_index->emplace(c->token, c);
+    map.reserve(4 * kHashThreshold);
+    for (NodeId c = node.first_child; c != kNilNode;
+         c = nodes_[c].next_sibling) {
+      map.emplace(nodes_[c].token, c);
     }
   }
   if (created != nullptr) *created = true;
   return child;
 }
 
-const TokenTrie::Node* TokenTrie::Find(const Node* node, Word token) {
-  if (node->child_index != nullptr) {
-    auto it = node->child_index->find(token);
-    return it == node->child_index->end() ? nullptr : it->second;
+TokenTrie::NodeId TokenTrie::Find(NodeId id, Word token) const {
+  const Node& node = nodes_[id];
+  if (node.child_map != kNoChildMap) {
+    const ChildMap& map = *child_maps_[node.child_map];
+    auto it = map.find(token);
+    return it == map.end() ? kNilNode : it->second;
   }
-  for (const Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
-    if (c->token == token) return c;
+  for (NodeId c = node.first_child; c != kNilNode; c = nodes_[c].next_sibling) {
+    if (nodes_[c].token == token) return c;
   }
-  return nullptr;
+  return kNilNode;
 }
 
-std::vector<const TokenTrie::Node*> TokenTrie::SortedChildren(
-    const Node* node) {
-  std::vector<const Node*> out;
-  out.reserve(node->num_children);
-  for (const Node* c = node->first_child; c != nullptr; c = c->next_sibling) {
+std::vector<TokenTrie::NodeId> TokenTrie::SortedChildren(NodeId id) const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_[id].num_children);
+  for (NodeId c = nodes_[id].first_child; c != kNilNode;
+       c = nodes_[c].next_sibling) {
     out.push_back(c);
   }
-  std::sort(out.begin(), out.end(), [](const Node* a, const Node* b) {
-    return a->token < b->token;
+  std::sort(out.begin(), out.end(), [this](NodeId a, NodeId b) {
+    return nodes_[a].token < nodes_[b].token;
   });
   return out;
 }
 
 size_t TokenTrie::bytes() const {
-  size_t total = nodes_.size() * sizeof(Node);
+  size_t total = nodes_.capacity() * sizeof(Node);
   for (const auto& map : child_maps_) {
     total += sizeof(ChildMap) +
-             map->size() * (sizeof(std::pair<Word, Node*>) + 2 * sizeof(void*));
+             map->size() *
+                 (sizeof(std::pair<Word, NodeId>) + 2 * sizeof(void*));
   }
+  total += child_maps_.capacity() * sizeof(std::unique_ptr<ChildMap>);
   return total;
 }
 
 void TokenTrie::Clear() {
   nodes_.clear();
+  nodes_.shrink_to_fit();
   child_maps_.clear();
   nodes_.push_back(Node{});
-  root_ = &nodes_.back();
 }
 
 }  // namespace xsb

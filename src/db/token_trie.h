@@ -3,7 +3,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -13,11 +12,16 @@
 namespace xsb {
 
 // The trie node machinery shared by the first-string clause index
-// (db/trie_index.h) and the answer tries of table space
-// (tabling/table_space.h). A trie edge is labelled with one token Word
-// (functor / atom / int / local-variable / interned cell).
+// (db/trie_index.h), the answer tries of table space, and the call trie's
+// variant index (tabling/call_trie.h). A trie edge is labelled with one
+// token Word (functor / atom / int / local-variable / interned cell).
 //
-// Nodes carry a parent pointer so a stored entry can be *retrieved* from its
+// Nodes are addressed by dense 32-bit ids into a flat arena, so every link
+// (parent, child, sibling) is 4 bytes instead of a pointer and a node packs
+// into 32 bytes — the table-space-resident structure this engine allocates
+// most of. Ids are stable for the life of the trie (until Clear).
+//
+// Nodes carry a parent id so a stored entry can be *retrieved* from its
 // leaf by walking back to the root — the property that lets answer tables
 // enumerate answers straight out of the trie instead of keeping a parallel
 // materialized vector.
@@ -28,51 +32,59 @@ namespace xsb {
 // exceeds kHashThreshold (the XSB trie's buckets).
 class TokenTrie {
  public:
-  struct Node;
-  using ChildMap = std::unordered_map<Word, Node*>;
+  using NodeId = uint32_t;
+  using ChildMap = std::unordered_map<Word, NodeId>;
+
+  static constexpr NodeId kNilNode = 0xffffffffu;
+  static constexpr uint32_t kNoPayload = 0xffffffffu;
+  static constexpr uint32_t kNoChildMap = 0xffffffffu;
+  static constexpr uint32_t kHashThreshold = 8;
 
   struct Node {
     Word token = 0;  // edge label from the parent to this node
-    Node* parent = nullptr;
-    Node* first_child = nullptr;
-    Node* next_sibling = nullptr;
-    ChildMap* child_index = nullptr;  // owned by the trie; set above threshold
-    uint32_t payload = kNoPayload;  // owner-defined index; kNoPayload if none
+    NodeId parent = kNilNode;
+    NodeId first_child = kNilNode;
+    NodeId next_sibling = kNilNode;
+    uint32_t child_map = kNoChildMap;  // index into the trie's escalated maps
     uint32_t num_children = 0;
+    uint32_t payload = kNoPayload;  // owner-defined index; kNoPayload if none
   };
-
-  static constexpr uint32_t kNoPayload = 0xffffffffu;
-  static constexpr uint32_t kHashThreshold = 8;
 
   TokenTrie() { Clear(); }
   TokenTrie(const TokenTrie&) = delete;
   TokenTrie& operator=(const TokenTrie&) = delete;
 
-  Node* root() { return root_; }
-  const Node* root() const { return root_; }
+  static constexpr NodeId root() { return 0; }
 
-  // Child of `node` along `token`, created if absent. *created (may be
-  // null) reports whether a new node was allocated.
-  Node* Extend(Node* node, Word token, bool* created);
+  const Node& node(NodeId id) const { return nodes_[id]; }
 
-  // Lookup-only step; nullptr if no such child.
-  static const Node* Find(const Node* node, Word token);
+  uint32_t payload(NodeId id) const { return nodes_[id].payload; }
+  void set_payload(NodeId id, uint32_t payload) {
+    nodes_[id].payload = payload;
+  }
 
-  // Children of `node` in ascending token order (deterministic iteration
-  // for dumps and subtree collection).
-  static std::vector<const Node*> SortedChildren(const Node* node);
+  // Child of `id` along `token`, created if absent. *created (may be null)
+  // reports whether a new node was allocated.
+  NodeId Extend(NodeId id, Word token, bool* created);
+
+  // Lookup-only step; kNilNode if no such child.
+  NodeId Find(NodeId id, Word token) const;
+
+  // Children of `id` in ascending token order (deterministic iteration for
+  // dumps and subtree collection).
+  std::vector<NodeId> SortedChildren(NodeId id) const;
 
   size_t node_count() const { return nodes_.size(); }
 
-  // Approximate resident bytes of the trie structure.
+  // Approximate resident bytes of the trie structure (node arena capacity
+  // plus escalated child maps).
   size_t bytes() const;
 
   void Clear();
 
  private:
-  std::deque<Node> nodes_;  // arena; deque keeps node pointers stable
+  std::vector<Node> nodes_;  // arena; ids are indices, stable until Clear
   std::vector<std::unique_ptr<ChildMap>> child_maps_;  // escalated indexes
-  Node* root_ = nullptr;
 };
 
 }  // namespace xsb

@@ -11,26 +11,26 @@ void FirstStringIndex::Insert(ClauseId id, const SymbolTable& symbols,
   // Skip the head's own functor token (the trie is per-predicate, as in the
   // paper's Figure 3 which drops the leading p/1 token).
   size_t pos = head_pos + (IsFunctor(head_cells[head_pos]) ? 1 : 0);
-  TokenTrie::Node* node = trie_.root();
+  TokenTrie::NodeId node = TokenTrie::root();
   for (; pos < end; ++pos) {
     Word token = head_cells[pos];
     if (IsLocal(token)) break;  // first string stops at the first variable
     node = trie_.Extend(node, token, nullptr);
   }
-  if (node->payload == TokenTrie::kNoPayload) {
-    node->payload = static_cast<uint32_t>(endings_.size());
+  if (trie_.payload(node) == TokenTrie::kNoPayload) {
+    trie_.set_payload(node, static_cast<uint32_t>(endings_.size()));
     endings_.emplace_back();
   }
-  endings_[node->payload].push_back(id);
+  endings_[trie_.payload(node)].push_back(id);
 }
 
-void FirstStringIndex::CollectSubtree(const TokenTrie::Node* node,
+void FirstStringIndex::CollectSubtree(TokenTrie::NodeId node,
                                       std::vector<ClauseId>* out) const {
   if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
     out->insert(out->end(), ends->begin(), ends->end());
   }
-  for (const TokenTrie::Node* c = node->first_child; c != nullptr;
-       c = c->next_sibling) {
+  for (TokenTrie::NodeId c = trie_.node(node).first_child;
+       c != TokenTrie::kNilNode; c = trie_.node(c).next_sibling) {
     CollectSubtree(c, out);
   }
 }
@@ -48,7 +48,7 @@ std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
     for (int i = arity - 1; i >= 0; --i) work.push_back(store.Arg(goal, i));
   }
 
-  const TokenTrie::Node* node = trie_.root();
+  TokenTrie::NodeId node = TokenTrie::root();
   while (true) {
     if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
       out.insert(out.end(), ends->begin(), ends->end());
@@ -58,8 +58,8 @@ std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
     work.pop_back();
     if (IsRef(x)) {
       // Unbound in the call: stop discriminating, everything below matches.
-      for (const TokenTrie::Node* c = node->first_child; c != nullptr;
-           c = c->next_sibling) {
+      for (TokenTrie::NodeId c = trie_.node(node).first_child;
+           c != TokenTrie::kNilNode; c = trie_.node(c).next_sibling) {
         CollectSubtree(c, &out);
       }
       break;
@@ -73,8 +73,8 @@ std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
     } else {
       token = x;
     }
-    const TokenTrie::Node* next = TokenTrie::Find(node, token);
-    if (next == nullptr) break;  // only prefix-ended clauses match
+    TokenTrie::NodeId next = trie_.Find(node, token);
+    if (next == TokenTrie::kNilNode) break;  // only prefix-ended clauses match
     node = next;
   }
 
@@ -98,8 +98,7 @@ std::string FirstStringIndex::Dump(const SymbolTable& symbols) const {
         return "?";
     }
   };
-  auto walk = [&](auto&& self, const TokenTrie::Node* node,
-                  int depth) -> void {
+  auto walk = [&](auto&& self, TokenTrie::NodeId node, int depth) -> void {
     if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
       out.append(static_cast<size_t>(depth) * 2, ' ');
       out += "* clauses:";
@@ -109,14 +108,14 @@ std::string FirstStringIndex::Dump(const SymbolTable& symbols) const {
       }
       out += '\n';
     }
-    for (const TokenTrie::Node* child : TokenTrie::SortedChildren(node)) {
+    for (TokenTrie::NodeId child : trie_.SortedChildren(node)) {
       out.append(static_cast<size_t>(depth) * 2, ' ');
-      out += token_name(child->token);
+      out += token_name(trie_.node(child).token);
       out += '\n';
       self(self, child, depth + 1);
     }
   };
-  walk(walk, trie_.root(), 0);
+  walk(walk, TokenTrie::root(), 0);
   return out;
 }
 

@@ -42,12 +42,12 @@ class FirstStringIndex {
   std::string Dump(const SymbolTable& symbols) const;
 
  private:
-  const std::vector<ClauseId>* EndingsAt(const TokenTrie::Node* node) const {
-    if (node->payload == TokenTrie::kNoPayload) return nullptr;
-    return &endings_[node->payload];
+  const std::vector<ClauseId>* EndingsAt(TokenTrie::NodeId node) const {
+    uint32_t payload = trie_.payload(node);
+    if (payload == TokenTrie::kNoPayload) return nullptr;
+    return &endings_[payload];
   }
-  void CollectSubtree(const TokenTrie::Node* node,
-                      std::vector<ClauseId>* out) const;
+  void CollectSubtree(TokenTrie::NodeId node, std::vector<ClauseId>* out) const;
 
   TokenTrie trie_;
   // Clause lists, referenced from trie-node payloads.

@@ -27,6 +27,17 @@ class AnswerSource {
   // Writes answer `i` into *out, reusing out's buffers (hot path: callers
   // keep one scratch FlatTerm alive across a whole enumeration).
   virtual void ReadAnswer(size_t i, FlatTerm* out) const = 0;
+
+  // --- Substitution-factored enumeration ------------------------------------
+  // A factored source stores answers as bindings of one shared call
+  // template's variables. When answer_template() is non-null, a consumer may
+  // unify the template against its goal once, then per answer read only the
+  // binding stream (segments in template-variable ordinal order) instead of
+  // re-materializing the full instance. Default: not factored.
+  virtual const FlatTerm* answer_template() const { return nullptr; }
+  virtual void ReadBindings(size_t i, FlatTerm* out) const {
+    ReadAnswer(i, out);
+  }
 };
 
 // Adapter over a materialized vector of flat terms.

@@ -788,6 +788,7 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
   // Materialize (Head :- Body) instances that match, then enumerate them
   // through an answer choice point over a machine-adopted AnswerSource.
   std::vector<FlatTerm> instances;
+  FlatTerm instance_scratch;
   FunctorId neck = symbols->InternFunctor(symbols->neck(), 2);
   Word pair_pattern = store->MakeStruct(neck, {head, body});
   for (ClauseId id : pred->Candidates(*store, head)) {
@@ -805,7 +806,12 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
     }
     Word cpair = store->MakeStruct(neck, {chead, cbody});
     if (store->Unify(pair_pattern, cpair)) {
-      instances.push_back(Flatten(*store, pair_pattern));
+      // Flatten into the reused scratch, then store an exact-size copy: no
+      // growth reallocations once the scratch is warm.
+      if (FlattenInto(*store, pair_pattern, &instance_scratch)) {
+        ++m.stats().findall_flatten_reuses;
+      }
+      instances.push_back(instance_scratch);
     }
     store->UndoTrail(trail);
     store->TruncateHeap(heap);
@@ -818,10 +824,11 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
 }
 
 // table_stats/2: table_stats(Goal, Stats) unifies Stats with
-// [subgoals-N, answers-N, trie_nodes-N, interned_terms-N, bytes-N] for the
-// variant table of Goal, or aggregated over the whole table space when Goal
-// is the atom `all`. Fails when Goal has no table; errors when no tabling
-// evaluator is installed.
+// [subgoals-N, answers-N, trie_nodes-N, call_trie_nodes-N, interned_terms-N,
+// bytes-N, factored_saved_bytes-N, findall_flatten_reuses-N] for the variant
+// table of Goal, or aggregated over the whole table space when Goal is the
+// atom `all`. Fails when Goal has no table; errors when no tabling evaluator
+// is installed.
 BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
   TermStore* store = m.store();
   SymbolTable* symbols = store->symbols();
@@ -853,8 +860,11 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
       pair("subgoals", info.subgoals),
       pair("answers", info.answers),
       pair("trie_nodes", info.trie_nodes),
+      pair("call_trie_nodes", info.call_trie_nodes),
       pair("interned_terms", info.interned_terms),
       pair("bytes", info.bytes),
+      pair("factored_saved_bytes", info.factored_saved_bytes),
+      pair("findall_flatten_reuses", m.stats().findall_flatten_reuses),
   };
   Word list = store->MakeList(items, AtomCell(symbols->nil()));
   return UnifyResult(m, Arg(m, goal, 1), list);

@@ -44,6 +44,28 @@ void Machine::PushAnswerChoices(Word goal, const AnswerSource* answers,
   cp.heap_mark = store_->HeapMark();
   cp.goal = goal;
   cp.answers = answers;
+  const FlatTerm* tmpl = answers->answer_template();
+  if (tmpl != nullptr) {
+    // Substitution-factored source: unify the call template against the
+    // goal once, here, *before* capturing the choice point's marks. The
+    // goal is a variant of the template (that is how the table was found),
+    // so this only aliases template variables to goal subterms; per-answer
+    // backtracking then undoes answer bindings but keeps the aliasing, and
+    // each answer needs only its binding cells unified — the ground call
+    // skeleton is never decoded again.
+    cp.template_vars.assign(tmpl->num_vars, 0);
+    Word t = Unflatten(store_, *tmpl, &cp.template_vars);
+    if (store_->Unify(goal, t)) {
+      cp.factored = true;
+      cp.trail_mark = store_->TrailMark();
+      cp.heap_mark = store_->HeapMark();
+    } else {
+      // Cannot happen for variant calls; fall back to full answer reads.
+      store_->UndoTrail(cp.trail_mark);
+      store_->TruncateHeap(cp.heap_mark);
+      cp.template_vars.clear();
+    }
+  }
   cps_.push_back(std::move(cp));
   ++stats_.choice_points;
 }
@@ -122,6 +144,33 @@ bool Machine::Backtrack(size_t base_cp, const GoalNode** goals) {
         return true;
       }
       case ChoiceKind::kAnswers: {
+        if (cp.factored) {
+          // Factored return: per answer, rebuild only the binding segments
+          // and unify each against its (goal-aliased) template variable.
+          while (cp.next_answer < cp.answers->size()) {
+            cp.answers->ReadBindings(cp.next_answer++, &answer_scratch_);
+            answer_vars_scratch_.assign(answer_scratch_.num_vars, 0);
+            size_t pos = 0;
+            bool ok = true;
+            for (Word tv : cp.template_vars) {
+              Word b = UnflattenNext(store_, answer_scratch_, &pos,
+                                     &answer_vars_scratch_);
+              if (!store_->Unify(tv, b)) {
+                ok = false;
+                break;
+              }
+            }
+            if (ok) {
+              ++stats_.factored_answer_returns;
+              *goals = cp.cont;
+              return true;
+            }
+            store_->UndoTrail(cp.trail_mark);
+            store_->TruncateHeap(cp.heap_mark);
+          }
+          cps_.pop_back();
+          continue;
+        }
         while (cp.next_answer < cp.answers->size()) {
           cp.answers->ReadAnswer(cp.next_answer++, &answer_scratch_);
           Word t = Unflatten(store_, answer_scratch_);
@@ -543,7 +592,12 @@ Result<std::vector<FlatTerm>> Machine::FindAll(Word templ, Word goal) {
   size_t heap_mark = store_->HeapMark();
   std::vector<FlatTerm> out;
   Status status = Solve(goal, [&]() {
-    out.push_back(Flatten(*store_, templ));
+    // Flatten into the persistent scratch (no growth reallocations once it
+    // is warm), then copy out at exact size — one allocation per instance.
+    if (FlattenInto(*store_, templ, &findall_scratch_)) {
+      ++stats_.findall_flatten_reuses;
+    }
+    out.push_back(findall_scratch_);
     return SolveAction::kContinue;
   });
   store_->UndoTrail(trail_mark);

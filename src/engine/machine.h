@@ -64,6 +64,8 @@ class TabledCallHandler {
     uint64_t trie_nodes = 0;
     uint64_t interned_terms = 0;
     uint64_t bytes = 0;
+    uint64_t call_trie_nodes = 0;       // variant-index trie nodes
+    uint64_t factored_saved_bytes = 0;  // bytes factoring avoided storing
   };
   // Statistics for the variant table of `goal`, or aggregated over the
   // whole table space when goal == 0. Default: no statistics available.
@@ -105,6 +107,12 @@ struct MachineStats {
   uint64_t choice_points = 0;
   uint64_t head_unifications = 0;
   uint64_t counted_calls = 0;  // calls to the counted functor, if set
+  // findall/tfindall/clause instance collections that flattened into the
+  // reused scratch without allocating (the steady state after warm-up).
+  uint64_t findall_flatten_reuses = 0;
+  // Answers delivered through the substitution-factored choice-point path
+  // (template unified once, only bindings unified per answer).
+  uint64_t factored_answer_returns = 0;
 };
 
 // The SLD(NF) resolution engine: a structure-copying abstract machine with a
@@ -226,6 +234,12 @@ class Machine {
     // kAnswers
     const AnswerSource* answers = nullptr;
     size_t next_answer = 0;
+    // kAnswers, factored mode: heap cells aliased to the source's answer
+    // template variables (template unified with `goal` once, at push time,
+    // before this choice point's marks — so per-answer backtracking keeps
+    // the aliasing and only undoes the binding unifications).
+    std::vector<Word> template_vars;
+    bool factored = false;
     // kBetween
     int64_t next_value = 0;
     int64_t max_value = 0;
@@ -259,6 +273,8 @@ class Machine {
   std::vector<std::unique_ptr<AnswerSource>> adopted_sources_;
   std::vector<ChoicePoint> cps_;
   FlatTerm answer_scratch_;  // reused by the answer-choice backtracker
+  std::vector<Word> answer_vars_scratch_;  // fresh vars per factored answer
+  FlatTerm findall_scratch_;  // reused by FindAll's per-solution flatten
   Status error_;
   bool stop_requested_ = false;
 

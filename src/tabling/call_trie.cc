@@ -1,0 +1,114 @@
+#include "tabling/call_trie.h"
+
+namespace xsb {
+
+bool CallTrie::EncodeHeapSubterm(const TermStore& store, Word t,
+                                 bool probing) const {
+  Word x = store.Deref(t);
+  switch (TagOf(x)) {
+    case Tag::kRef: {
+      uint64_t cell = PayloadOf(x);
+      uint32_t ordinal = static_cast<uint32_t>(var_cells_.size());
+      for (uint32_t i = 0; i < var_cells_.size(); ++i) {
+        if (var_cells_[i] == cell) {
+          ordinal = i;
+          break;
+        }
+      }
+      if (ordinal == var_cells_.size()) var_cells_.push_back(cell);
+      tokens_.push_back(LocalCell(ordinal));
+      return false;
+    }
+    case Tag::kAtom:
+    case Tag::kInt:
+      tokens_.push_back(x);
+      return true;
+    case Tag::kStruct: {
+      // Emit the functor token speculatively; every ground argument
+      // collapses to exactly one token, so if the whole subterm turns out
+      // ground, the args sit in tokens_[mark+1 .. mark+arity] and are
+      // replaced by one interned token (the heap-walking twin of
+      // InternTable::EncodeSubterm).
+      FunctorId f = store.StructFunctor(x);
+      int arity = interns_->symbols().FunctorArity(f);
+      size_t mark = tokens_.size();
+      tokens_.push_back(FunctorCell(f));
+      bool ground = true;
+      for (int i = 0; i < arity; ++i) {
+        ground &= EncodeHeapSubterm(store, store.Arg(x, i), probing);
+        if (probing && probe_miss_) return true;  // unwound by EncodeCall
+      }
+      if (ground) {
+        Word token;
+        if (probing) {
+          token = interns_->FindNode(f, tokens_.data() + mark + 1, arity);
+          if (token == InternTable::kNoToken) {
+            probe_miss_ = true;
+            return true;
+          }
+        } else {
+          token = interns_->InternNode(f, tokens_.data() + mark + 1, arity);
+        }
+        tokens_.resize(mark);
+        tokens_.push_back(token);
+      }
+      return ground;
+    }
+    default:
+      tokens_.push_back(x);
+      return true;
+  }
+}
+
+bool CallTrie::EncodeCall(const TermStore& store, Word goal,
+                          bool probing) const {
+  tokens_.clear();
+  var_cells_.clear();
+  probe_miss_ = false;
+  Word x = store.Deref(goal);
+  if (IsStruct(x)) {
+    FunctorId f = store.StructFunctor(x);
+    tokens_.push_back(FunctorCell(f));
+    int arity = interns_->symbols().FunctorArity(f);
+    for (int i = 0; i < arity; ++i) {
+      EncodeHeapSubterm(store, store.Arg(x, i), probing);
+      if (probing && probe_miss_) return false;
+    }
+  } else {
+    EncodeHeapSubterm(store, x, probing);
+    if (probing && probe_miss_) return false;
+  }
+  return true;
+}
+
+TokenTrie::NodeId CallTrie::LookupOrInsert(const TermStore& store, Word goal) {
+  EncodeCall(store, goal, /*probing=*/false);
+  TokenTrie::NodeId node = TokenTrie::root();
+  for (Word token : tokens_) {
+    node = trie_.Extend(node, token, nullptr);
+  }
+  return node;
+}
+
+TokenTrie::NodeId CallTrie::Probe(const TermStore& store, Word goal) const {
+  if (!EncodeCall(store, goal, /*probing=*/true)) return TokenTrie::kNilNode;
+  TokenTrie::NodeId node = TokenTrie::root();
+  for (Word token : tokens_) {
+    node = trie_.Find(node, token);
+    if (node == TokenTrie::kNilNode) return TokenTrie::kNilNode;
+  }
+  return node;
+}
+
+size_t CallTrie::bytes() const {
+  return trie_.bytes() + tokens_.capacity() * sizeof(Word) +
+         var_cells_.capacity() * sizeof(uint64_t);
+}
+
+void CallTrie::Clear() {
+  trie_.Clear();
+  tokens_.clear();
+  var_cells_.clear();
+}
+
+}  // namespace xsb

@@ -1,0 +1,86 @@
+#ifndef XSB_TABLING_CALL_TRIE_H_
+#define XSB_TABLING_CALL_TRIE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "db/token_trie.h"
+#include "term/flat.h"
+#include "term/intern.h"
+#include "term/store.h"
+
+namespace xsb {
+
+// The call trie: XSB's variant-based subgoal index (section 3.2), realized
+// over the shared TokenTrie. A tabled call is checked/inserted in a single
+// walk from the live heap term — no intermediate FlatTerm is materialized —
+// tokenizing as it goes: variables become kLocal cells numbered by first
+// occurrence, and every maximal ground compound subterm collapses to one
+// kInterned token via the engine-wide intern store (so a repeated ground
+// call is a handful of trie steps regardless of its size). Two calls are
+// variants iff their token streams are equal iff they reach the same leaf.
+//
+// The leaf payload is owner-defined (table space stores the SubgoalId).
+// Payloads can be cleared (abolish_table_call/1) without removing the path;
+// a later variant call reuses the nodes and just re-sets the payload.
+class CallTrie {
+ public:
+  explicit CallTrie(InternTable* interns) : interns_(interns) {}
+  CallTrie(const CallTrie&) = delete;
+  CallTrie& operator=(const CallTrie&) = delete;
+
+  // Walks (and extends) the trie for the call `goal`; returns its leaf.
+  // Afterwards last_tokens()/last_num_vars() describe the encoded call.
+  TokenTrie::NodeId LookupOrInsert(const TermStore& store, Word goal);
+
+  // Lookup-only walk; TokenTrie::kNilNode if no variant of `goal` was ever
+  // inserted. Never mutates the trie or the intern store: ground compounds
+  // are probed with InternTable::FindNode, and a compound that was never
+  // interned cannot occur in any stored call.
+  TokenTrie::NodeId Probe(const TermStore& store, Word goal) const;
+
+  uint32_t payload(TokenTrie::NodeId leaf) const {
+    return trie_.payload(leaf);
+  }
+  void set_payload(TokenTrie::NodeId leaf, uint32_t payload) {
+    trie_.set_payload(leaf, payload);
+  }
+
+  // Token stream / variable count of the call most recently encoded by
+  // LookupOrInsert or Probe (scratch: valid until the next walk).
+  const std::vector<Word>& last_tokens() const { return tokens_; }
+  uint32_t last_num_vars() const {
+    return static_cast<uint32_t>(var_cells_.size());
+  }
+
+  // Canonical FlatTerm of the last encoded call (the subgoal's answer
+  // template); only needed on the miss path when a new subgoal is created.
+  FlatTerm DecodeLastCall() const { return interns_->Decode(tokens_); }
+
+  size_t node_count() const { return trie_.node_count(); }
+  size_t bytes() const;
+
+  void Clear();
+
+ private:
+  // Tokenizes the subterm `t` into tokens_; returns whether it was ground
+  // (in which case it contributed exactly one token). With `probing`, uses
+  // lookup-only interning and sets probe_miss_ instead of interning fresh
+  // compounds.
+  bool EncodeHeapSubterm(const TermStore& store, Word t, bool probing) const;
+  // Open-encodes the whole call (top functor kept as its own token, as in
+  // AnswerTrie streams) into tokens_. Returns false if a probing encode hit
+  // a never-interned ground compound.
+  bool EncodeCall(const TermStore& store, Word goal, bool probing) const;
+
+  InternTable* interns_;
+  TokenTrie trie_;
+  // Walk scratch, reused across calls (mutable: Probe is logically const).
+  mutable std::vector<Word> tokens_;
+  mutable std::vector<uint64_t> var_cells_;
+  mutable bool probe_miss_ = false;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_TABLING_CALL_TRIE_H_

@@ -107,7 +107,6 @@ Word Evaluator::BuildConsumerTerm(Word goal, const GoalNode* cont) {
 TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
     Machine* machine, Word goal, const GoalNode* cont) {
   TermStore* store = machine->store();
-  FlatTerm canon = Flatten(*store, goal);
   std::optional<FunctorId> functor = Program::CallableFunctor(*store, goal);
   if (!functor.has_value()) {
     machine->SetError(TypeError("tabled call is not callable"));
@@ -118,7 +117,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
     // Top-level call: evaluate to completion (also when an update left the
     // table invalid), then enumerate answers.
     ApplyPendingAbolish();
-    SubgoalId id = tables_.Lookup(canon);
+    SubgoalId id = tables_.Lookup(*store, goal);
     if (id == kNoSubgoal || tables_.NeedsReevaluation(id)) {
       bool has_answer = false;
       Status st = EvaluateToCompletion(goal, *functor, /*existential=*/false,
@@ -134,7 +133,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
   }
 
   Batch& batch = batches_.back();
-  auto [id, created] = tables_.LookupOrCreate(canon, *functor, batch.id);
+  auto [id, created] =
+      tables_.LookupOrCreate(*store, goal, *functor, batch.id);
   // The consuming table depends on the consumed one: an update invalidating
   // `id` must also invalidate whoever built answers from it.
   SubgoalId caller = CurrentSubgoal();
@@ -178,8 +178,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
                                                          Word call_instance) {
   TermStore* store = machine->store();
   SubgoalId id = static_cast<SubgoalId>(subgoal_index);
-  FlatTerm answer = Flatten(*store, call_instance);
-  bool fresh = tables_.AddAnswer(id, std::move(answer));
+  bool fresh = tables_.AddAnswer(id, *store, call_instance);
   if (fresh && !batches_.empty()) {
     Batch& batch = batches_.back();
     if (batch.stop_on_answer == id) {
@@ -319,9 +318,8 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
                            false});
   size_t batch_index = batches_.size() - 1;
 
-  FlatTerm canon = Flatten(*store, goal);
   auto [root, created] =
-      tables_.LookupOrCreate(canon, functor, batches_[batch_index].id);
+      tables_.LookupOrCreate(*store, goal, functor, batches_[batch_index].id);
   if (created) {
     SeedSubgoalDeps(root, functor);
   } else if (tables_.NeedsReevaluation(root)) {
@@ -374,8 +372,7 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
     return CallOutcome::kError;
   }
 
-  FlatTerm canon = Flatten(*store, goal);
-  SubgoalId id = tables_.Lookup(canon);
+  SubgoalId id = tables_.Lookup(*store, goal);
   SubgoalId caller = CurrentSubgoal();
   // An invalid table falls through to re-evaluation below.
   if (id != kNoSubgoal && !tables_.NeedsReevaluation(id)) {
@@ -426,8 +423,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
     return CallOutcome::kError;
   }
 
-  FlatTerm canon = Flatten(*store, goal);
-  SubgoalId id = tables_.Lookup(canon);
+  SubgoalId id = tables_.Lookup(*store, goal);
   if (id == kNoSubgoal || tables_.NeedsReevaluation(id)) {
     Status status = EvaluateToCompletion(goal, *functor,
                                          /*existential=*/false, nullptr, &id);
@@ -447,17 +443,23 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   SubgoalId caller = CurrentSubgoal();
   if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
 
-  // Project each answer through (goal, templ), which share variables.
+  // Project each answer through (goal, templ), which share variables. The
+  // per-instance flatten goes through a reused scratch, so the stored copy
+  // is exact-size and the scratch stops allocating once warm.
   std::vector<FlatTerm> instances;
   const AnswerTable& table = *tables_.subgoal(id).answers;
   FlatTerm answer;
+  FlatTerm instance_scratch;
   for (size_t i = 0; i < table.size(); ++i) {
     table.ReadAnswer(i, &answer);
     size_t trail = store->TrailMark();
     size_t heap = store->HeapMark();
     Word answer_term = Unflatten(store, answer);
     if (store->Unify(goal, answer_term)) {
-      instances.push_back(Flatten(*store, templ));
+      if (FlattenInto(*store, templ, &instance_scratch)) {
+        ++machine->stats().findall_flatten_reuses;
+      }
+      instances.push_back(instance_scratch);
     }
     store->UndoTrail(trail);
     store->TruncateHeap(heap);
@@ -474,8 +476,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
 
 bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
   TermStore* store = machine->store();
-  FlatTerm canon = Flatten(*store, goal);
-  SubgoalId id = tables_.Lookup(canon);
+  SubgoalId id = tables_.Lookup(*store, goal);
   if (id == kNoSubgoal) return false;
   // A table mid-evaluation belongs to a live batch; pulling it out would
   // corrupt the batch, so abolishing it is a no-op.
@@ -487,8 +488,7 @@ bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
 TabledCallHandler::TableState Evaluator::GetTableState(Machine* machine,
                                                        Word goal) {
   TermStore* store = machine->store();
-  FlatTerm canon = Flatten(*store, goal);
-  SubgoalId id = tables_.Lookup(canon);
+  SubgoalId id = tables_.Lookup(*store, goal);
   if (id == kNoSubgoal) return TableState::kNoTable;
   const Subgoal& sg = tables_.subgoal(id);
   switch (sg.state) {
@@ -506,6 +506,9 @@ TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
                                                            Word goal) {
   TableStatsInfo info;
   info.interned_terms = tables_.interns().num_terms();
+  info.call_trie_nodes = tables_.call_trie_nodes();
+  info.factored_saved_bytes =
+      tables_.stats().factored_cells_saved * sizeof(Word);
   if (goal == 0) {
     // Aggregate over the whole table space.
     info.found = true;
@@ -516,8 +519,7 @@ TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
     return info;
   }
   TermStore* store = machine->store();
-  FlatTerm canon = Flatten(*store, goal);
-  SubgoalId id = tables_.Lookup(canon);
+  SubgoalId id = tables_.Lookup(*store, goal);
   if (id == kNoSubgoal) return info;  // found == false
   const Subgoal& sg = tables_.subgoal(id);
   info.found = true;

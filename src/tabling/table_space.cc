@@ -2,40 +2,125 @@
 
 #include <algorithm>
 
+#include "db/index.h"
+
 namespace xsb {
 
-bool AnswerTrie::Insert(const FlatTerm& answer) {
-  interns_->EncodeOpen(answer.cells, &encode_scratch_);
-  TokenTrie::Node* node = trie_.root();
+bool AnswerTrie::Insert(const TermStore& store, Word instance,
+                        size_t* saved_cells) {
+  // Factor `instance` against the template in one lockstep walk: the
+  // template's flat cells are traversed in preorder while the work stack
+  // tracks the corresponding heap subterms. At a template variable's first
+  // occurrence the heap subterm is its binding — flattened into the binding
+  // stream (shared variable numbering across segments); repeated occurrences
+  // necessarily carry the same binding (the instance is the unflattened
+  // template, instantiated) and are skipped. Non-variable template cells
+  // match the instance's skeleton by construction.
+  bindings_scratch_.clear();
+  var_scratch_.clear();
+  walk_scratch_.clear();
+  walk_scratch_.push_back(instance);
+  const SymbolTable& symbols = interns_->symbols();
+  size_t full_cells = 0;  // cells a full (unfactored) flatten would store
+  size_t next_ord = 0;
+  seg_scratch_.clear();  // per-ordinal binding segment length
+  for (Word tc : template_.cells) {
+    Word x = walk_scratch_.back();
+    walk_scratch_.pop_back();
+    if (IsLocal(tc)) {
+      uint64_t ord = PayloadOf(tc);
+      if (ord == next_ord) {
+        size_t before = bindings_scratch_.size();
+        FlattenAppend(store, x, &bindings_scratch_, &var_scratch_);
+        seg_scratch_.push_back(bindings_scratch_.size() - before);
+        ++next_ord;
+      }
+      full_cells += seg_scratch_[ord];
+    } else {
+      ++full_cells;
+      if (IsFunctor(tc)) {
+        Word d = store.Deref(x);
+        int arity = symbols.FunctorArity(FunctorOf(tc));
+        for (int i = arity - 1; i >= 0; --i) {
+          walk_scratch_.push_back(store.Arg(d, i));
+        }
+      }
+    }
+  }
+
+  interns_->Encode(bindings_scratch_, &encode_scratch_);
+  TokenTrie::NodeId node = TokenTrie::root();
   for (Word token : encode_scratch_) {
     node = trie_.Extend(node, token, nullptr);
   }
-  if (node->payload != TokenTrie::kNoPayload) return false;  // duplicate
-  node->payload = static_cast<uint32_t>(leaves_.size());
-  leaves_.push_back(Leaf{node, answer.num_vars});
+  if (trie_.payload(node) != TokenTrie::kNoPayload) return false;  // duplicate
+  trie_.set_payload(node, static_cast<uint32_t>(leaves_.size()));
+  leaves_.push_back(
+      Leaf{node, static_cast<uint32_t>(var_scratch_.size())});
+  if (saved_cells != nullptr) {
+    *saved_cells = full_cells - bindings_scratch_.size();
+  }
   return true;
 }
 
-void AnswerTrie::ReadAnswer(size_t i, FlatTerm* out) const {
-  const Leaf& leaf = leaves_[i];
+void AnswerTrie::ExpandLeaf(size_t i, std::vector<Word>* out) const {
   path_scratch_.clear();
-  for (const TokenTrie::Node* n = leaf.node; n->parent != nullptr;
-       n = n->parent) {
-    path_scratch_.push_back(n->token);
+  for (TokenTrie::NodeId n = leaves_[i].node; n != TokenTrie::root();
+       n = trie_.node(n).parent) {
+    path_scratch_.push_back(trie_.node(n).token);
   }
-  out->cells.clear();
-  out->num_vars = leaf.num_vars;
+  out->clear();
   for (auto it = path_scratch_.rbegin(); it != path_scratch_.rend(); ++it) {
-    interns_->AppendExpansion(*it, &out->cells);
+    interns_->AppendExpansion(*it, out);
+  }
+}
+
+void AnswerTrie::ReadBindings(size_t i, FlatTerm* out) const {
+  ExpandLeaf(i, &out->cells);
+  out->num_vars = leaves_[i].num_vars;
+}
+
+void AnswerTrie::ReadAnswer(size_t i, FlatTerm* out) const {
+  ExpandLeaf(i, &expand_scratch_);
+  out->cells.clear();
+  out->num_vars = leaves_[i].num_vars;
+  // Splice binding segments back into the template. First occurrences of
+  // template variables appear in ordinal order, so segment starts are
+  // discovered left to right; repeated occurrences re-splice their segment,
+  // reproducing exactly the canonical flatten of the full instance.
+  const SymbolTable& symbols = interns_->symbols();
+  seg_scratch_.clear();  // per-ordinal segment start
+  size_t next_seg = 0;
+  for (Word tc : template_.cells) {
+    if (!IsLocal(tc)) {
+      out->cells.push_back(tc);
+      continue;
+    }
+    uint64_t ord = PayloadOf(tc);
+    size_t s;
+    if (ord == seg_scratch_.size()) {
+      s = next_seg;
+      seg_scratch_.push_back(s);
+      next_seg = SkipFlatSubterm(symbols, expand_scratch_, s);
+    } else {
+      s = seg_scratch_[ord];
+    }
+    size_t e = SkipFlatSubterm(symbols, expand_scratch_, s);
+    out->cells.insert(out->cells.end(), expand_scratch_.begin() + s,
+                      expand_scratch_.begin() + e);
   }
 }
 
 size_t AnswerTrie::bytes() const {
-  return trie_.bytes() + leaves_.capacity() * sizeof(Leaf);
+  return trie_.bytes() + leaves_.capacity() * sizeof(Leaf) +
+         template_.cells.capacity() * sizeof(Word);
 }
 
-bool AnswerTable::Insert(FlatTerm answer) {
-  if (use_trie_) return trie_.Insert(answer);
+bool AnswerTable::Insert(const TermStore& store, Word instance,
+                         size_t* saved_cells) {
+  if (use_trie_) return trie_.Insert(store, instance, saved_cells);
+  if (saved_cells != nullptr) *saved_cells = 0;
+  FlatTerm answer = Flatten(store, instance);
   bool fresh = hash_index_.insert(answer).second;
   if (fresh) answers_.push_back(std::move(answer));
   return fresh;
@@ -50,6 +135,14 @@ void AnswerTable::ReadAnswer(size_t i, FlatTerm* out) const {
   out->num_vars = answers_[i].num_vars;
 }
 
+void AnswerTable::ReadBindings(size_t i, FlatTerm* out) const {
+  if (use_trie_) {
+    trie_.ReadBindings(i, out);
+    return;
+  }
+  ReadAnswer(i, out);
+}
+
 size_t AnswerTable::bytes() const {
   if (use_trie_) return trie_.bytes();
   size_t total = answers_.capacity() * sizeof(FlatTerm);
@@ -61,38 +154,43 @@ size_t AnswerTable::bytes() const {
   return total;
 }
 
-std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const FlatTerm& call,
+std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const TermStore& store,
+                                                      Word goal,
                                                       FunctorId functor,
                                                       uint64_t batch_id) {
-  FlatTerm key;
-  key.num_vars = call.num_vars;
-  interns_.Encode(call.cells, &key.cells);
-  auto it = call_index_.find(key);
-  if (it != call_index_.end()) return {it->second, false};
+  TokenTrie::NodeId leaf = call_trie_.LookupOrInsert(store, goal);
+  uint32_t payload = call_trie_.payload(leaf);
+  if (payload != TokenTrie::kNoPayload) {
+    return {static_cast<SubgoalId>(payload), false};
+  }
   SubgoalId id = static_cast<SubgoalId>(subgoals_.size());
   subgoals_.push_back(Subgoal{});
   Subgoal& sg = subgoals_.back();
-  sg.call = call;
-  sg.call_key = key;
+  sg.call = call_trie_.DecodeLastCall();
+  sg.call_leaf = leaf;
   sg.functor = functor;
   sg.batch_id = batch_id;
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
-  call_index_.emplace(std::move(key), id);
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_, sg.call);
+  call_trie_.set_payload(leaf, id);
   ++stats_.subgoals_created;
   return {id, true};
 }
 
-SubgoalId TableSpace::Lookup(const FlatTerm& call) const {
-  FlatTerm key;
-  interns_.Encode(call.cells, &key.cells);
-  auto it = call_index_.find(key);
-  return it == call_index_.end() ? kNoSubgoal : it->second;
+SubgoalId TableSpace::Lookup(const TermStore& store, Word goal) const {
+  TokenTrie::NodeId leaf = call_trie_.Probe(store, goal);
+  if (leaf == TokenTrie::kNilNode) return kNoSubgoal;
+  uint32_t payload = call_trie_.payload(leaf);
+  return payload == TokenTrie::kNoPayload ? kNoSubgoal
+                                          : static_cast<SubgoalId>(payload);
 }
 
-bool TableSpace::AddAnswer(SubgoalId id, FlatTerm answer) {
-  bool fresh = subgoals_[id].answers->Insert(std::move(answer));
+bool TableSpace::AddAnswer(SubgoalId id, const TermStore& store,
+                           Word instance) {
+  size_t saved = 0;
+  bool fresh = subgoals_[id].answers->Insert(store, instance, &saved);
   if (fresh) {
     ++stats_.answers_inserted;
+    stats_.factored_cells_saved += saved;
   } else {
     ++stats_.duplicate_answers;
   }
@@ -102,10 +200,12 @@ bool TableSpace::AddAnswer(SubgoalId id, FlatTerm answer) {
 void TableSpace::Dispose(SubgoalId id) {
   Subgoal& sg = subgoals_[id];
   if (sg.state == SubgoalState::kDisposed) return;
-  call_index_.erase(sg.call_key);
+  // The trie path stays; clearing the leaf payload unlinks the variant. A
+  // later variant call reuses the path and installs a fresh subgoal id.
+  call_trie_.set_payload(sg.call_leaf, TokenTrie::kNoPayload);
   sg.state = SubgoalState::kDisposed;
   retired_answers_.push_back(std::move(sg.answers));
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_, sg.call);
   ++stats_.subgoals_disposed;
 }
 
@@ -115,7 +215,7 @@ void TableSpace::Clear() {
       retired_answers_.push_back(std::move(sg.answers));
     }
   }
-  call_index_.clear();
+  call_trie_.Clear();
   subgoals_.clear();
   pred_readers_.clear();
 }
@@ -175,7 +275,7 @@ size_t TableSpace::InvalidateAll() {
 void TableSpace::ResetForReevaluation(SubgoalId id, uint64_t batch_id) {
   Subgoal& sg = subgoals_[id];
   retired_answers_.push_back(std::move(sg.answers));
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_);
+  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_, sg.call);
   sg.state = SubgoalState::kIncomplete;
   sg.invalid = false;
   sg.batch_id = batch_id;
@@ -195,12 +295,14 @@ size_t TableSpace::total_trie_nodes() const {
 }
 
 size_t TableSpace::table_bytes() const {
-  size_t total = interns_.bytes();
+  size_t total = interns_.bytes() + call_trie_.bytes();
+  total += subgoals_.size() * sizeof(Subgoal);
   for (const Subgoal& sg : subgoals_) {
     total += sg.answers->bytes();
     total += sg.call.cells.capacity() * sizeof(Word);
-    total += sg.call_key.cells.capacity() * sizeof(Word);
+    total += sg.dependents.capacity() * sizeof(SubgoalId);
   }
+  for (const auto& retired : retired_answers_) total += retired->bytes();
   return total;
 }
 

@@ -10,8 +10,10 @@
 
 #include "db/token_trie.h"
 #include "engine/answer_source.h"
+#include "tabling/call_trie.h"
 #include "term/flat.h"
 #include "term/intern.h"
+#include "term/store.h"
 
 namespace xsb {
 
@@ -25,59 +27,92 @@ enum class SubgoalState {
 };
 
 // Discrimination trie over answers: the answer-clause index of section 4.5,
-// here grown into the *primary* answer store. Answers are stored as token
-// streams (ground compound subterms collapsed to kInterned cells by the
-// shared InternTable), so one downward walk both checks and inserts, and
-// common prefixes — plus every repeated ground subterm engine-wide — are
-// stored once. Each answer's leaf is kept in insertion order, and answers
-// are read back by walking leaf-to-root parent pointers: enumeration works
-// directly off the trie with no materialized per-answer copies.
+// grown into the *primary* answer store with XSB's substitution factoring.
+// An answer of subgoal `path(1,Y)` is not stored as the full instance
+// `path(1,5)` — only the *bindings of the call's variables* (here `Y = 5`)
+// enter the trie, as a token stream over the shared InternTable (ground
+// compound bindings collapse to kInterned cells). The call itself is kept
+// once as the answer template; one downward walk both checks and inserts an
+// answer, and read-back either returns the raw binding stream (ReadBindings,
+// the factored consumer path) or splices the segments back into the template
+// (ReadAnswer, for callers that need the full instance).
 class AnswerTrie {
  public:
-  explicit AnswerTrie(InternTable* interns) : interns_(interns) {}
+  // `call_template` is the canonical (flattened) call; it is owned by the
+  // trie so retired tables stay readable after their subgoal is gone.
+  AnswerTrie(InternTable* interns, FlatTerm call_template)
+      : interns_(interns), template_(std::move(call_template)) {}
 
-  // Returns true if the answer was new.
-  bool Insert(const FlatTerm& answer);
+  // Factors the heap term `instance` — an instance of the call template —
+  // into its binding stream and inserts it. Returns true if the answer was
+  // new; then *saved_cells (may be null) is the number of flat cells that
+  // factoring avoided storing versus the full instance.
+  bool Insert(const TermStore& store, Word instance, size_t* saved_cells);
 
   size_t size() const { return leaves_.size(); }
 
-  // Reconstructs answer `i` (insertion order) from its trie path, reusing
-  // out's buffers.
+  // Reconstructs full answer `i` (insertion order) by splicing its binding
+  // segments into the call template, reusing out's buffers.
   void ReadAnswer(size_t i, FlatTerm* out) const;
+
+  // Reads answer `i` as its raw binding stream: the flattened bindings of
+  // the template's variables, concatenated in ordinal order.
+  void ReadBindings(size_t i, FlatTerm* out) const;
+
+  const FlatTerm& call_template() const { return template_; }
 
   size_t node_count() const { return trie_.node_count(); }
   size_t bytes() const;
 
  private:
   struct Leaf {
-    const TokenTrie::Node* node;
-    uint32_t num_vars;
+    TokenTrie::NodeId node;
+    uint32_t num_vars;  // variables in the binding stream
   };
 
+  // Expands leaf `i`'s root-to-leaf token path into flat cells.
+  void ExpandLeaf(size_t i, std::vector<Word>* out) const;
+
   InternTable* interns_;
+  FlatTerm template_;
   TokenTrie trie_;
   std::vector<Leaf> leaves_;  // answers in insertion order
+  // Insert scratch.
+  std::vector<Word> bindings_scratch_;
+  std::vector<uint64_t> var_scratch_;
+  std::vector<Word> walk_scratch_;
   std::vector<Word> encode_scratch_;
+  // Read scratch.
   mutable std::vector<Word> path_scratch_;
+  mutable std::vector<Word> expand_scratch_;
+  mutable std::vector<size_t> seg_scratch_;
 };
 
 // The answers of one tabled subgoal. The trie store (default) keeps answers
-// only as interned trie paths; the hash store (kept for the ablation bench)
-// keeps a materialized vector plus a hash set, which stores every answer's
-// cells twice.
+// only as factored binding paths; the hash store (kept for the ablation
+// bench) keeps a materialized vector plus a hash set of full instances,
+// which stores every answer's cells twice.
 class AnswerTable : public AnswerSource {
  public:
-  AnswerTable(bool use_trie, InternTable* interns)
-      : use_trie_(use_trie), trie_(interns) {}
+  AnswerTable(bool use_trie, InternTable* interns, FlatTerm call_template)
+      : use_trie_(use_trie), trie_(interns, std::move(call_template)) {}
 
-  // Returns true (and stores) if `answer` was not already present.
-  bool Insert(FlatTerm answer);
+  // Returns true (and stores) if the answer instance was not already
+  // present. *saved_cells as in AnswerTrie::Insert (0 in hash mode).
+  bool Insert(const TermStore& store, Word instance, size_t* saved_cells);
 
   // AnswerSource: enumeration in insertion order, stable under growth.
   size_t size() const override {
     return use_trie_ ? trie_.size() : answers_.size();
   }
   void ReadAnswer(size_t i, FlatTerm* out) const override;
+
+  // Factored enumeration (trie mode only; null template in hash mode makes
+  // callers fall back to ReadAnswer).
+  const FlatTerm* answer_template() const override {
+    return use_trie_ ? &trie_.call_template() : nullptr;
+  }
+  void ReadBindings(size_t i, FlatTerm* out) const override;
 
   bool empty() const { return size() == 0; }
 
@@ -103,11 +138,12 @@ struct Consumer {
   size_t next_answer = 0;
 };
 
-// One tabled subgoal: canonical call, state, answers, and its place in the
-// incremental dependency graph.
+// One tabled subgoal: canonical call (the answer template), state, answers,
+// and its place in the incremental dependency graph.
 struct Subgoal {
   FlatTerm call;
-  FlatTerm call_key;  // interned token stream; the variant-index key
+  // Leaf of this subgoal's path in the call trie (the variant index).
+  TokenTrie::NodeId call_leaf = TokenTrie::kNilNode;
   FunctorId functor = 0;
   SubgoalState state = SubgoalState::kIncomplete;
   uint64_t batch_id = 0;  // evaluation batch that created it
@@ -131,29 +167,38 @@ struct TableStats {
   uint64_t consumer_resumptions = 0;
   uint64_t tables_invalidated = 0;
   uint64_t tables_reevaluated = 0;
+  // Flat cells substitution factoring avoided storing (fresh answers only):
+  // full-instance size minus binding-stream size, summed.
+  uint64_t factored_cells_saved = 0;
 };
 
-// The table space (section 3.2): subgoal table with variant-based call
-// indexing plus per-subgoal answer tables. Owns the engine-wide ground-term
-// intern store; calls are canonicalized into interned token streams before
-// variant lookup, so a repeated ground call is one hash over a short key.
+// The table space (section 3.2): call trie for variant-based subgoal
+// indexing plus per-subgoal factored answer tables. Owns the engine-wide
+// ground-term intern store. A call is checked/inserted in one walk over the
+// live heap term — the hit path materializes nothing.
 class TableSpace {
  public:
   explicit TableSpace(const SymbolTable* symbols, bool answer_trie = true)
-      : answer_trie_(answer_trie), interns_(symbols) {}
+      : answer_trie_(answer_trie),
+        interns_(symbols),
+        call_trie_(&interns_) {}
 
-  // Variant lookup. Returns {id, created}.
-  std::pair<SubgoalId, bool> LookupOrCreate(const FlatTerm& call,
+  // Variant lookup straight from the heap term `goal`. Returns
+  // {id, created}; on creation the new subgoal's canonical call (answer
+  // template) is decoded from the walk's token stream.
+  std::pair<SubgoalId, bool> LookupOrCreate(const TermStore& store, Word goal,
                                             FunctorId functor,
                                             uint64_t batch_id);
-  // Lookup without creating; kNoSubgoal if absent.
-  SubgoalId Lookup(const FlatTerm& call) const;
+  // Lookup without creating; kNoSubgoal if absent. Never mutates the trie
+  // or the intern store.
+  SubgoalId Lookup(const TermStore& store, Word goal) const;
 
   Subgoal& subgoal(SubgoalId id) { return subgoals_[id]; }
   const Subgoal& subgoal(SubgoalId id) const { return subgoals_[id]; }
 
-  // Inserts an answer; returns true if new.
-  bool AddAnswer(SubgoalId id, FlatTerm answer);
+  // Inserts the answer instance (a heap instance of `id`'s call) after
+  // factoring out the call's ground skeleton; returns true if new.
+  bool AddAnswer(SubgoalId id, const TermStore& store, Word instance);
 
   // Removes the subgoal from the call index and drops its answers (tcut /
   // existential negation, abolish_table_call/1). The id remains valid but
@@ -207,10 +252,14 @@ class TableSpace {
   InternTable& interns() { return interns_; }
   const InternTable& interns() const { return interns_; }
 
+  const CallTrie& call_trie() const { return call_trie_; }
+
   // Aggregates over all live tables (the table_stats/2 builtin).
   size_t total_answers() const;
-  size_t total_trie_nodes() const;
-  // Answer-table bytes plus intern-store bytes.
+  size_t total_trie_nodes() const;  // answer-trie nodes
+  size_t call_trie_nodes() const { return call_trie_.node_count(); }
+  // Resident table-space bytes: answer tables (live and retired), the call
+  // trie, subgoal metadata, and the intern store.
   size_t table_bytes() const;
 
   TableStats& stats() { return stats_; }
@@ -218,10 +267,8 @@ class TableSpace {
 
  private:
   bool answer_trie_;
-  // Mutable: variant lookup interns fresh ground subterms of the probed
-  // call, which only grows the hash-cons cache — logically const.
-  mutable InternTable interns_;
-  std::unordered_map<FlatTerm, SubgoalId, FlatTermHash> call_index_;
+  InternTable interns_;
+  CallTrie call_trie_;
   std::deque<Subgoal> subgoals_;
   // Incremental predicate -> tables that read its clauses.
   std::unordered_map<FunctorId, std::unordered_set<SubgoalId>> pred_readers_;

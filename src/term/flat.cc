@@ -4,11 +4,10 @@
 
 namespace xsb {
 
-FlatTerm Flatten(const TermStore& store, Word t) {
-  FlatTerm out;
+void FlattenAppend(const TermStore& store, Word t, std::vector<Word>* out,
+                   std::vector<uint64_t>* var_cells) {
   // Variable numbering by first occurrence; terms rarely have more than a
   // handful of variables, so a linear scan beats a hash map here.
-  std::vector<uint64_t> var_cells;
   // Preorder walk. The work stack holds cells still to emit; children are
   // pushed in reverse so they pop in order.
   std::vector<Word> work{t};
@@ -18,38 +17,51 @@ FlatTerm Flatten(const TermStore& store, Word t) {
     switch (TagOf(x)) {
       case Tag::kRef: {
         uint64_t cell = PayloadOf(x);
-        uint32_t ordinal = out.num_vars;
-        for (uint32_t i = 0; i < var_cells.size(); ++i) {
-          if (var_cells[i] == cell) {
+        uint32_t ordinal = static_cast<uint32_t>(var_cells->size());
+        for (uint32_t i = 0; i < var_cells->size(); ++i) {
+          if ((*var_cells)[i] == cell) {
             ordinal = i;
             break;
           }
         }
-        if (ordinal == out.num_vars) {
-          var_cells.push_back(cell);
-          ++out.num_vars;
-        }
-        out.cells.push_back(LocalCell(ordinal));
+        if (ordinal == var_cells->size()) var_cells->push_back(cell);
+        out->push_back(LocalCell(ordinal));
         break;
       }
       case Tag::kAtom:
       case Tag::kInt:
-        out.cells.push_back(x);
+        out->push_back(x);
         break;
       case Tag::kStruct: {
         FunctorId f = store.StructFunctor(x);
-        out.cells.push_back(FunctorCell(f));
+        out->push_back(FunctorCell(f));
         int arity = store.symbols()->FunctorArity(f);
         for (int i = arity - 1; i >= 0; --i) work.push_back(store.Arg(x, i));
         break;
       }
       default:
         // kFunctor / kLocal never appear as heap terms.
-        out.cells.push_back(x);
+        out->push_back(x);
         break;
     }
   }
+}
+
+FlatTerm Flatten(const TermStore& store, Word t) {
+  FlatTerm out;
+  std::vector<uint64_t> var_cells;
+  FlattenAppend(store, t, &out.cells, &var_cells);
+  out.num_vars = static_cast<uint32_t>(var_cells.size());
   return out;
+}
+
+bool FlattenInto(const TermStore& store, Word t, FlatTerm* out) {
+  size_t cap_before = out->cells.capacity();
+  out->cells.clear();
+  std::vector<uint64_t> var_cells;
+  FlattenAppend(store, t, &out->cells, &var_cells);
+  out->num_vars = static_cast<uint32_t>(var_cells.size());
+  return out->cells.capacity() == cap_before;
 }
 
 namespace {
@@ -94,6 +106,11 @@ Word Unflatten(TermStore* store, const FlatTerm& flat,
   if (vars->size() < flat.num_vars) vars->resize(flat.num_vars, 0);
   size_t pos = 0;
   return UnflattenAt(store, flat, &pos, vars);
+}
+
+Word UnflattenNext(TermStore* store, const FlatTerm& flat, size_t* pos,
+                   std::vector<Word>* vars) {
+  return UnflattenAt(store, flat, pos, vars);
 }
 
 bool FlatTopFunctor(const FlatTerm& flat, FunctorId* functor) {

@@ -47,12 +47,32 @@ struct FlatTermHash {
 // Flattens the (possibly partially bound) heap term `t`.
 FlatTerm Flatten(const TermStore& store, Word t);
 
+// Flattens `t` into *out, reusing out's cell capacity (findall's per-instance
+// scratch). Returns true when the existing capacity sufficed — i.e. the call
+// performed no cell-vector allocation.
+bool FlattenInto(const TermStore& store, Word t, FlatTerm* out);
+
+// Appends the flattened form of `t` to *out, numbering variables by first
+// occurrence across the whole stream being built: `var_cells` carries the
+// heap addresses already assigned ordinals 0..var_cells->size()-1 and grows
+// as new variables appear. Substitution factoring builds an answer's binding
+// list as a sequence of such appends sharing one numbering.
+void FlattenAppend(const TermStore& store, Word t, std::vector<Word>* out,
+                   std::vector<uint64_t>* var_cells);
+
 // Rebuilds `flat` on the heap with fresh variables. If `vars` is non-null it
 // receives the fresh cell chosen for each local variable ordinal (resized by
 // the call); passing the same vars vector to several Unflatten calls shares
 // variables across them.
 Word Unflatten(TermStore* store, const FlatTerm& flat,
                std::vector<Word>* vars = nullptr);
+
+// Rebuilds the single subterm starting at stream position *pos of `flat`,
+// advancing *pos past it. `vars` must already be sized to cover every kLocal
+// ordinal in the segment. Used to unflatten a concatenation of stored
+// segments (e.g. the binding list of a factored answer) one term at a time.
+Word UnflattenNext(TermStore* store, const FlatTerm& flat, size_t* pos,
+                   std::vector<Word>* vars);
 
 // Reads the top functor of a flattened term without rebuilding it.
 // Returns true and sets *functor if the term is a struct.

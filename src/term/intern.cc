@@ -49,6 +49,17 @@ Word InternTable::MakeNode(FunctorId functor, const Word* args, int arity) {
   return InternedCell(id);
 }
 
+Word InternTable::FindNode(FunctorId functor, const Word* args,
+                           int arity) const {
+  uint64_t h = HashNode(functor, args, arity);
+  auto it = dedup_.find(h);
+  if (it == dedup_.end()) return kNoToken;
+  for (InternId id = it->second; id != kNoId; id = nodes_[id].next_same_hash) {
+    if (NodeEquals(id, functor, args, arity)) return InternedCell(id);
+  }
+  return kNoToken;
+}
+
 Word InternTable::InternSubterm(const std::vector<Word>& cells, size_t pos,
                                 size_t* end) {
   Word w = cells[pos];

@@ -66,6 +66,22 @@ class InternTable {
   // recomputed from the kLocal ordinals present.
   FlatTerm Decode(const std::vector<Word>& tokens) const;
 
+  // Interns the compound (functor, args) where the args are already tokens.
+  // The call trie's heap-walking encoder builds tokens bottom-up with this,
+  // skipping the intermediate FlatTerm entirely.
+  Word InternNode(FunctorId functor, const Word* args, int arity) {
+    return MakeNode(functor, args, arity);
+  }
+
+  // Lookup-only probe: the token for hash-consed (functor, args) if that
+  // compound has already been interned, or kNoToken if it has not. The call
+  // trie uses this on its const lookup path — a ground compound absent from
+  // the intern table cannot appear in any stored call either.
+  static constexpr Word kNoToken = ~Word{0};
+  Word FindNode(FunctorId functor, const Word* args, int arity) const;
+
+  const SymbolTable& symbols() const { return *symbols_; }
+
   // Functor and argument tokens of an interned compound.
   FunctorId FunctorOfId(InternId id) const { return nodes_[id].functor; }
   const Word* ArgsOfId(InternId id) const {

@@ -11,6 +11,7 @@
 #include <random>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "bottomup/magic.h"
@@ -387,8 +388,14 @@ TEST_P(AnswerTrieProperty, InsertMatchesHashSetOracleAndEnumeratesAll) {
   SymbolTable symbols;
   TermStore store(&symbols);
   InternTable interns(&symbols);
-  AnswerTrie trie(&interns);
-  std::unordered_set<FlatTerm, FlatTermHash> oracle;
+
+  // A two-variable call template ans(A, B): answers are heap instances
+  // ans(T1, T2), of which the trie stores only the {A, B} binding streams.
+  FunctorId ans2 = symbols.InternFunctor(symbols.InternAtom("ans"), 2);
+  Word call = store.MakeStruct(ans2, {store.MakeVar(), store.MakeVar()});
+  AnswerTrie trie(&interns, Flatten(store, call));
+
+  std::unordered_set<FlatTerm, FlatTermHash> oracle;  // full instances
   std::vector<FlatTerm> inserted;  // insertion order, first occurrences
 
   FlatTermGen ground_gen(&store, GetParam(), /*ground=*/true);
@@ -396,20 +403,35 @@ TEST_P(AnswerTrieProperty, InsertMatchesHashSetOracleAndEnumeratesAll) {
   std::mt19937 rng(GetParam());
 
   for (int round = 0; round < 120; ++round) {
-    FlatTerm t;
+    Word inst;
     if (rng() % 4 == 0 && !inserted.empty()) {
-      t = inserted[rng() % inserted.size()];  // forced duplicate
+      // Forced duplicate: a fresh-variable variant of an earlier instance
+      // must hit the same trie path.
+      inst = Unflatten(&store, inserted[rng() % inserted.size()]);
     } else {
-      t = (rng() % 2 == 0) ? ground_gen.Next() : open_gen.Next();
+      Word t1 = Unflatten(
+          &store, (rng() % 2 == 0) ? ground_gen.Next() : open_gen.Next());
+      Word t2 = Unflatten(
+          &store, (rng() % 2 == 0) ? ground_gen.Next() : open_gen.Next());
+      inst = store.MakeStruct(ans2, {t1, t2});
     }
-    bool fresh_trie = trie.Insert(t);
-    bool fresh_oracle = oracle.insert(t).second;
+    FlatTerm full = Flatten(store, inst);
+    size_t saved = 0;
+    bool fresh_trie = trie.Insert(store, inst, &saved);
+    bool fresh_oracle = oracle.insert(full).second;
     EXPECT_EQ(fresh_trie, fresh_oracle) << "round " << round;
-    if (fresh_oracle) inserted.push_back(t);
+    if (fresh_oracle) inserted.push_back(full);
+    if (fresh_trie) {
+      // Factoring accounting: stored bindings + saved cells = full instance.
+      FlatTerm bindings;
+      trie.ReadBindings(trie.size() - 1, &bindings);
+      EXPECT_EQ(bindings.cells.size() + saved, full.cells.size())
+          << "round " << round;
+    }
   }
 
-  // Enumeration: same count, same order as first insertion, and exactly the
-  // oracle's contents once each.
+  // Enumeration: same count, same order as first insertion, and every
+  // reconstructed answer element-wise equal to the canonical full instance.
   ASSERT_EQ(trie.size(), inserted.size());
   FlatTerm out;
   for (size_t i = 0; i < trie.size(); ++i) {
@@ -420,9 +442,122 @@ TEST_P(AnswerTrieProperty, InsertMatchesHashSetOracleAndEnumeratesAll) {
   EXPECT_GT(trie.node_count(), 0u);
 }
 
+// --- Call-trie variant indexing vs. the hash-map oracle -----------------------
+//
+// The call trie replaced an unordered_map<FlatTerm, SubgoalId> as the variant
+// index of table space. This sweep replays random call streams — fresh calls,
+// forced variants (fresh-variable copies of earlier calls), interleaved
+// Dispose, and never-inserted probes — against both the real TableSpace and
+// a reimplementation of the old map. They must agree on every {id, created}
+// pair, every probe, and the final subgoal count. Seed range matches the
+// differential suite whose call streams this models.
+
+class CallTrieProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CallTrieProperty, VariantLookupMatchesHashMapOracle) {
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  TableSpace tables(&symbols, /*answer_trie=*/true);
+
+  // The old implementation: canonical FlatTerm -> subgoal id, ids handed out
+  // by a counter that never reuses (mirrors subgoals_.size()).
+  std::unordered_map<FlatTerm, SubgoalId, FlatTermHash> oracle;
+  SubgoalId oracle_next_id = 0;
+
+  const char* preds[3] = {"p", "q", "path"};
+  int arities[3] = {1, 2, 3};
+  FunctorId fs[3];
+  for (int i = 0; i < 3; ++i) {
+    fs[i] = symbols.InternFunctor(symbols.InternAtom(preds[i]), arities[i]);
+  }
+  FunctorId never = symbols.InternFunctor(symbols.InternAtom("never"), 1);
+
+  FlatTermGen ground_gen(&store, GetParam() * 3 + 1, /*ground=*/true);
+  FlatTermGen open_gen(&store, GetParam() * 3 + 2, /*ground=*/false);
+  std::mt19937 rng(GetParam());
+
+  std::vector<FlatTerm> all_calls;  // every distinct call ever created
+  std::vector<std::pair<FlatTerm, SubgoalId>> live;  // dispose victims
+
+  auto random_arg = [&]() {
+    return Unflatten(&store,
+                     (rng() % 2 == 0) ? ground_gen.Next() : open_gen.Next());
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    // A probe of a call that is never tabled must miss in both indexes.
+    if (rng() % 6 == 0) {
+      Word absent = store.MakeStruct(never, {random_arg()});
+      EXPECT_EQ(tables.Lookup(store, absent), kNoSubgoal) << "round " << round;
+      EXPECT_EQ(oracle.count(Flatten(store, absent)), 0u) << "round " << round;
+    }
+
+    Word call;
+    int which;
+    if (rng() % 3 == 0 && !all_calls.empty()) {
+      // Forced variant: a fresh-variable rebuild of an earlier call (which
+      // may since have been disposed — then both sides re-create).
+      const FlatTerm& prev = all_calls[rng() % all_calls.size()];
+      call = Unflatten(&store, prev);
+      FunctorId f;
+      ASSERT_TRUE(FlatTopFunctor(prev, &f));
+      which = -1;
+      for (int i = 0; i < 3; ++i) {
+        if (fs[i] == f) which = i;
+      }
+      ASSERT_GE(which, 0);
+    } else {
+      which = static_cast<int>(rng() % 3);
+      std::vector<Word> args;
+      for (int a = 0; a < arities[which]; ++a) args.push_back(random_arg());
+      call = store.MakeStruct(fs[which], args);
+    }
+
+    FlatTerm canon = Flatten(store, call);
+    auto [id, created] = tables.LookupOrCreate(store, call, fs[which], 0);
+
+    auto it = oracle.find(canon);
+    bool oracle_created = (it == oracle.end());
+    SubgoalId oracle_id;
+    if (oracle_created) {
+      oracle_id = oracle_next_id++;
+      oracle.emplace(canon, oracle_id);
+      all_calls.push_back(canon);
+      live.push_back({canon, oracle_id});
+    } else {
+      oracle_id = it->second;
+    }
+
+    EXPECT_EQ(id, oracle_id) << "round " << round;
+    EXPECT_EQ(created, oracle_created) << "round " << round;
+    // The const probe agrees, and the stored canonical call (the answer
+    // template decoded from the trie walk) matches the old Flatten form.
+    EXPECT_EQ(tables.Lookup(store, call), id) << "round " << round;
+    EXPECT_EQ(tables.subgoal(id).call.cells, canon.cells) << "round " << round;
+    EXPECT_EQ(tables.subgoal(id).call.num_vars, canon.num_vars)
+        << "round " << round;
+
+    // Interleaved disposal: drop a random live variant from both indexes;
+    // probes must miss until a later LookupOrCreate re-creates it.
+    if (rng() % 8 == 0 && !live.empty()) {
+      size_t v = rng() % live.size();
+      auto [victim_call, victim_id] = live[v];
+      tables.Dispose(victim_id);
+      oracle.erase(victim_call);
+      live.erase(live.begin() + v);
+      Word rebuilt = Unflatten(&store, victim_call);
+      EXPECT_EQ(tables.Lookup(store, rebuilt), kNoSubgoal)
+          << "round " << round;
+    }
+  }
+
+  EXPECT_EQ(tables.num_subgoals(), oracle_next_id);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, InternProperty, ::testing::Range(0u, 8u));
 INSTANTIATE_TEST_SUITE_P(Seeds, AnswerTrieProperty,
                          ::testing::Range(0u, 12u));
+INSTANTIATE_TEST_SUITE_P(Seeds, CallTrieProperty, ::testing::Range(0u, 51u));
 
 // --- Incremental invalidation properties --------------------------------------
 //

@@ -675,6 +675,84 @@ TEST(IncrementalCursor, AbolishAllTablesDuringOpenEnumerationKeepsSnapshot) {
   EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
 }
 
+// --- Substitution-factored answer return under table churn --------------------
+
+TEST(FactoredCursor, FactoredReturnSurvivesRetractDuringOpenEnumeration) {
+  // The factored answer path keeps two pieces of retired-table state alive
+  // across an open cursor: the answer trie's binding streams AND the call
+  // template they are spliced against. A retract plus nested requery
+  // mid-enumeration retires the cursor's table; the factored cursor must
+  // keep binding against the retired trie's own template copy (a dangling
+  // pointer if the template were borrowed from the subgoal — the ASan job
+  // proves it).
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  ASSERT_EQ(engine.Count("path(X, Y)").value(), 10u);
+
+  uint64_t factored_before = engine.machine().stats().factored_answer_returns;
+  std::set<std::string> outer;
+  bool mutated = false;
+  ASSERT_TRUE(engine
+                  .ForEach("path(X, Y)",
+                           [&](const Answer& a) {
+                             outer.insert(a["X"] + "," + a["Y"]);
+                             if (!mutated) {
+                               mutated = true;
+                               EXPECT_TRUE(
+                                   engine.Holds("retract(edge(4,5))").value());
+                               EXPECT_EQ(engine.Count("path(X, Y)").value(),
+                                         6u);
+                             }
+                             return true;
+                           })
+                  .ok());
+  // The frozen snapshot delivered every pre-retract answer, each with the
+  // correct bindings (i < j over the 5-node chain).
+  std::set<std::string> expected;
+  for (int i = 1; i <= 5; ++i) {
+    for (int j = i + 1; j <= 5; ++j) {
+      expected.insert(std::to_string(i) + "," + std::to_string(j));
+    }
+  }
+  EXPECT_EQ(outer, expected);
+  EXPECT_GT(engine.machine().stats().factored_answer_returns, factored_before)
+      << "completed-table enumeration must take the factored path";
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 6u);
+}
+
+TEST(FactoredCursor, AbolishTableCallDuringOpenEnumerationKeepsSnapshot) {
+  // abolish_table_call/1 clears the variant's call-trie payload and retires
+  // its answers while a factored cursor is mid-enumeration. The cursor must
+  // finish its frozen snapshot; a fresh call re-creates the table.
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
+  ASSERT_EQ(engine.Count("path(X, Y)").value(), 10u);
+
+  uint64_t factored_before = engine.machine().stats().factored_answer_returns;
+  std::set<std::string> outer;
+  bool abolished = false;
+  ASSERT_TRUE(engine
+                  .ForEach("path(X, Y)",
+                           [&](const Answer& a) {
+                             outer.insert(a["X"] + "," + a["Y"]);
+                             if (!abolished) {
+                               abolished = true;
+                               EXPECT_TRUE(
+                                   engine
+                                       .Holds("abolish_table_call(path(A, B))")
+                                       .value());
+                               EXPECT_EQ(StateOf(engine, "path(A, B)"),
+                                         "undefined");
+                             }
+                             return true;
+                           })
+                  .ok());
+  EXPECT_EQ(outer.size(), 10u);
+  EXPECT_GT(engine.machine().stats().factored_answer_returns, factored_before);
+  EXPECT_EQ(engine.evaluator().tables().num_retired_answers(), 0u);
+  EXPECT_EQ(engine.Count("path(X, Y)").value(), 10u);
+}
+
 TEST(IncrementalCursor, EarlyStopStillReleasesRetiredSnapshots) {
   Engine engine;
   ASSERT_TRUE(engine.ConsultString(kChainProgram).ok());
