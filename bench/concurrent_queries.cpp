@@ -1,0 +1,227 @@
+// Concurrent query serving over shared completed tables (QueryService).
+//
+// Workloads are the paper's transitive-closure structures: a chain and a
+// cycle, tabled path/2 over edge/2. Two phases per workload:
+//   * cold  — a fresh service; the measured batch includes computing the
+//     tables (first-caller-computes, under the evaluation lock), so it
+//     bounds how much the lock serializes distinct variants;
+//   * warm  — tables completed and published before timing; every query is
+//     served lock-free off the shared answer tries, so throughput should
+//     scale with worker threads (given actual hardware parallelism).
+// Both phases run at 1/2/4/8 worker threads and report queries/second.
+// A separate section compares the plain single-session Engine against a
+// 1-worker service on the same warm workload — the serving layer's
+// per-query overhead.
+//
+// An optional argv[1] names a JSON file to write machine-readable results
+// to (the repo records them in BENCH_concurrent.json). The JSON carries
+// `hardware_threads` (std::thread::hardware_concurrency of the measuring
+// machine) — scaling numbers are only meaningful when it exceeds the
+// worker count.
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/query_service.h"
+#include "xsb/engine.h"
+
+namespace {
+
+using xsb::QueryService;
+using xsb::bench::Fmt;
+using xsb::bench::PrintHeader;
+using xsb::bench::PrintRow;
+using xsb::bench::TimeOnce;
+
+constexpr const char* kTcRules =
+    ":- table path/2.\n"
+    "path(X,Y) :- edge(X,Y).\n"
+    "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+
+struct Workload {
+  std::string name;
+  std::string program;
+  std::vector<std::string> goals;  // distinct variants, round-robined
+};
+
+Workload ChainWorkload(int nodes, int variants) {
+  Workload w;
+  w.name = "chain" + std::to_string(nodes);
+  w.program = kTcRules + xsb::bench::ChainEdges(nodes);
+  for (int i = 1; i <= variants; ++i) {
+    w.goals.push_back("path(" + std::to_string(i) + ", X)");
+  }
+  return w;
+}
+
+Workload CycleWorkload(int nodes, int variants) {
+  Workload w;
+  w.name = "cycle" + std::to_string(nodes);
+  w.program = kTcRules + xsb::bench::CycleEdges(nodes);
+  for (int i = 1; i <= variants; ++i) {
+    w.goals.push_back("path(" + std::to_string(i) + ", X)");
+  }
+  return w;
+}
+
+size_t Drain(std::vector<std::future<xsb::Result<std::vector<xsb::Answer>>>>*
+                 futures) {
+  size_t answers = 0;
+  for (auto& future : *futures) {
+    auto result = future.get();
+    if (!result.ok()) std::abort();
+    answers += result.value().size();
+  }
+  futures->clear();
+  return answers;
+}
+
+// Submits `queries` jobs round-robin over the workload's goal variants and
+// waits for all of them; returns wall seconds.
+double RunBatch(QueryService* service, const Workload& w, int queries,
+                size_t* answers) {
+  std::vector<std::future<xsb::Result<std::vector<xsb::Answer>>>> futures;
+  futures.reserve(queries);
+  double seconds = TimeOnce([&] {
+    for (int i = 0; i < queries; ++i) {
+      futures.push_back(
+          service->Submit(w.goals[i % w.goals.size()]));
+    }
+    *answers += Drain(&futures);
+  });
+  return seconds;
+}
+
+struct Measurement {
+  double cold_qps = 0;
+  double warm_qps = 0;
+  size_t answers = 0;  // divergence guard across thread counts
+};
+
+Measurement Measure(const Workload& w, int threads, int queries) {
+  Measurement m;
+  // Cold: fresh tables, the batch pays for evaluation. Best of 3 services.
+  double cold_best = 1e30;
+  for (int run = 0; run < 3; ++run) {
+    QueryService service({.num_workers = threads});
+    if (!service.Consult(w.program).ok()) std::abort();
+    size_t answers = 0;
+    double t = RunBatch(&service, w, queries, &answers);
+    if (run == 0) m.answers = answers;
+    if (t < cold_best) cold_best = t;
+  }
+  m.cold_qps = queries / cold_best;
+
+  // Warm: publish every variant's table first, then time repeat batches.
+  QueryService service({.num_workers = threads});
+  if (!service.Consult(w.program).ok()) std::abort();
+  for (const std::string& goal : w.goals) {
+    if (!service.Query(goal).ok()) std::abort();
+  }
+  double warm_best = 1e30;
+  for (int run = 0; run < 5; ++run) {
+    size_t answers = 0;
+    double t = RunBatch(&service, w, queries, &answers);
+    if (t < warm_best) warm_best = t;
+  }
+  m.warm_qps = queries / warm_best;
+  return m;
+}
+
+// Plain Engine vs 1-worker service on the same warm workload: the serving
+// layer's per-query overhead (queue hop, epoch bracket, promise).
+void EngineVsService(const Workload& w, int queries, double* engine_qps,
+                     double* service_qps) {
+  xsb::Engine engine;
+  if (!engine.ConsultString(w.program).ok()) std::abort();
+  for (const std::string& goal : w.goals) {
+    if (!engine.Count(goal).ok()) std::abort();
+  }
+  double engine_best = 1e30;
+  for (int run = 0; run < 5; ++run) {
+    double t = TimeOnce([&] {
+      for (int i = 0; i < queries; ++i) {
+        if (!engine.FindAll(w.goals[i % w.goals.size()]).ok()) std::abort();
+      }
+    });
+    if (t < engine_best) engine_best = t;
+  }
+  *engine_qps = queries / engine_best;
+
+  Measurement m = Measure(w, 1, queries);
+  *service_qps = m.warm_qps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned hardware = std::thread::hardware_concurrency();
+  const int kQueries = 64;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<Workload> workloads = {ChainWorkload(300, 16),
+                                     CycleWorkload(200, 16)};
+
+  std::string json = "{\n  \"bench\": \"concurrent_queries\",\n";
+  json += "  \"unit\": \"queries_per_second\",\n";
+  json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
+  json +=
+      "  \"note\": \"scaling across worker counts is only meaningful when "
+      "hardware_threads exceeds the worker count; on a single-core machine "
+      "all worker counts time-slice one core and warm throughput stays "
+      "flat\",\n";
+  json += "  \"workloads\": [\n";
+
+  for (size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Workload& w = workloads[wi];
+    PrintHeader("concurrent serving: " + w.name + " (" +
+                std::to_string(kQueries) + " queries, " +
+                std::to_string(w.goals.size()) + " variants)");
+    PrintRow("threads", {"cold q/s", "warm q/s", "answers"});
+    json += "    {\"workload\": \"" + w.name + "\", \"queries\": " +
+            std::to_string(kQueries) + ", \"points\": [\n";
+    size_t answers0 = 0;
+    for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+      int threads = thread_counts[ti];
+      Measurement m = Measure(w, threads, kQueries);
+      if (ti == 0) answers0 = m.answers;
+      if (m.answers != answers0) {
+        std::printf("WARNING: answer count diverged across thread counts\n");
+        return 1;
+      }
+      PrintRow(std::to_string(threads),
+               {Fmt(m.cold_qps, 1), Fmt(m.warm_qps, 1),
+                std::to_string(m.answers)});
+      json += "      {\"threads\": " + std::to_string(threads) +
+              ", \"cold_qps\": " + Fmt(m.cold_qps, 2) +
+              ", \"warm_qps\": " + Fmt(m.warm_qps, 2) + "}" +
+              (ti + 1 < thread_counts.size() ? ",\n" : "\n");
+    }
+    json += "    ]}" + std::string(wi + 1 < workloads.size() ? ",\n" : "\n");
+  }
+  json += "  ],\n";
+
+  double engine_qps = 0;
+  double service_qps = 0;
+  EngineVsService(workloads[0], kQueries, &engine_qps, &service_qps);
+  PrintHeader("engine vs 1-worker service (warm " + workloads[0].name + ")");
+  PrintRow("engine", {Fmt(engine_qps, 1)});
+  PrintRow("service x1", {Fmt(service_qps, 1)});
+  PrintRow("service/engine", {Fmt(service_qps / engine_qps, 3)});
+  json += "  \"single_thread_overhead\": {\"workload\": \"" +
+          workloads[0].name + "\", \"engine_qps\": " + Fmt(engine_qps, 2) +
+          ", \"service_1worker_qps\": " + Fmt(service_qps, 2) +
+          ", \"service_over_engine\": " + Fmt(service_qps / engine_qps, 4) +
+          "}\n}\n";
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json;
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

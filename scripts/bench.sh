@@ -37,6 +37,7 @@ run() {  # run <name> [args...] — log stdout, keep going on failure
 # JSON-emitting suites: arg 1 is the snapshot path.
 run subst_factoring bench-out/BENCH_subst_factoring.json
 run incremental_updates bench-out/BENCH_incremental.json
+run concurrent_queries bench-out/BENCH_concurrent.json
 
 if [[ "$quick" == 0 ]]; then
   run fig5_path

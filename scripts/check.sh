@@ -2,8 +2,9 @@
 # Full check: style gates (clang-format / clang-tidy, skipped when the tools
 # are not installed), then build and run the test suite under
 # AddressSanitizer + UndefinedBehaviorSanitizer (the `asan-ubsan` CMake
-# preset), then — unless --sanitized-only is given — under the default
-# RelWithDebInfo preset too.
+# preset), then the tier-1 suite — which includes the concurrency stress
+# tests — under ThreadSanitizer (the `tsan` preset), then — unless
+# --sanitized-only is given — under the default RelWithDebInfo preset too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +36,12 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 echo "== ASan+UBSan tests =="
 ctest --preset asan-ubsan -j "$jobs"
+
+echo "== TSan build =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs"
+echo "== TSan tier-1 + concurrency tests =="
+ctest --preset tsan -L tier1 -j "$jobs"
 
 if [[ "$sanitized_only" == 0 ]]; then
   echo "== Default build =="

@@ -5,47 +5,47 @@
 namespace xsb {
 
 TokenTrie::NodeId TokenTrie::Extend(NodeId id, Word token, bool* created) {
-  {
-    const Node& node = nodes_[id];
-    if (node.child_map != kNoChildMap) {
-      const ChildMap& map = *child_maps_[node.child_map];
-      auto it = map.find(token);
-      if (it != map.end()) {
+  Node& node = nodes_[id];
+  uint32_t map_idx = node.child_map.load(std::memory_order_relaxed);
+  if (map_idx != kNoChildMap) {
+    uint32_t found = child_maps_[map_idx]->Find(token);
+    if (found != AtomicKeyMap::kNotFound) {
+      if (created != nullptr) *created = false;
+      return found;
+    }
+  } else {
+    for (NodeId c = node.first_child.load(std::memory_order_relaxed);
+         c != kNilNode; c = nodes_[c].next_sibling) {
+      if (nodes_[c].token == token) {
         if (created != nullptr) *created = false;
-        return it->second;
-      }
-    } else {
-      for (NodeId c = node.first_child; c != kNilNode;
-           c = nodes_[c].next_sibling) {
-        if (nodes_[c].token == token) {
-          if (created != nullptr) *created = false;
-          return c;
-        }
+        return c;
       }
     }
   }
-  NodeId child = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(Node{});
-  Node& node = nodes_[id];  // re-fetch: push_back may have reallocated
+  // Construct the child fully, then publish it by prepending with a release
+  // store: a concurrent reader that loads first_child either sees the old
+  // head or the new, fully initialized node.
+  NodeId child = static_cast<NodeId>(nodes_.EmplaceBack());
   Node& child_node = nodes_[child];
   child_node.token = token;
   child_node.parent = id;
-  child_node.next_sibling = node.first_child;
-  node.first_child = child;
+  child_node.next_sibling = node.first_child.load(std::memory_order_relaxed);
+  node.first_child.store(child, std::memory_order_release);
   ++node.num_children;
-  if (node.child_map != kNoChildMap) {
-    child_maps_[node.child_map]->emplace(token, child);
+  if (map_idx != kNoChildMap) {
+    child_maps_[map_idx]->Insert(token, child);
   } else if (node.num_children > kHashThreshold) {
-    node.child_map = static_cast<uint32_t>(child_maps_.size());
-    child_maps_.push_back(std::make_unique<ChildMap>());
-    ChildMap& map = *child_maps_.back();
-    // Generous reserve: a node that escalates tends to keep growing, and
-    // incremental rehashing showed up hot in answer-insert profiles.
-    map.reserve(4 * kHashThreshold);
-    for (NodeId c = node.first_child; c != kNilNode;
-         c = nodes_[c].next_sibling) {
-      map.emplace(nodes_[c].token, c);
+    // Escalate: build the hash index over the full (already published)
+    // sibling chain, then publish the map index with a release store. The
+    // chain stays intact, so a reader holding the pre-escalation view of
+    // the node still walks it correctly.
+    auto* map = new AtomicKeyMap(4 * kHashThreshold);
+    for (NodeId c = node.first_child.load(std::memory_order_relaxed);
+         c != kNilNode; c = nodes_[c].next_sibling) {
+      map->Insert(nodes_[c].token, c);
     }
+    uint32_t idx = static_cast<uint32_t>(child_maps_.EmplaceBack(map));
+    node.child_map.store(idx, std::memory_order_release);
   }
   if (created != nullptr) *created = true;
   return child;
@@ -53,12 +53,13 @@ TokenTrie::NodeId TokenTrie::Extend(NodeId id, Word token, bool* created) {
 
 TokenTrie::NodeId TokenTrie::Find(NodeId id, Word token) const {
   const Node& node = nodes_[id];
-  if (node.child_map != kNoChildMap) {
-    const ChildMap& map = *child_maps_[node.child_map];
-    auto it = map.find(token);
-    return it == map.end() ? kNilNode : it->second;
+  uint32_t map_idx = node.child_map.load(std::memory_order_acquire);
+  if (map_idx != kNoChildMap) {
+    uint32_t found = child_maps_[map_idx]->Find(token);
+    return found == AtomicKeyMap::kNotFound ? kNilNode : found;
   }
-  for (NodeId c = node.first_child; c != kNilNode; c = nodes_[c].next_sibling) {
+  for (NodeId c = node.first_child.load(std::memory_order_acquire);
+       c != kNilNode; c = nodes_[c].next_sibling) {
     if (nodes_[c].token == token) return c;
   }
   return kNilNode;
@@ -67,8 +68,8 @@ TokenTrie::NodeId TokenTrie::Find(NodeId id, Word token) const {
 std::vector<TokenTrie::NodeId> TokenTrie::SortedChildren(NodeId id) const {
   std::vector<NodeId> out;
   out.reserve(nodes_[id].num_children);
-  for (NodeId c = nodes_[id].first_child; c != kNilNode;
-       c = nodes_[c].next_sibling) {
+  for (NodeId c = nodes_[id].first_child.load(std::memory_order_acquire);
+       c != kNilNode; c = nodes_[c].next_sibling) {
     out.push_back(c);
   }
   std::sort(out.begin(), out.end(), [this](NodeId a, NodeId b) {
@@ -78,21 +79,24 @@ std::vector<TokenTrie::NodeId> TokenTrie::SortedChildren(NodeId id) const {
 }
 
 size_t TokenTrie::bytes() const {
-  size_t total = nodes_.capacity() * sizeof(Node);
-  for (const auto& map : child_maps_) {
-    total += sizeof(ChildMap) +
-             map->size() *
-                 (sizeof(std::pair<Word, NodeId>) + 2 * sizeof(void*));
-  }
-  total += child_maps_.capacity() * sizeof(std::unique_ptr<ChildMap>);
+  size_t total = nodes_.bytes() + child_maps_.bytes();
+  size_t num_maps = child_maps_.size();
+  for (size_t i = 0; i < num_maps; ++i) total += child_maps_[i]->bytes();
   return total;
 }
 
 void TokenTrie::Clear() {
-  nodes_.clear();
-  nodes_.shrink_to_fit();
-  child_maps_.clear();
-  nodes_.push_back(Node{});
+  FreeChildMaps();
+  child_maps_.Clear();
+  nodes_.Clear();
+  Reset();
+}
+
+void TokenTrie::Reset() { nodes_.EmplaceBack(); }
+
+void TokenTrie::FreeChildMaps() {
+  size_t num_maps = child_maps_.size();
+  for (size_t i = 0; i < num_maps; ++i) delete child_maps_[i];
 }
 
 }  // namespace xsb

@@ -29,8 +29,8 @@ void FirstStringIndex::CollectSubtree(TokenTrie::NodeId node,
   if (const std::vector<ClauseId>* ends = EndingsAt(node)) {
     out->insert(out->end(), ends->begin(), ends->end());
   }
-  for (TokenTrie::NodeId c = trie_.node(node).first_child;
-       c != TokenTrie::kNilNode; c = trie_.node(c).next_sibling) {
+  for (TokenTrie::NodeId c = trie_.first_child(node);
+       c != TokenTrie::kNilNode; c = trie_.next_sibling(c)) {
     CollectSubtree(c, out);
   }
 }
@@ -58,8 +58,8 @@ std::vector<ClauseId> FirstStringIndex::Lookup(const TermStore& store,
     work.pop_back();
     if (IsRef(x)) {
       // Unbound in the call: stop discriminating, everything below matches.
-      for (TokenTrie::NodeId c = trie_.node(node).first_child;
-           c != TokenTrie::kNilNode; c = trie_.node(c).next_sibling) {
+      for (TokenTrie::NodeId c = trie_.first_child(node);
+           c != TokenTrie::kNilNode; c = trie_.next_sibling(c)) {
         CollectSubtree(c, &out);
       }
       break;
@@ -110,7 +110,7 @@ std::string FirstStringIndex::Dump(const SymbolTable& symbols) const {
     }
     for (TokenTrie::NodeId child : trie_.SortedChildren(node)) {
       out.append(static_cast<size_t>(depth) * 2, ' ');
-      out += token_name(trie_.node(child).token);
+      out += token_name(trie_.token(child));
       out += '\n';
       self(self, child, depth + 1);
     }

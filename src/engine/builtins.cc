@@ -825,10 +825,13 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
 
 // table_stats/2: table_stats(Goal, Stats) unifies Stats with
 // [subgoals-N, answers-N, trie_nodes-N, call_trie_nodes-N, interned_terms-N,
-// bytes-N, factored_saved_bytes-N, findall_flatten_reuses-N] for the variant
-// table of Goal, or aggregated over the whole table space when Goal is the
-// atom `all`. Fails when Goal has no table; errors when no tabling evaluator
-// is installed.
+// bytes-N, factored_saved_bytes-N, findall_flatten_reuses-N,
+// shared_table_hits-N, waits_on_inprogress-N, epochs_retired-N] for the
+// variant table of Goal, or aggregated over the whole table space when Goal
+// is the atom `all`. Fails when Goal has no table; errors when no tabling
+// evaluator is installed. The shared-serving counters are relaxed atomics:
+// each is an independent monotonic event count, with no cross-counter
+// snapshot implied.
 BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
   TermStore* store = m.store();
   SymbolTable* symbols = store->symbols();
@@ -865,6 +868,9 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
       pair("bytes", info.bytes),
       pair("factored_saved_bytes", info.factored_saved_bytes),
       pair("findall_flatten_reuses", m.stats().findall_flatten_reuses),
+      pair("shared_table_hits", info.shared_table_hits),
+      pair("waits_on_inprogress", info.waits_on_inprogress),
+      pair("epochs_retired", info.epochs_retired),
   };
   Word list = store->MakeList(items, AtomCell(symbols->nil()));
   return UnifyResult(m, Arg(m, goal, 1), list);

@@ -66,6 +66,11 @@ class TabledCallHandler {
     uint64_t bytes = 0;
     uint64_t call_trie_nodes = 0;       // variant-index trie nodes
     uint64_t factored_saved_bytes = 0;  // bytes factoring avoided storing
+    // Shared-serving counters (relaxed-atomic reads: each is an independent
+    // monotonic event count; no cross-counter snapshot is implied).
+    uint64_t shared_table_hits = 0;     // lock-free warm-table serves
+    uint64_t waits_on_inprogress = 0;   // callers parked on another batch
+    uint64_t epochs_retired = 0;        // retired answer tables reclaimed
   };
   // Statistics for the variant table of `goal`, or aggregated over the
   // whole table space when goal == 0. Default: no statistics available.

@@ -1,0 +1,170 @@
+#ifndef XSB_SERVER_QUERY_SERVICE_H_
+#define XSB_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "db/program.h"
+#include "engine/machine.h"
+#include "tabling/evaluator.h"
+#include "term/store.h"
+#include "xsb/engine.h"
+
+namespace xsb {
+
+// Concurrent query serving over one shared table space.
+//
+// A QueryService owns a single Program + TableSpace + InternTable and a pool
+// of worker threads. Each worker is a full private session — its own
+// TermStore heap, Machine and Evaluator — but all sessions evaluate against
+// the one shared TableSpace, so a table computed by any worker serves every
+// later query from every worker:
+//
+//   xsb::QueryService service({.num_workers = 4});
+//   service.Consult(":- table path/2."
+//                   "path(X,Y) :- edge(X,Y)."
+//                   "path(X,Y) :- path(X,Z), edge(Z,Y)."
+//                   "edge(1,2). edge(2,3).");
+//   auto warm = service.Query("path(1,X)");          // blocking
+//   auto fut  = service.Submit("path(2,X)");         // async, any worker
+//   auto answers = fut.get();
+//
+// Concurrency contract (DESIGN.md "Threading model" has the full story):
+//   * Warm queries — every tabled call hits a published complete+valid
+//     table — run entirely lock-free: variant probe via the concurrent call
+//     trie, answer enumeration straight off the append-only answer tries.
+//   * The first caller of an unevaluated variant computes it under the
+//     space's evaluation lock; concurrent callers of the *same* variant
+//     park on the completion condvar instead of duplicating the work.
+//   * Consult/Update are pause-the-world: the service drains in-flight
+//     queries, mutates the program on the control session (which owns the
+//     Program's update-listener slot, so incremental invalidation works),
+//     then resumes the pool. Queries submitted meanwhile just queue.
+//   * Every worker holds an epoch slot and brackets each query with an
+//     epoch guard, so tables retired by an update are reclaimed only after
+//     every reader that could see them has moved on.
+class QueryService {
+ public:
+  struct Options {
+    int num_workers = 2;           // worker threads (>= 1)
+    bool answer_trie = true;       // see Engine::Options
+    bool early_completion = false;
+    bool incremental = true;
+  };
+
+  QueryService() : QueryService(Options()) {}
+  explicit QueryService(Options options);
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // --- Program maintenance (pause-the-world, serialized) --------------------
+
+  // Consults HiLog source text on the control session.
+  Status Consult(std::string_view text);
+  // Runs `goal` once on the control session (assert/retract updates,
+  // abolish_table_call/1, ...). Incremental invalidation triggered by the
+  // goal propagates through the shared table space before workers resume.
+  Status Update(std::string_view goal);
+
+  // --- Queries (concurrent) -------------------------------------------------
+
+  // Enqueues `goal` for the next free worker; the future delivers all
+  // answers (or the evaluation error).
+  std::future<Result<std::vector<Answer>>> Submit(std::string goal);
+
+  // Blocking conveniences over Submit.
+  Result<std::vector<Answer>> Query(std::string_view goal);
+  Result<size_t> Count(std::string_view goal);
+
+  // --- Counters -------------------------------------------------------------
+
+  // Per-worker and aggregate service counters. All underlying counters are
+  // relaxed atomics: each is an independent monotonic event count; reading
+  // while the pool is serving observes some recent value of each counter,
+  // with no cross-counter snapshot implied.
+  struct WorkerStats {
+    uint64_t queries_served = 0;
+    uint64_t errors = 0;
+  };
+  struct ServiceStats {
+    std::vector<WorkerStats> per_worker;
+    uint64_t queries_served = 0;      // sum over workers
+    uint64_t shared_table_hits = 0;   // lock-free warm-table serves
+    uint64_t waits_on_inprogress = 0; // callers parked on another batch
+    uint64_t epochs_retired = 0;      // retired answer tables reclaimed
+  };
+  ServiceStats Stats() const;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Escape hatches for tests and benches.
+  TableSpace& tables() { return *tables_; }
+  Program& program() { return *program_; }
+
+ private:
+  // One full evaluation session: private heap + machine, shared tables.
+  struct Session {
+    std::unique_ptr<TermStore> store;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<Evaluator> evaluator;
+  };
+
+  struct Worker {
+    Session session;
+    std::thread thread;
+    std::atomic<uint64_t> queries_served{0};
+    std::atomic<uint64_t> errors{0};
+  };
+
+  struct Job {
+    std::string goal;
+    std::promise<Result<std::vector<Answer>>> promise;
+  };
+
+  Session MakeSession(bool control);
+
+  // Parses and runs `goal` on `session`, collecting up to `max_answers`
+  // answers. The caller brackets with an epoch guard (workers) or the
+  // paused world (control).
+  Result<std::vector<Answer>> RunGoal(Session& session, std::string_view goal,
+                                      size_t max_answers);
+
+  void WorkerLoop(Worker* worker);
+
+  // Pause-the-world bracket for program mutation: blocks new job pickup,
+  // drains in-flight queries, runs `fn`, resumes the pool.
+  Status PausedMutation(const std::function<Status()>& fn);
+
+  Options options_;
+  std::unique_ptr<SymbolTable> symbols_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<TableSpace> tables_;
+  Session control_;                  // owns the update-listener slot
+  std::mutex control_mutex_;         // serializes Consult/Update
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  // workers: job available / unpaused
+  std::condition_variable idle_cv_;   // control: a worker went idle
+  std::deque<Job> queue_;
+  int busy_workers_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_SERVER_QUERY_SERVICE_H_

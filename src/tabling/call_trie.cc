@@ -2,113 +2,127 @@
 
 namespace xsb {
 
-bool CallTrie::EncodeHeapSubterm(const TermStore& store, Word t,
-                                 bool probing) const {
+CallTrie::WalkScratch& CallTrie::Scratch() {
+  static thread_local WalkScratch scratch;
+  return scratch;
+}
+
+const std::vector<Word>& CallTrie::last_tokens() const {
+  return Scratch().tokens;
+}
+
+uint32_t CallTrie::last_num_vars() const {
+  return static_cast<uint32_t>(Scratch().var_cells.size());
+}
+
+FlatTerm CallTrie::DecodeLastCall() const {
+  return interns_->Decode(Scratch().tokens);
+}
+
+bool CallTrie::EncodeHeapSubterm(const TermStore& store, Word t, bool probing,
+                                 WalkScratch& scratch) const {
   Word x = store.Deref(t);
   switch (TagOf(x)) {
     case Tag::kRef: {
       uint64_t cell = PayloadOf(x);
-      uint32_t ordinal = static_cast<uint32_t>(var_cells_.size());
-      for (uint32_t i = 0; i < var_cells_.size(); ++i) {
-        if (var_cells_[i] == cell) {
+      uint32_t ordinal = static_cast<uint32_t>(scratch.var_cells.size());
+      for (uint32_t i = 0; i < scratch.var_cells.size(); ++i) {
+        if (scratch.var_cells[i] == cell) {
           ordinal = i;
           break;
         }
       }
-      if (ordinal == var_cells_.size()) var_cells_.push_back(cell);
-      tokens_.push_back(LocalCell(ordinal));
+      if (ordinal == scratch.var_cells.size()) {
+        scratch.var_cells.push_back(cell);
+      }
+      scratch.tokens.push_back(LocalCell(ordinal));
       return false;
     }
     case Tag::kAtom:
     case Tag::kInt:
-      tokens_.push_back(x);
+      scratch.tokens.push_back(x);
       return true;
     case Tag::kStruct: {
       // Emit the functor token speculatively; every ground argument
       // collapses to exactly one token, so if the whole subterm turns out
-      // ground, the args sit in tokens_[mark+1 .. mark+arity] and are
+      // ground, the args sit in tokens[mark+1 .. mark+arity] and are
       // replaced by one interned token (the heap-walking twin of
       // InternTable::EncodeSubterm).
       FunctorId f = store.StructFunctor(x);
       int arity = interns_->symbols().FunctorArity(f);
-      size_t mark = tokens_.size();
-      tokens_.push_back(FunctorCell(f));
+      size_t mark = scratch.tokens.size();
+      scratch.tokens.push_back(FunctorCell(f));
       bool ground = true;
       for (int i = 0; i < arity; ++i) {
-        ground &= EncodeHeapSubterm(store, store.Arg(x, i), probing);
-        if (probing && probe_miss_) return true;  // unwound by EncodeCall
+        ground &= EncodeHeapSubterm(store, store.Arg(x, i), probing, scratch);
+        if (probing && scratch.probe_miss) return true;  // unwound by caller
       }
       if (ground) {
         Word token;
         if (probing) {
-          token = interns_->FindNode(f, tokens_.data() + mark + 1, arity);
+          token =
+              interns_->FindNode(f, scratch.tokens.data() + mark + 1, arity);
           if (token == InternTable::kNoToken) {
-            probe_miss_ = true;
+            scratch.probe_miss = true;
             return true;
           }
         } else {
-          token = interns_->InternNode(f, tokens_.data() + mark + 1, arity);
+          token =
+              interns_->InternNode(f, scratch.tokens.data() + mark + 1, arity);
         }
-        tokens_.resize(mark);
-        tokens_.push_back(token);
+        scratch.tokens.resize(mark);
+        scratch.tokens.push_back(token);
       }
       return ground;
     }
     default:
-      tokens_.push_back(x);
+      scratch.tokens.push_back(x);
       return true;
   }
 }
 
-bool CallTrie::EncodeCall(const TermStore& store, Word goal,
-                          bool probing) const {
-  tokens_.clear();
-  var_cells_.clear();
-  probe_miss_ = false;
+bool CallTrie::EncodeCall(const TermStore& store, Word goal, bool probing,
+                          WalkScratch& scratch) const {
+  scratch.tokens.clear();
+  scratch.var_cells.clear();
+  scratch.probe_miss = false;
   Word x = store.Deref(goal);
   if (IsStruct(x)) {
     FunctorId f = store.StructFunctor(x);
-    tokens_.push_back(FunctorCell(f));
+    scratch.tokens.push_back(FunctorCell(f));
     int arity = interns_->symbols().FunctorArity(f);
     for (int i = 0; i < arity; ++i) {
-      EncodeHeapSubterm(store, store.Arg(x, i), probing);
-      if (probing && probe_miss_) return false;
+      EncodeHeapSubterm(store, store.Arg(x, i), probing, scratch);
+      if (probing && scratch.probe_miss) return false;
     }
   } else {
-    EncodeHeapSubterm(store, x, probing);
-    if (probing && probe_miss_) return false;
+    EncodeHeapSubterm(store, x, probing, scratch);
+    if (probing && scratch.probe_miss) return false;
   }
   return true;
 }
 
 TokenTrie::NodeId CallTrie::LookupOrInsert(const TermStore& store, Word goal) {
-  EncodeCall(store, goal, /*probing=*/false);
+  WalkScratch& scratch = Scratch();
+  EncodeCall(store, goal, /*probing=*/false, scratch);
   TokenTrie::NodeId node = TokenTrie::root();
-  for (Word token : tokens_) {
+  for (Word token : scratch.tokens) {
     node = trie_.Extend(node, token, nullptr);
   }
   return node;
 }
 
 TokenTrie::NodeId CallTrie::Probe(const TermStore& store, Word goal) const {
-  if (!EncodeCall(store, goal, /*probing=*/true)) return TokenTrie::kNilNode;
+  WalkScratch& scratch = Scratch();
+  if (!EncodeCall(store, goal, /*probing=*/true, scratch)) {
+    return TokenTrie::kNilNode;
+  }
   TokenTrie::NodeId node = TokenTrie::root();
-  for (Word token : tokens_) {
+  for (Word token : scratch.tokens) {
     node = trie_.Find(node, token);
     if (node == TokenTrie::kNilNode) return TokenTrie::kNilNode;
   }
   return node;
-}
-
-size_t CallTrie::bytes() const {
-  return trie_.bytes() + tokens_.capacity() * sizeof(Word) +
-         var_cells_.capacity() * sizeof(uint64_t);
-}
-
-void CallTrie::Clear() {
-  trie_.Clear();
-  tokens_.clear();
-  var_cells_.clear();
 }
 
 }  // namespace xsb

@@ -23,6 +23,14 @@ namespace xsb {
 // The leaf payload is owner-defined (table space stores the SubgoalId).
 // Payloads can be cleared (abolish_table_call/1) without removing the path;
 // a later variant call reuses the nodes and just re-sets the payload.
+//
+// Concurrency: LookupOrInsert mutates and must run under the table space's
+// evaluation lock (single mutator). Probe is lock-free and may run from any
+// number of serving threads concurrently with one inserter — its walk
+// scratch is thread-local, and a kNilNode result is advisory (it can miss a
+// variant inserted concurrently; the serving layer re-checks under the
+// lock). The "last encoded call" accessors read the calling thread's own
+// scratch, valid until that thread's next walk.
 class CallTrie {
  public:
   explicit CallTrie(InternTable* interns) : interns_(interns) {}
@@ -47,38 +55,43 @@ class CallTrie {
   }
 
   // Token stream / variable count of the call most recently encoded by
-  // LookupOrInsert or Probe (scratch: valid until the next walk).
-  const std::vector<Word>& last_tokens() const { return tokens_; }
-  uint32_t last_num_vars() const {
-    return static_cast<uint32_t>(var_cells_.size());
-  }
+  // LookupOrInsert or Probe *on this thread* (scratch: valid until the
+  // calling thread's next walk).
+  const std::vector<Word>& last_tokens() const;
+  uint32_t last_num_vars() const;
 
   // Canonical FlatTerm of the last encoded call (the subgoal's answer
   // template); only needed on the miss path when a new subgoal is created.
-  FlatTerm DecodeLastCall() const { return interns_->Decode(tokens_); }
+  FlatTerm DecodeLastCall() const;
 
   size_t node_count() const { return trie_.node_count(); }
-  size_t bytes() const;
+  size_t bytes() const { return trie_.bytes(); }
 
-  void Clear();
+  void Clear() { trie_.Clear(); }
 
  private:
-  // Tokenizes the subterm `t` into tokens_; returns whether it was ground
-  // (in which case it contributed exactly one token). With `probing`, uses
-  // lookup-only interning and sets probe_miss_ instead of interning fresh
-  // compounds.
-  bool EncodeHeapSubterm(const TermStore& store, Word t, bool probing) const;
+  // Per-thread walk scratch (see class comment).
+  struct WalkScratch {
+    std::vector<Word> tokens;
+    std::vector<uint64_t> var_cells;
+    bool probe_miss = false;
+  };
+  static WalkScratch& Scratch();
+
+  // Tokenizes the subterm `t` into scratch.tokens; returns whether it was
+  // ground (in which case it contributed exactly one token). With
+  // `probing`, uses lookup-only interning and sets scratch.probe_miss
+  // instead of interning fresh compounds.
+  bool EncodeHeapSubterm(const TermStore& store, Word t, bool probing,
+                         WalkScratch& scratch) const;
   // Open-encodes the whole call (top functor kept as its own token, as in
-  // AnswerTrie streams) into tokens_. Returns false if a probing encode hit
-  // a never-interned ground compound.
-  bool EncodeCall(const TermStore& store, Word goal, bool probing) const;
+  // AnswerTrie streams) into scratch.tokens. Returns false if a probing
+  // encode hit a never-interned ground compound.
+  bool EncodeCall(const TermStore& store, Word goal, bool probing,
+                  WalkScratch& scratch) const;
 
   InternTable* interns_;
   TokenTrie trie_;
-  // Walk scratch, reused across calls (mutable: Probe is logically const).
-  mutable std::vector<Word> tokens_;
-  mutable std::vector<uint64_t> var_cells_;
-  mutable bool probe_miss_ = false;
 };
 
 }  // namespace xsb

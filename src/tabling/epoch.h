@@ -1,0 +1,129 @@
+#ifndef XSB_TABLING_EPOCH_H_
+#define XSB_TABLING_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+namespace xsb {
+
+// Epoch-based deferred reclamation for the shared table space.
+//
+// Completed answer tables are enumerated lock-free by any number of serving
+// threads. When an update retires a table (abolish_table_call/1, incremental
+// invalidation, Clear), the trie a reader may still be walking cannot be
+// freed in place. Instead the table is stamped with the current epoch and
+// parked on a limbo list; it is destroyed only once every thread that could
+// have observed it has announced a *later* epoch (or gone idle).
+//
+// Protocol:
+//   * A serving thread owns a slot. Around each query it brackets the work
+//     with Enter(slot) / Exit(slot); between queries the slot is idle.
+//   * A retirer stamps the object with Retire() — the epoch during which
+//     the object was last reachable — after unlinking it from all shared
+//     structures.
+//   * SafeToReclaim(stamp) is true once min(announced epochs) > stamp:
+//     every in-flight reader entered after the unlink became visible.
+//
+// The single-threaded engine never enters a slot, so MinActive() is +inf
+// and reclamation degenerates to the old "free between top-level queries"
+// behavior with zero overhead on that path.
+class EpochManager {
+ public:
+  static constexpr int kMaxSlots = 64;
+  static constexpr uint64_t kIdle = 0;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Claims a slot for a serving thread (service worker / session). Returns
+  // -1 when all slots are taken; callers then serialize through the
+  // evaluation lock instead of serving lock-free (never happens below 64
+  // concurrent sessions).
+  int AcquireSlot() {
+    for (int i = 0; i < kMaxSlots; ++i) {
+      bool expected = false;
+      if (slots_[i].in_use.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel)) {
+        slots_[i].announced.store(kIdle, std::memory_order_release);
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  void ReleaseSlot(int slot) {
+    if (slot < 0) return;
+    slots_[slot].announced.store(kIdle, std::memory_order_release);
+    slots_[slot].in_use.store(false, std::memory_order_release);
+  }
+
+  // Announces that `slot` is about to read shared table structures. The
+  // seq_cst store orders the announcement before every subsequent pointer
+  // load, so a retirer scanning slots either sees this reader or the reader
+  // sees the unlink.
+  void Enter(int slot) {
+    uint64_t e = global_.load(std::memory_order_seq_cst);
+    slots_[slot].announced.store(e, std::memory_order_seq_cst);
+  }
+
+  void Exit(int slot) {
+    slots_[slot].announced.store(kIdle, std::memory_order_release);
+  }
+
+  // Stamps a retirement: returns the epoch during which the retired object
+  // was last reachable, and advances the global epoch so future Enter()s
+  // announce a later one.
+  uint64_t Retire() {
+    return global_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  // Smallest announced epoch over the active slots; +inf when all idle.
+  uint64_t MinActive() const {
+    uint64_t min = std::numeric_limits<uint64_t>::max();
+    for (int i = 0; i < kMaxSlots; ++i) {
+      uint64_t e = slots_[i].announced.load(std::memory_order_seq_cst);
+      if (e != kIdle && e < min) min = e;
+    }
+    return min;
+  }
+
+  bool SafeToReclaim(uint64_t stamp) const { return MinActive() > stamp; }
+
+  uint64_t current() const {
+    return global_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> announced{kIdle};
+    std::atomic<bool> in_use{false};
+  };
+
+  std::atomic<uint64_t> global_{1};  // 0 is reserved for kIdle
+  Slot slots_[kMaxSlots];
+};
+
+// RAII query bracket for a serving thread's epoch slot. A negative slot
+// (engine path / slot exhaustion) makes it a no-op.
+class EpochGuard {
+ public:
+  EpochGuard(EpochManager* manager, int slot)
+      : manager_(manager), slot_(slot) {
+    if (manager_ != nullptr && slot_ >= 0) manager_->Enter(slot_);
+  }
+  ~EpochGuard() {
+    if (manager_ != nullptr && slot_ >= 0) manager_->Exit(slot_);
+  }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* manager_;
+  int slot_;
+};
+
+}  // namespace xsb
+
+#endif  // XSB_TABLING_EPOCH_H_

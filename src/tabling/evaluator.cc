@@ -20,11 +20,19 @@ Status StratificationFailure(Machine* machine, FunctorId functor,
 
 }  // namespace
 
-Evaluator::Evaluator(Machine* machine, Options options)
+Evaluator::Evaluator(Machine* machine, Options options,
+                     TableSpace* shared_tables)
     : machine_(machine),
-      tables_(machine->store()->symbols(), options.answer_trie),
       early_completion_(options.early_completion),
-      incremental_(options.incremental) {
+      incremental_(options.incremental),
+      listener_registered_(options.register_update_listener) {
+  if (shared_tables != nullptr) {
+    tables_ = shared_tables;
+  } else {
+    owned_tables_ = std::make_unique<TableSpace>(
+        machine->store()->symbols(), options.answer_trie, /*shared=*/false);
+    tables_ = owned_tables_.get();
+  }
   SymbolTable* symbols = machine->store()->symbols();
   f_resolve_clauses_ = symbols->InternFunctor(
       symbols->InternAtom("$resolve_clauses"), 1);
@@ -32,64 +40,75 @@ Evaluator::Evaluator(Machine* machine, Options options)
       symbols->InternFunctor(symbols->InternAtom("$tabled_answer"), 2);
   f_consumer_ = symbols->InternFunctor(symbols->InternAtom("$consumer"), 2);
   machine->set_tabled_handler(this);
-  machine->program()->set_update_listener(this);
+  if (listener_registered_) {
+    machine->program()->set_update_listener(this);
+  }
 }
 
-Evaluator::~Evaluator() { machine_->program()->set_update_listener(nullptr); }
+Evaluator::~Evaluator() {
+  if (listener_registered_) {
+    machine_->program()->set_update_listener(nullptr);
+  }
+}
 
-void Evaluator::AbolishAllTables() { tables_.Clear(); }
+void Evaluator::AbolishAllTables() {
+  EvalLock lock(tables_);
+  tables_->Clear();
+}
 
 void Evaluator::SeedSubgoalDeps(SubgoalId id, FunctorId functor) {
   const std::vector<FunctorId>* seeds =
       machine_->program()->IncrementalDepsOf(functor);
   if (seeds != nullptr) {
-    for (FunctorId pred : *seeds) tables_.AddPredReader(pred, id);
+    for (FunctorId pred : *seeds) tables_->AddPredReader(pred, id);
   }
   // Runtime-declared incremental predicates may predate any analysis run;
   // a table always depends on its own predicate's clauses.
   const Predicate* pred = machine_->program()->Lookup(functor);
   if (pred != nullptr && pred->incremental()) {
-    tables_.AddPredReader(functor, id);
+    tables_->AddPredReader(functor, id);
   }
 }
 
 void Evaluator::OnIncrementalAccess(FunctorId functor) {
   SubgoalId current = CurrentSubgoal();
-  if (current != kNoSubgoal) tables_.AddPredReader(functor, current);
+  if (current != kNoSubgoal) tables_->AddPredReader(functor, current);
 }
 
 void Evaluator::OnIncrementalUpdate(FunctorId functor) {
   ++stats_.update_events;
+  EvalLock lock(tables_);
   if (!incremental_) {
     // Baseline policy: any update to incremental data invalidates the world.
     // Deferred while a batch is live — Clear() would pull the tables out
     // from under the running evaluation.
     if (batches_.empty()) {
-      tables_.Clear();
+      tables_->Clear();
     } else {
       pending_full_abolish_ = true;
     }
     return;
   }
-  tables_.InvalidateForPredicate(functor);
+  tables_->InvalidateForPredicate(functor);
 }
 
 void Evaluator::OnIncrementalDeclaration(FunctorId /*functor*/) {
-  if (tables_.num_subgoals() == 0) return;
+  EvalLock lock(tables_);
+  if (tables_->num_subgoals() == 0) return;
   if (!incremental_) {
     if (batches_.empty()) {
-      tables_.Clear();
+      tables_->Clear();
     } else {
       pending_full_abolish_ = true;
     }
     return;
   }
-  tables_.InvalidateAll();
+  tables_->InvalidateAll();
 }
 
 void Evaluator::ApplyPendingAbolish() {
   if (pending_full_abolish_ && batches_.empty()) {
-    tables_.Clear();
+    tables_->Clear();
     pending_full_abolish_ = false;
   }
 }
@@ -104,6 +123,28 @@ Word Evaluator::BuildConsumerTerm(Word goal, const GoalNode* cont) {
   return store->MakeStruct(f_consumer_, {goal, list});
 }
 
+bool Evaluator::TryServeWarm(Machine* machine, Word goal,
+                             const GoalNode* cont) {
+  TermStore* store = machine->store();
+  SubgoalId id = tables_->Lookup(*store, goal);  // lock-free; miss advisory
+  if (id == kNoSubgoal) return false;
+  const Subgoal& sg = tables_->subgoal(id);
+  // Revalidation protocol (see Subgoal): state first, then the table
+  // pointer, then state/invalid again. If the re-check still reads
+  // complete+valid, `table` is the published complete snapshot (a racing
+  // retirement would have moved `state` out of kComplete *before* swapping
+  // the pointer), and epoch protection keeps it readable even if it is
+  // retired after we return.
+  if (sg.state_acquire() != SubgoalState::kComplete) return false;
+  AnswerTable* table = sg.table();
+  if (sg.state_acquire() != SubgoalState::kComplete || sg.invalid_acquire()) {
+    return false;
+  }
+  ++tables_->stats().shared_table_hits;
+  machine->PushAnswerChoices(goal, table, cont);
+  return true;
+}
+
 TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
     Machine* machine, Word goal, const GoalNode* cont) {
   TermStore* store = machine->store();
@@ -114,11 +155,33 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
   }
 
   if (batches_.empty()) {
-    // Top-level call: evaluate to completion (also when an update left the
-    // table invalid), then enumerate answers.
+    // Top-level call. The warm path — table already complete and valid —
+    // is fully lock-free; it is the path concurrent serving scales on.
+    if (!pending_full_abolish_ && TryServeWarm(machine, goal, cont)) {
+      return CallOutcome::kContinue;
+    }
+    if (tables_->shared()) {
+      // First caller computes: if another session's batch is mid-evaluation
+      // of this variant, park until it completes rather than duplicating
+      // the work, then serve the published table.
+      for (int spins = 0; spins < 64; ++spins) {
+        SubgoalId id = tables_->Lookup(*store, goal);
+        if (id == kNoSubgoal) break;
+        const Subgoal& sg = tables_->subgoal(id);
+        if (sg.state_acquire() != SubgoalState::kIncomplete) break;
+        ++tables_->stats().waits_on_inprogress;
+        tables_->WaitUntilComplete(id);
+        if (TryServeWarm(machine, goal, cont)) {
+          return CallOutcome::kContinue;
+        }
+      }
+    }
+    // Cold path: evaluate to completion (also when an update left the table
+    // invalid) under the evaluation lock, then enumerate answers.
+    EvalLock lock(tables_);
     ApplyPendingAbolish();
-    SubgoalId id = tables_.Lookup(*store, goal);
-    if (id == kNoSubgoal || tables_.NeedsReevaluation(id)) {
+    SubgoalId id = tables_->Lookup(*store, goal);
+    if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
       bool has_answer = false;
       Status st = EvaluateToCompletion(goal, *functor, /*existential=*/false,
                                        &has_answer, &id);
@@ -127,28 +190,29 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
         return CallOutcome::kError;
       }
     }
-    const Subgoal& sg = tables_.subgoal(id);
-    machine->PushAnswerChoices(goal, sg.answers.get(), cont);
+    const Subgoal& sg = tables_->subgoal(id);
+    machine->PushAnswerChoices(goal, sg.table(), cont);
     return CallOutcome::kContinue;
   }
 
+  // In-batch call: the batch already holds the evaluation lock.
   Batch& batch = batches_.back();
   auto [id, created] =
-      tables_.LookupOrCreate(*store, goal, *functor, batch.id);
+      tables_->LookupOrCreate(*store, goal, *functor, batch.id);
   // The consuming table depends on the consumed one: an update invalidating
   // `id` must also invalidate whoever built answers from it.
   SubgoalId caller = CurrentSubgoal();
-  if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
-  Subgoal& sg = tables_.subgoal(id);
+  if (caller != kNoSubgoal) tables_->AddDependent(id, caller);
+  Subgoal& sg = tables_->subgoal(id);
   if (!created) {
-    if (sg.state == SubgoalState::kComplete) {
-      if (!tables_.NeedsReevaluation(id)) {
-        machine->PushAnswerChoices(goal, sg.answers.get(), cont);
+    if (sg.state_acquire() == SubgoalState::kComplete) {
+      if (!tables_->NeedsReevaluation(id)) {
+        machine->PushAnswerChoices(goal, sg.table(), cont);
         return CallOutcome::kContinue;
       }
       // Invalid table called mid-batch: reopen it as a generator of this
       // batch; the caller suspends as an ordinary consumer below.
-      tables_.ResetForReevaluation(id, batch.id);
+      tables_->ResetForReevaluation(id, batch.id);
       batch.subgoals.push_back(id);
       batch.generator_queue.push_back(id);
     } else if (sg.batch_id != batch.id) {
@@ -169,7 +233,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
   consumer.owner = caller;
   consumer.saved = Flatten(*store, BuildConsumerTerm(goal, cont));
   batch.consumers.push_back(std::move(consumer));
-  ++tables_.stats().consumer_suspensions;
+  ++tables_->stats().consumer_suspensions;
   return CallOutcome::kFail;
 }
 
@@ -178,7 +242,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
                                                          Word call_instance) {
   TermStore* store = machine->store();
   SubgoalId id = static_cast<SubgoalId>(subgoal_index);
-  bool fresh = tables_.AddAnswer(id, *store, call_instance);
+  bool fresh = tables_->AddAnswer(id, *store, call_instance);
   if (fresh && !batches_.empty()) {
     Batch& batch = batches_.back();
     if (batch.stop_on_answer == id) {
@@ -188,11 +252,11 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
       machine->RequestStop();
       return CallOutcome::kFail;
     }
-    Subgoal& sg = tables_.subgoal(id);
+    Subgoal& sg = tables_->subgoal(id);
     if (early_completion_ && sg.ground_call() &&
-        sg.state == SubgoalState::kIncomplete) {
+        sg.state_acquire() == SubgoalState::kIncomplete) {
       // Early completion: a ground call has exactly this one answer.
-      sg.state = SubgoalState::kComplete;
+      sg.state.store(SubgoalState::kComplete, std::memory_order_release);
       ++stats_.early_completions;
       machine->RequestStop();
     }
@@ -203,8 +267,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
 Status Evaluator::RunGeneratorEpisode(SubgoalId id) {
   ++stats_.generator_episodes;
   TermStore* store = machine_->store();
-  const Subgoal& sg = tables_.subgoal(id);
-  if (sg.state != SubgoalState::kIncomplete) return Status::Ok();
+  const Subgoal& sg = tables_->subgoal(id);
+  if (sg.state_acquire() != SubgoalState::kIncomplete) return Status::Ok();
 
   size_t trail = store->TrailMark();
   size_t heap = store->HeapMark();
@@ -227,7 +291,7 @@ Status Evaluator::RunGeneratorEpisode(SubgoalId id) {
 Status Evaluator::ResumeConsumer(SubgoalId owner, FlatTerm saved,
                                  const FlatTerm& answer) {
   ++stats_.resumptions;
-  ++tables_.stats().consumer_resumptions;
+  ++tables_->stats().consumer_resumptions;
   TermStore* store = machine_->store();
   SymbolTable* symbols = store->symbols();
   size_t trail = store->TrailMark();
@@ -288,9 +352,9 @@ Status Evaluator::RunBatchLoop(size_t batch_index) {
         if (batches_[batch_index].aborted) return Status::Ok();
         if (!batches_[batch_index].generator_queue.empty()) break;
         Consumer& c = batches_[batch_index].consumers[ci];
-        const Subgoal& sg = tables_.subgoal(c.producer);
-        if (c.next_answer >= sg.answers->size()) break;
-        sg.answers->ReadAnswer(c.next_answer, &answer);
+        const AnswerTable* producer = tables_->subgoal(c.producer).table();
+        if (c.next_answer >= producer->size()) break;
+        producer->ReadAnswer(c.next_answer, &answer);
         ++batches_[batch_index].consumers[ci].next_answer;
         SubgoalId owner = batches_[batch_index].consumers[ci].owner;
         FlatTerm saved = batches_[batch_index].consumers[ci].saved;
@@ -310,7 +374,7 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
                                        SubgoalId* root_out) {
   TermStore* store = machine_->store();
   ++stats_.batches;
-  batches_.push_back(Batch{next_batch_id_++,
+  batches_.push_back(Batch{tables_->NextBatchId(),
                            {},
                            {},
                            {},
@@ -319,11 +383,11 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
   size_t batch_index = batches_.size() - 1;
 
   auto [root, created] =
-      tables_.LookupOrCreate(*store, goal, functor, batches_[batch_index].id);
+      tables_->LookupOrCreate(*store, goal, functor, batches_[batch_index].id);
   if (created) {
     SeedSubgoalDeps(root, functor);
-  } else if (tables_.NeedsReevaluation(root)) {
-    tables_.ResetForReevaluation(root, batches_[batch_index].id);
+  } else if (tables_->NeedsReevaluation(root)) {
+    tables_->ResetForReevaluation(root, batches_[batch_index].id);
   }
   batches_[batch_index].subgoals.push_back(root);
   batches_[batch_index].generator_queue.push_back(root);
@@ -332,15 +396,19 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
   Status status = RunBatchLoop(batch_index);
 
   Batch& batch = batches_[batch_index];
-  bool answered = batch.aborted || !tables_.subgoal(root).answers->empty();
+  bool answered = batch.aborted || !tables_->subgoal(root).table()->empty();
   if (!status.ok() || batch.aborted) {
     // Error, or existential abort: the partial tables are unusable (paper:
     // existential negation "cuts away" the goals created in its context).
-    for (SubgoalId id : batch.subgoals) tables_.Dispose(id);
+    for (SubgoalId id : batch.subgoals) tables_->Dispose(id);
   } else {
+    // Publication: the release stores make every answer inserted above
+    // visible to any thread that later acquires the state.
     for (SubgoalId id : batch.subgoals) {
-      tables_.subgoal(id).state = SubgoalState::kComplete;
+      tables_->subgoal(id).state.store(SubgoalState::kComplete,
+                                       std::memory_order_release);
     }
+    tables_->NotifyCompletion();
   }
   batches_.pop_back();
   if (has_answer != nullptr) *has_answer = answered;
@@ -372,14 +440,19 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
     return CallOutcome::kError;
   }
 
-  SubgoalId id = tables_.Lookup(*store, goal);
+  // Negation both reads and (on the miss path) evaluates; it runs under the
+  // evaluation lock throughout, so an incomplete table seen here can only
+  // belong to this thread's own enclosing batch — a genuine stratification
+  // violation, never another session's in-flight work.
+  EvalLock lock(tables_);
+  SubgoalId id = tables_->Lookup(*store, goal);
   SubgoalId caller = CurrentSubgoal();
   // An invalid table falls through to re-evaluation below.
-  if (id != kNoSubgoal && !tables_.NeedsReevaluation(id)) {
-    const Subgoal& sg = tables_.subgoal(id);
-    if (sg.state == SubgoalState::kComplete) {
-      if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
-      return sg.answers->empty() ? CallOutcome::kContinue
+  if (id != kNoSubgoal && !tables_->NeedsReevaluation(id)) {
+    const Subgoal& sg = tables_->subgoal(id);
+    if (sg.state_acquire() == SubgoalState::kComplete) {
+      if (caller != kNoSubgoal) tables_->AddDependent(id, caller);
+      return sg.table()->empty() ? CallOutcome::kContinue
                                  : CallOutcome::kFail;
     }
     machine->SetError(StratificationFailure(
@@ -399,8 +472,8 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
   // The negation's truth value depends on the negated table (which is
   // disposed after an existential abort; the edge is skipped there).
   if (caller != kNoSubgoal && id != kNoSubgoal &&
-      tables_.subgoal(id).state == SubgoalState::kComplete) {
-    tables_.AddDependent(id, caller);
+      tables_->subgoal(id).state_acquire() == SubgoalState::kComplete) {
+    tables_->AddDependent(id, caller);
   }
   return has_answer ? CallOutcome::kFail : CallOutcome::kContinue;
 }
@@ -423,15 +496,17 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
     return CallOutcome::kError;
   }
 
-  SubgoalId id = tables_.Lookup(*store, goal);
-  if (id == kNoSubgoal || tables_.NeedsReevaluation(id)) {
+  EvalLock lock(tables_);
+  SubgoalId id = tables_->Lookup(*store, goal);
+  if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
     Status status = EvaluateToCompletion(goal, *functor,
                                          /*existential=*/false, nullptr, &id);
     if (!status.ok()) {
       machine->SetError(status);
       return CallOutcome::kError;
     }
-  } else if (tables_.subgoal(id).state != SubgoalState::kComplete) {
+  } else if (tables_->subgoal(id).state_acquire() !=
+             SubgoalState::kComplete) {
     // The paper's tfindall *suspends* until completion; under local
     // scheduling a same-SCC tfindall would deadlock, which we report.
     machine->SetError(StratificationFailure(
@@ -441,13 +516,13 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   }
 
   SubgoalId caller = CurrentSubgoal();
-  if (caller != kNoSubgoal) tables_.AddDependent(id, caller);
+  if (caller != kNoSubgoal) tables_->AddDependent(id, caller);
 
   // Project each answer through (goal, templ), which share variables. The
   // per-instance flatten goes through a reused scratch, so the stored copy
   // is exact-size and the scratch stops allocating once warm.
   std::vector<FlatTerm> instances;
-  const AnswerTable& table = *tables_.subgoal(id).answers;
+  const AnswerTable& table = *tables_->subgoal(id).table();
   FlatTerm answer;
   FlatTerm instance_scratch;
   for (size_t i = 0; i < table.size(); ++i) {
@@ -476,26 +551,31 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
 
 bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
   TermStore* store = machine->store();
-  SubgoalId id = tables_.Lookup(*store, goal);
+  EvalLock lock(tables_);
+  SubgoalId id = tables_->Lookup(*store, goal);
   if (id == kNoSubgoal) return false;
   // A table mid-evaluation belongs to a live batch; pulling it out would
   // corrupt the batch, so abolishing it is a no-op.
-  if (tables_.subgoal(id).state == SubgoalState::kIncomplete) return false;
-  tables_.Dispose(id);
+  if (tables_->subgoal(id).state_acquire() == SubgoalState::kIncomplete) {
+    return false;
+  }
+  tables_->Dispose(id);
   return true;
 }
 
 TabledCallHandler::TableState Evaluator::GetTableState(Machine* machine,
                                                        Word goal) {
   TermStore* store = machine->store();
-  SubgoalId id = tables_.Lookup(*store, goal);
+  EvalLock lock(tables_);
+  SubgoalId id = tables_->Lookup(*store, goal);
   if (id == kNoSubgoal) return TableState::kNoTable;
-  const Subgoal& sg = tables_.subgoal(id);
-  switch (sg.state) {
+  const Subgoal& sg = tables_->subgoal(id);
+  switch (sg.state_acquire()) {
     case SubgoalState::kIncomplete:
       return TableState::kIncomplete;
     case SubgoalState::kComplete:
-      return sg.invalid ? TableState::kInvalid : TableState::kComplete;
+      return sg.invalid_acquire() ? TableState::kInvalid
+                                  : TableState::kComplete;
     case SubgoalState::kDisposed:
       break;  // disposed tables are unreachable via Lookup; be safe
   }
@@ -504,29 +584,33 @@ TabledCallHandler::TableState Evaluator::GetTableState(Machine* machine,
 
 TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
                                                            Word goal) {
+  EvalLock lock(tables_);
   TableStatsInfo info;
-  info.interned_terms = tables_.interns().num_terms();
-  info.call_trie_nodes = tables_.call_trie_nodes();
+  info.interned_terms = tables_->interns().num_terms();
+  info.call_trie_nodes = tables_->call_trie_nodes();
   info.factored_saved_bytes =
-      tables_.stats().factored_cells_saved * sizeof(Word);
+      tables_->stats().factored_cells_saved * sizeof(Word);
+  info.shared_table_hits = tables_->stats().shared_table_hits;
+  info.waits_on_inprogress = tables_->stats().waits_on_inprogress;
+  info.epochs_retired = tables_->stats().epochs_retired;
   if (goal == 0) {
     // Aggregate over the whole table space.
     info.found = true;
-    info.subgoals = tables_.num_subgoals();
-    info.answers = tables_.total_answers();
-    info.trie_nodes = tables_.total_trie_nodes();
-    info.bytes = tables_.table_bytes();
+    info.subgoals = tables_->num_subgoals();
+    info.answers = tables_->total_answers();
+    info.trie_nodes = tables_->total_trie_nodes();
+    info.bytes = tables_->table_bytes();
     return info;
   }
   TermStore* store = machine->store();
-  SubgoalId id = tables_.Lookup(*store, goal);
+  SubgoalId id = tables_->Lookup(*store, goal);
   if (id == kNoSubgoal) return info;  // found == false
-  const Subgoal& sg = tables_.subgoal(id);
+  const Subgoal& sg = tables_->subgoal(id);
   info.found = true;
   info.subgoals = 1;
-  info.answers = sg.answers->size();
-  info.trie_nodes = sg.answers->trie_nodes();
-  info.bytes = sg.answers->bytes();
+  info.answers = sg.table()->size();
+  info.trie_nodes = sg.table()->trie_nodes();
+  info.bytes = sg.table()->bytes();
   return info;
 }
 

@@ -1,6 +1,7 @@
 #ifndef XSB_TABLING_EVALUATOR_H_
 #define XSB_TABLING_EVALUATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "engine/machine.h"
@@ -39,6 +40,15 @@ namespace xsb {
 // incremental predicate then marks exactly the completed tables that
 // transitively depend on it invalid; an invalid table is re-evaluated
 // lazily on its next call, reusing every still-valid subsidiary table.
+//
+// Shared-table mode: an Evaluator may be constructed over an external
+// TableSpace shared with other sessions (QueryService workers). Evaluation
+// then runs under the space's evaluation lock, while the *warm path* — a
+// top-level call whose table is already complete and valid — serves answers
+// entirely lock-free via the publication/revalidation protocol (see
+// Subgoal). A top-level caller that finds another session's batch mid-
+// computation of its variant parks on the completion condvar instead of
+// duplicating the work (first caller computes).
 class Evaluator : public TabledCallHandler, public TableUpdateListener {
  public:
   struct Options {
@@ -55,14 +65,22 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
     // default). When false, such an update abolishes the whole table space
     // — the from-scratch baseline the update bench compares against.
     bool incremental = true;
+    // Register as the Program's (single) update listener. QueryService
+    // worker sessions set this false: the service's control session owns
+    // the listener slot, and all sessions share one table space anyway.
+    bool register_update_listener = true;
   };
 
   explicit Evaluator(Machine* machine) : Evaluator(machine, Options()) {}
-  Evaluator(Machine* machine, Options options);
+  Evaluator(Machine* machine, Options options)
+      : Evaluator(machine, options, nullptr) {}
+  // Shared-table construction: evaluate against `shared_tables` (owned by
+  // the caller, typically a QueryService) instead of a private space.
+  Evaluator(Machine* machine, Options options, TableSpace* shared_tables);
   ~Evaluator() override;
 
-  TableSpace& tables() { return tables_; }
-  const TableSpace& tables() const { return tables_; }
+  TableSpace& tables() { return *tables_; }
+  const TableSpace& tables() const { return *tables_; }
 
   // Drops all tables (exposed to benches; abolish_all_tables/0 equivalent).
   void AbolishAllTables();
@@ -111,6 +129,7 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   // Runs `root` (a fresh subgoal for `goal`) to completion in a new batch.
   // With `existential`, stops at the root's first answer and disposes the
   // batch's tables. *has_answer reports whether the root derived an answer.
+  // Caller holds the evaluation lock.
   Status EvaluateToCompletion(Word goal, FunctorId functor, bool existential,
                               bool* has_answer, SubgoalId* root_out);
 
@@ -118,6 +137,11 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   Status RunGeneratorEpisode(SubgoalId id);
   Status ResumeConsumer(SubgoalId owner, FlatTerm saved,
                         const FlatTerm& answer);
+
+  // Lock-free warm-path attempt for a top-level tabled call: serve `goal`
+  // from a published complete+valid table. Returns true and pushes the
+  // answer choice point on success.
+  bool TryServeWarm(Machine* machine, Word goal, const GoalNode* cont);
 
   // Builds '$consumer'(Goal, [G1, ..., Gk]) for the continuation chain.
   Word BuildConsumerTerm(Word goal, const GoalNode* cont);
@@ -136,14 +160,15 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   void ApplyPendingAbolish();
 
   Machine* machine_;
-  TableSpace tables_;
+  std::unique_ptr<TableSpace> owned_tables_;  // null in shared mode
+  TableSpace* tables_;
   bool early_completion_;
   bool incremental_;
+  bool listener_registered_;
   std::vector<Batch> batches_;
   // Subgoals whose evaluation frames are active, innermost last.
   std::vector<SubgoalId> eval_stack_;
   bool pending_full_abolish_ = false;
-  uint64_t next_batch_id_ = 1;
   EvalStats stats_;
 
   FunctorId f_resolve_clauses_, f_tabled_answer_, f_consumer_;

@@ -6,6 +6,11 @@
 
 namespace xsb {
 
+AnswerTrie::ReadScratch& AnswerTrie::Scratch() {
+  static thread_local ReadScratch scratch;
+  return scratch;
+}
+
 bool AnswerTrie::Insert(const TermStore& store, Word instance,
                         size_t* saved_cells) {
   // Factor `instance` against the template in one lockstep walk: the
@@ -54,9 +59,13 @@ bool AnswerTrie::Insert(const TermStore& store, Word instance,
     node = trie_.Extend(node, token, nullptr);
   }
   if (trie_.payload(node) != TokenTrie::kNoPayload) return false;  // duplicate
-  trie_.set_payload(node, static_cast<uint32_t>(leaves_.size()));
-  leaves_.push_back(
+  // Publication order: link the leaf, then release the new answer count —
+  // a concurrent enumerator that observes size() >= k finds answer k-1
+  // fully formed.
+  size_t i = leaves_.EmplaceBack(
       Leaf{node, static_cast<uint32_t>(var_scratch_.size())});
+  trie_.set_payload(node, static_cast<uint32_t>(i));
+  num_answers_.store(i + 1, std::memory_order_release);
   if (saved_cells != nullptr) {
     *saved_cells = full_cells - bindings_scratch_.size();
   }
@@ -64,13 +73,14 @@ bool AnswerTrie::Insert(const TermStore& store, Word instance,
 }
 
 void AnswerTrie::ExpandLeaf(size_t i, std::vector<Word>* out) const {
-  path_scratch_.clear();
+  std::vector<Word>& path = Scratch().path;
+  path.clear();
   for (TokenTrie::NodeId n = leaves_[i].node; n != TokenTrie::root();
-       n = trie_.node(n).parent) {
-    path_scratch_.push_back(trie_.node(n).token);
+       n = trie_.parent(n)) {
+    path.push_back(trie_.token(n));
   }
   out->clear();
-  for (auto it = path_scratch_.rbegin(); it != path_scratch_.rend(); ++it) {
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
     interns_->AppendExpansion(*it, out);
   }
 }
@@ -81,7 +91,8 @@ void AnswerTrie::ReadBindings(size_t i, FlatTerm* out) const {
 }
 
 void AnswerTrie::ReadAnswer(size_t i, FlatTerm* out) const {
-  ExpandLeaf(i, &expand_scratch_);
+  ReadScratch& scratch = Scratch();
+  ExpandLeaf(i, &scratch.expand);
   out->cells.clear();
   out->num_vars = leaves_[i].num_vars;
   // Splice binding segments back into the template. First occurrences of
@@ -89,7 +100,7 @@ void AnswerTrie::ReadAnswer(size_t i, FlatTerm* out) const {
   // discovered left to right; repeated occurrences re-splice their segment,
   // reproducing exactly the canonical flatten of the full instance.
   const SymbolTable& symbols = interns_->symbols();
-  seg_scratch_.clear();  // per-ordinal segment start
+  scratch.seg.clear();  // per-ordinal segment start
   size_t next_seg = 0;
   for (Word tc : template_.cells) {
     if (!IsLocal(tc)) {
@@ -98,21 +109,21 @@ void AnswerTrie::ReadAnswer(size_t i, FlatTerm* out) const {
     }
     uint64_t ord = PayloadOf(tc);
     size_t s;
-    if (ord == seg_scratch_.size()) {
+    if (ord == scratch.seg.size()) {
       s = next_seg;
-      seg_scratch_.push_back(s);
-      next_seg = SkipFlatSubterm(symbols, expand_scratch_, s);
+      scratch.seg.push_back(s);
+      next_seg = SkipFlatSubterm(symbols, scratch.expand, s);
     } else {
-      s = seg_scratch_[ord];
+      s = scratch.seg[ord];
     }
-    size_t e = SkipFlatSubterm(symbols, expand_scratch_, s);
-    out->cells.insert(out->cells.end(), expand_scratch_.begin() + s,
-                      expand_scratch_.begin() + e);
+    size_t e = SkipFlatSubterm(symbols, scratch.expand, s);
+    out->cells.insert(out->cells.end(), scratch.expand.begin() + s,
+                      scratch.expand.begin() + e);
   }
 }
 
 size_t AnswerTrie::bytes() const {
-  return trie_.bytes() + leaves_.capacity() * sizeof(Leaf) +
+  return trie_.bytes() + leaves_.bytes() +
          template_.cells.capacity() * sizeof(Word);
 }
 
@@ -163,14 +174,16 @@ std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const TermStore& store,
   if (payload != TokenTrie::kNoPayload) {
     return {static_cast<SubgoalId>(payload), false};
   }
-  SubgoalId id = static_cast<SubgoalId>(subgoals_.size());
-  subgoals_.push_back(Subgoal{});
-  Subgoal& sg = subgoals_.back();
+  SubgoalId id = static_cast<SubgoalId>(subgoals_.EmplaceBack());
+  Subgoal& sg = subgoals_[id];
   sg.call = call_trie_.DecodeLastCall();
   sg.call_leaf = leaf;
   sg.functor = functor;
   sg.batch_id = batch_id;
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_, sg.call);
+  sg.answers.store(new AnswerTable(answer_trie_, &interns_, sg.call),
+                   std::memory_order_release);
+  // Publish last: a lock-free prober that reads this payload finds the
+  // subgoal fully initialized.
   call_trie_.set_payload(leaf, id);
   ++stats_.subgoals_created;
   return {id, true};
@@ -187,7 +200,7 @@ SubgoalId TableSpace::Lookup(const TermStore& store, Word goal) const {
 bool TableSpace::AddAnswer(SubgoalId id, const TermStore& store,
                            Word instance) {
   size_t saved = 0;
-  bool fresh = subgoals_[id].answers->Insert(store, instance, &saved);
+  bool fresh = subgoals_[id].table()->Insert(store, instance, &saved);
   if (fresh) {
     ++stats_.answers_inserted;
     stats_.factored_cells_saved += saved;
@@ -197,26 +210,47 @@ bool TableSpace::AddAnswer(SubgoalId id, const TermStore& store,
   return fresh;
 }
 
+void TableSpace::RetireAnswers(Subgoal& sg) {
+  AnswerTable* fresh = new AnswerTable(answer_trie_, &interns_, sg.call);
+  AnswerTable* old = sg.answers.exchange(fresh, std::memory_order_acq_rel);
+  uint64_t stamp = epochs_.Retire();
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  retired_answers_.push_back(
+      Retired{std::unique_ptr<AnswerTable>(old), stamp});
+}
+
 void TableSpace::Dispose(SubgoalId id) {
   Subgoal& sg = subgoals_[id];
-  if (sg.state == SubgoalState::kDisposed) return;
+  if (sg.state_acquire() == SubgoalState::kDisposed) return;
   // The trie path stays; clearing the leaf payload unlinks the variant. A
   // later variant call reuses the path and installs a fresh subgoal id.
   call_trie_.set_payload(sg.call_leaf, TokenTrie::kNoPayload);
-  sg.state = SubgoalState::kDisposed;
-  retired_answers_.push_back(std::move(sg.answers));
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_, sg.call);
+  // Publication order: leave kComplete *before* swapping the table pointer,
+  // so a revalidating reader that sees the fresh pointer must also see the
+  // disposed state and reject it (see Subgoal's protocol comment).
+  sg.state.store(SubgoalState::kDisposed, std::memory_order_release);
+  RetireAnswers(sg);
   ++stats_.subgoals_disposed;
+  NotifyCompletion();
 }
 
 void TableSpace::Clear() {
-  for (Subgoal& sg : subgoals_) {
-    if (sg.answers != nullptr) {
-      retired_answers_.push_back(std::move(sg.answers));
+  size_t n = subgoals_.size();
+  if (shared_) {
+    // Concurrent readers may hold subgoal ids and trie indices: keep the
+    // arenas and dispose every live table instead of deallocating.
+    for (size_t i = 0; i < n; ++i) {
+      Dispose(static_cast<SubgoalId>(i));
     }
+    pred_readers_.clear();
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Subgoal& sg = subgoals_[i];
+    if (sg.table() != nullptr) RetireAnswers(sg);
   }
   call_trie_.Clear();
-  subgoals_.clear();
+  subgoals_.Clear();
   pred_readers_.clear();
 }
 
@@ -242,15 +276,15 @@ size_t TableSpace::InvalidateForPredicate(FunctorId pred) {
     SubgoalId id = work.back();
     work.pop_back();
     Subgoal& sg = subgoals_[id];
-    if (sg.state == SubgoalState::kDisposed) continue;
+    if (sg.state_acquire() == SubgoalState::kDisposed) continue;
     // Incomplete tables are flagged too: they are mid-evaluation and may
     // have read the predicate before the update, so they complete as
     // already-invalid and re-evaluate on their next call. Already invalid
     // tables still propagate: edges may have been added since they were
     // first flagged.
-    if (!sg.invalid) {
-      sg.invalid = true;
-      if (sg.state == SubgoalState::kComplete) ++count;
+    if (!sg.invalid.load(std::memory_order_relaxed)) {
+      sg.invalid.store(true, std::memory_order_release);
+      if (sg.state_acquire() == SubgoalState::kComplete) ++count;
     }
     for (SubgoalId dep : sg.dependents) {
       if (visited.insert(dep).second) work.push_back(dep);
@@ -262,9 +296,12 @@ size_t TableSpace::InvalidateForPredicate(FunctorId pred) {
 
 size_t TableSpace::InvalidateAll() {
   size_t count = 0;
-  for (Subgoal& sg : subgoals_) {
-    if (sg.state == SubgoalState::kComplete && !sg.invalid) {
-      sg.invalid = true;
+  size_t n = subgoals_.size();
+  for (size_t i = 0; i < n; ++i) {
+    Subgoal& sg = subgoals_[i];
+    if (sg.state_acquire() == SubgoalState::kComplete &&
+        !sg.invalid.load(std::memory_order_relaxed)) {
+      sg.invalid.store(true, std::memory_order_release);
       ++count;
     }
   }
@@ -274,35 +311,94 @@ size_t TableSpace::InvalidateAll() {
 
 void TableSpace::ResetForReevaluation(SubgoalId id, uint64_t batch_id) {
   Subgoal& sg = subgoals_[id];
-  retired_answers_.push_back(std::move(sg.answers));
-  sg.answers = std::make_unique<AnswerTable>(answer_trie_, &interns_, sg.call);
-  sg.state = SubgoalState::kIncomplete;
-  sg.invalid = false;
+  // Same publication order as Dispose: leave kComplete first, then swap.
+  sg.state.store(SubgoalState::kIncomplete, std::memory_order_release);
+  RetireAnswers(sg);
+  sg.invalid.store(false, std::memory_order_release);
   sg.batch_id = batch_id;
   ++stats_.tables_reevaluated;
 }
 
+void TableSpace::ReleaseRetiredAnswers() {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  size_t before = retired_answers_.size();
+  retired_answers_.erase(
+      std::remove_if(retired_answers_.begin(), retired_answers_.end(),
+                     [this](const Retired& r) {
+                       return epochs_.SafeToReclaim(r.stamp);
+                     }),
+      retired_answers_.end());
+  stats_.epochs_retired += before - retired_answers_.size();
+}
+
+size_t TableSpace::num_retired_answers() const {
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  return retired_answers_.size();
+}
+
+void TableSpace::LockEval() {
+  std::thread::id me = std::this_thread::get_id();
+  if (eval_owner_.load(std::memory_order_relaxed) == me) {
+    ++eval_depth_;
+    return;
+  }
+  eval_mutex_.lock();
+  eval_owner_.store(me, std::memory_order_relaxed);
+  eval_depth_ = 1;
+}
+
+void TableSpace::UnlockEval() {
+  if (--eval_depth_ == 0) {
+    eval_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    eval_mutex_.unlock();
+  }
+}
+
+void TableSpace::WaitUntilComplete(SubgoalId id) {
+  std::unique_lock<std::mutex> lock(completion_mutex_);
+  completion_cv_.wait(lock, [&] {
+    return subgoals_[id].state_acquire() != SubgoalState::kIncomplete;
+  });
+}
+
+void TableSpace::NotifyCompletion() {
+  // Taking the mutex (even empty) orders the preceding state stores before
+  // the notify with respect to a parker between its predicate check and its
+  // wait — the classic lost-wakeup guard.
+  { std::lock_guard<std::mutex> lock(completion_mutex_); }
+  completion_cv_.notify_all();
+}
+
 size_t TableSpace::total_answers() const {
   size_t total = 0;
-  for (const Subgoal& sg : subgoals_) total += sg.answers->size();
+  size_t n = subgoals_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (const AnswerTable* t = subgoals_[i].table()) total += t->size();
+  }
   return total;
 }
 
 size_t TableSpace::total_trie_nodes() const {
   size_t total = 0;
-  for (const Subgoal& sg : subgoals_) total += sg.answers->trie_nodes();
+  size_t n = subgoals_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (const AnswerTable* t = subgoals_[i].table()) total += t->trie_nodes();
+  }
   return total;
 }
 
 size_t TableSpace::table_bytes() const {
   size_t total = interns_.bytes() + call_trie_.bytes();
-  total += subgoals_.size() * sizeof(Subgoal);
-  for (const Subgoal& sg : subgoals_) {
-    total += sg.answers->bytes();
+  size_t n = subgoals_.size();
+  total += subgoals_.bytes();
+  for (size_t i = 0; i < n; ++i) {
+    const Subgoal& sg = subgoals_[i];
+    if (const AnswerTable* t = sg.table()) total += t->bytes();
     total += sg.call.cells.capacity() * sizeof(Word);
     total += sg.dependents.capacity() * sizeof(SubgoalId);
   }
-  for (const auto& retired : retired_answers_) total += retired->bytes();
+  std::lock_guard<std::mutex> lock(retired_mutex_);
+  for (const Retired& r : retired_answers_) total += r.table->bytes();
   return total;
 }
 

@@ -1,16 +1,21 @@
 #ifndef XSB_TABLING_TABLE_SPACE_H_
 #define XSB_TABLING_TABLE_SPACE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "base/concurrent.h"
 #include "db/token_trie.h"
 #include "engine/answer_source.h"
 #include "tabling/call_trie.h"
+#include "tabling/epoch.h"
 #include "term/flat.h"
 #include "term/intern.h"
 #include "term/store.h"
@@ -20,7 +25,7 @@ namespace xsb {
 using SubgoalId = uint32_t;
 inline constexpr SubgoalId kNoSubgoal = 0xffffffffu;
 
-enum class SubgoalState {
+enum class SubgoalState : uint8_t {
   kIncomplete,  // generator/consumers still at work
   kComplete,    // fixpoint reached; answers are final
   kDisposed,    // deleted by tcut / existential negation
@@ -36,6 +41,12 @@ enum class SubgoalState {
 // answer, and read-back either returns the raw binding stream (ReadBindings,
 // the factored consumer path) or splices the segments back into the template
 // (ReadAnswer, for callers that need the full instance).
+//
+// Concurrency: Insert runs only under the table space's evaluation lock
+// (answers are only added to incomplete tables, and evaluation is
+// serialized). The read-back paths use thread-local scratch and only
+// acquire-loads of the append-only trie, so any number of threads can
+// enumerate a completed (or retired) table lock-free.
 class AnswerTrie {
  public:
   // `call_template` is the canonical (flattened) call; it is owned by the
@@ -49,7 +60,9 @@ class AnswerTrie {
   // factoring avoided storing versus the full instance.
   bool Insert(const TermStore& store, Word instance, size_t* saved_cells);
 
-  size_t size() const { return leaves_.size(); }
+  size_t size() const {
+    return num_answers_.load(std::memory_order_acquire);
+  }
 
   // Reconstructs full answer `i` (insertion order) by splicing its binding
   // segments into the call template, reusing out's buffers.
@@ -70,22 +83,31 @@ class AnswerTrie {
     uint32_t num_vars;  // variables in the binding stream
   };
 
+  // Per-thread read-back scratch: concurrent enumerators of one completed
+  // table must not share buffers.
+  struct ReadScratch {
+    std::vector<Word> path;
+    std::vector<Word> expand;
+    std::vector<size_t> seg;
+  };
+  static ReadScratch& Scratch();
+
   // Expands leaf `i`'s root-to-leaf token path into flat cells.
   void ExpandLeaf(size_t i, std::vector<Word>* out) const;
 
   InternTable* interns_;
   FlatTerm template_;
   TokenTrie trie_;
-  std::vector<Leaf> leaves_;  // answers in insertion order
-  // Insert scratch.
+  ConcurrentArena<Leaf> leaves_;  // answers in insertion order
+  // Published answer count: released after the leaf is fully linked, so a
+  // reader that observes size() >= k can read answers [0, k) lock-free.
+  std::atomic<size_t> num_answers_{0};
+  // Insert scratch (single mutator under the evaluation lock).
   std::vector<Word> bindings_scratch_;
   std::vector<uint64_t> var_scratch_;
   std::vector<Word> walk_scratch_;
   std::vector<Word> encode_scratch_;
-  // Read scratch.
-  mutable std::vector<Word> path_scratch_;
-  mutable std::vector<Word> expand_scratch_;
-  mutable std::vector<size_t> seg_scratch_;
+  std::vector<size_t> seg_scratch_;
 };
 
 // The answers of one tabled subgoal. The trie store (default) keeps answers
@@ -140,57 +162,112 @@ struct Consumer {
 
 // One tabled subgoal: canonical call (the answer template), state, answers,
 // and its place in the incremental dependency graph.
+//
+// Publication protocol (the shared-table invariant): `state` is stored with
+// release semantics on every transition, and the answer-table pointer is
+// swapped only *after* the state has left kComplete. A lock-free reader
+// therefore revalidates in this order — state == kComplete (acquire), load
+// `answers` (acquire), re-check state/invalid — and either serves a table
+// that is still the published complete snapshot, or falls back to the
+// locked path. A reader that races an invalidation and serves the old
+// snapshot linearizes before the update; the snapshot itself stays readable
+// via epoch-deferred reclamation.
 struct Subgoal {
   FlatTerm call;
   // Leaf of this subgoal's path in the call trie (the variant index).
   TokenTrie::NodeId call_leaf = TokenTrie::kNilNode;
   FunctorId functor = 0;
-  SubgoalState state = SubgoalState::kIncomplete;
-  uint64_t batch_id = 0;  // evaluation batch that created it
-  std::unique_ptr<AnswerTable> answers;
+  std::atomic<SubgoalState> state{SubgoalState::kIncomplete};
+  uint64_t batch_id = 0;  // evaluation batch that created it (eval lock)
+  std::atomic<AnswerTable*> answers{nullptr};
   // Incremental maintenance: a completed table whose support changed is
   // marked invalid and lazily re-evaluated on its next call.
-  bool invalid = false;
+  std::atomic<bool> invalid{false};
   // Subgoals that consumed this table's answers (reverse call edges captured
-  // during SLG evaluation); invalidation propagates along these.
+  // during SLG evaluation); invalidation propagates along these. Guarded by
+  // the evaluation lock.
   std::vector<SubgoalId> dependents;
 
+  Subgoal() = default;
+  Subgoal(const Subgoal&) = delete;
+  Subgoal& operator=(const Subgoal&) = delete;
+  ~Subgoal() { delete answers.load(std::memory_order_relaxed); }
+
   bool ground_call() const { return call.ground(); }
+  AnswerTable* table() const {
+    return answers.load(std::memory_order_acquire);
+  }
+  SubgoalState state_acquire() const {
+    return state.load(std::memory_order_acquire);
+  }
+  bool invalid_acquire() const {
+    return invalid.load(std::memory_order_acquire);
+  }
 };
 
+// Evaluation counters. All fields are relaxed atomics: each counter is an
+// independent monotonic event count — increments from concurrent threads
+// interleave without synchronizing anything else, and a read observes some
+// recent value of each counter individually (no cross-counter snapshot is
+// implied). That is exactly the documented contract of table_stats/2 and
+// the service counters.
 struct TableStats {
-  uint64_t subgoals_created = 0;
-  uint64_t subgoals_disposed = 0;
-  uint64_t answers_inserted = 0;
-  uint64_t duplicate_answers = 0;
-  uint64_t consumer_suspensions = 0;
-  uint64_t consumer_resumptions = 0;
-  uint64_t tables_invalidated = 0;
-  uint64_t tables_reevaluated = 0;
+  std::atomic<uint64_t> subgoals_created{0};
+  std::atomic<uint64_t> subgoals_disposed{0};
+  std::atomic<uint64_t> answers_inserted{0};
+  std::atomic<uint64_t> duplicate_answers{0};
+  std::atomic<uint64_t> consumer_suspensions{0};
+  std::atomic<uint64_t> consumer_resumptions{0};
+  std::atomic<uint64_t> tables_invalidated{0};
+  std::atomic<uint64_t> tables_reevaluated{0};
   // Flat cells substitution factoring avoided storing (fresh answers only):
   // full-instance size minus binding-stream size, summed.
-  uint64_t factored_cells_saved = 0;
+  std::atomic<uint64_t> factored_cells_saved{0};
+  // Shared-serving counters (relaxed; see struct comment).
+  std::atomic<uint64_t> shared_table_hits{0};    // lock-free warm serves
+  std::atomic<uint64_t> waits_on_inprogress{0};  // blocked on another batch
+  std::atomic<uint64_t> epochs_retired{0};       // retired tables reclaimed
 };
 
 // The table space (section 3.2): call trie for variant-based subgoal
 // indexing plus per-subgoal factored answer tables. Owns the engine-wide
 // ground-term intern store. A call is checked/inserted in one walk over the
 // live heap term — the hit path materializes nothing.
+//
+// Threading model (see DESIGN.md "Threading model" for the full treatment):
+//   * All mutation — subgoal creation, answer insertion, completion,
+//     disposal, invalidation — happens under the *evaluation lock*
+//     (LockEval/UnlockEval, reentrant per thread). One evaluation batch
+//     holds it end to end, so SLG evaluation itself stays single-threaded.
+//   * Completed tables are published by a release store of the subgoal
+//     state; thereafter any thread enumerates them lock-free (Lookup +
+//     revalidation, see Subgoal). Concurrent variant callers of an
+//     in-progress table WaitUntilComplete instead of duplicating work.
+//   * Retiring a published table (Dispose, Clear, ResetForReevaluation)
+//     never frees it in place: it is stamped with the current epoch and
+//     parked; ReleaseRetiredAnswers frees only stamps every serving thread
+//     has provably passed (EpochManager). The single-threaded engine has no
+//     epoch slots, so there it degenerates to the old free-between-queries
+//     behavior.
 class TableSpace {
  public:
-  explicit TableSpace(const SymbolTable* symbols, bool answer_trie = true)
+  explicit TableSpace(const SymbolTable* symbols, bool answer_trie = true,
+                      bool shared = false)
       : answer_trie_(answer_trie),
+        shared_(shared),
         interns_(symbols),
         call_trie_(&interns_) {}
 
   // Variant lookup straight from the heap term `goal`. Returns
   // {id, created}; on creation the new subgoal's canonical call (answer
-  // template) is decoded from the walk's token stream.
+  // template) is decoded from the walk's token stream. Evaluation lock.
   std::pair<SubgoalId, bool> LookupOrCreate(const TermStore& store, Word goal,
                                             FunctorId functor,
                                             uint64_t batch_id);
   // Lookup without creating; kNoSubgoal if absent. Never mutates the trie
-  // or the intern store.
+  // or the intern store; lock-free. Under concurrency a kNoSubgoal result
+  // is advisory (the variant may have been inserted concurrently) — the
+  // locked path re-checks.
   SubgoalId Lookup(const TermStore& store, Word goal) const;
 
   Subgoal& subgoal(SubgoalId id) { return subgoals_[id]; }
@@ -198,17 +275,21 @@ class TableSpace {
 
   // Inserts the answer instance (a heap instance of `id`'s call) after
   // factoring out the call's ground skeleton; returns true if new.
+  // Evaluation lock.
   bool AddAnswer(SubgoalId id, const TermStore& store, Word instance);
 
   // Removes the subgoal from the call index and drops its answers (tcut /
   // existential negation, abolish_table_call/1). The id remains valid but
   // disposed. The answer table is retired, not destroyed, so open cursors
-  // keep enumerating their frozen snapshot.
+  // keep enumerating their frozen snapshot. Evaluation lock.
   void Dispose(SubgoalId id);
 
   // Drops every table (abolish_all_tables/0). The intern store survives: it
   // is a cache of ground structure, not per-table state. Answer tables are
-  // retired (see Dispose) until ReleaseRetiredAnswers().
+  // retired (see Dispose) until ReleaseRetiredAnswers(). In shared mode the
+  // call trie and subgoal arena are kept (concurrent readers may hold
+  // indices into them) and every live subgoal is disposed instead;
+  // non-shared mode truly clears. Evaluation lock.
   void Clear();
 
   // --- Incremental dependency graph ----------------------------------------
@@ -233,19 +314,21 @@ class TableSpace {
   // re-evaluate instead of reusing the stale answers.
   bool NeedsReevaluation(SubgoalId id) const {
     const Subgoal& sg = subgoals_[id];
-    return sg.state == SubgoalState::kComplete && sg.invalid;
+    return sg.state_acquire() == SubgoalState::kComplete &&
+           sg.invalid_acquire();
   }
 
   // Reopens an invalid table for re-evaluation in `batch_id`: the old answer
   // table is retired (open cursors keep their frozen snapshot) and a fresh
   // one installed. The variant index entry is reused, so dependency edges
-  // pointing at this subgoal survive re-evaluation.
+  // pointing at this subgoal survive re-evaluation. Evaluation lock.
   void ResetForReevaluation(SubgoalId id, uint64_t batch_id);
 
-  // Frees retired answer tables. Safe only when no answer cursor can still
-  // be walking one — the engine calls this between top-level queries.
-  void ReleaseRetiredAnswers() { retired_answers_.clear(); }
-  size_t num_retired_answers() const { return retired_answers_.size(); }
+  // Frees retired answer tables whose epoch stamp every serving thread has
+  // passed. With no active epoch slots (the single-threaded engine) that is
+  // all of them — the engine calls this between top-level queries.
+  void ReleaseRetiredAnswers();
+  size_t num_retired_answers() const;
 
   size_t num_subgoals() const { return subgoals_.size(); }
 
@@ -253,6 +336,32 @@ class TableSpace {
   const InternTable& interns() const { return interns_; }
 
   const CallTrie& call_trie() const { return call_trie_; }
+
+  bool shared() const { return shared_; }
+
+  // --- Evaluation lock / ownership protocol ---------------------------------
+
+  // Reentrant per-thread evaluation lock: serializes all table-space
+  // mutation and SLG evaluation. Reentrancy lets nested top-level
+  // evaluations (a query started from inside a builtin) keep the old
+  // single-threaded semantics.
+  void LockEval();
+  void UnlockEval();
+
+  // Globally unique evaluation-batch ids across all sessions of this space.
+  uint64_t NextBatchId() {
+    return next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Blocks until `id` leaves kIncomplete (first-caller-computes: concurrent
+  // variant callers park here instead of duplicating the evaluation). Must
+  // NOT be called while holding the evaluation lock.
+  void WaitUntilComplete(SubgoalId id);
+  // Wakes WaitUntilComplete parkers; called after state transitions out of
+  // kIncomplete (batch completion, disposal).
+  void NotifyCompletion();
+
+  EpochManager& epochs() { return epochs_; }
 
   // Aggregates over all live tables (the table_stats/2 builtin).
   size_t total_answers() const;
@@ -266,16 +375,54 @@ class TableSpace {
   const TableStats& stats() const { return stats_; }
 
  private:
+  // Retires `id`'s current answer table (epoch-stamped limbo) and installs
+  // a fresh empty one. Caller has already moved `state` out of kComplete.
+  void RetireAnswers(Subgoal& sg);
+
   bool answer_trie_;
+  bool shared_;
   InternTable interns_;
   CallTrie call_trie_;
-  std::deque<Subgoal> subgoals_;
-  // Incremental predicate -> tables that read its clauses.
+  ConcurrentArena<Subgoal, 7> subgoals_;
+  // Incremental predicate -> tables that read its clauses. Evaluation lock.
   std::unordered_map<FunctorId, std::unordered_set<SubgoalId>> pred_readers_;
+
   // Answer tables detached by Dispose/Clear/ResetForReevaluation but kept
-  // alive for still-open cursors (freeze semantics).
-  std::vector<std::unique_ptr<AnswerTable>> retired_answers_;
+  // alive for still-open cursors and lock-free readers (freeze semantics),
+  // each stamped with the epoch in which it was unlinked.
+  struct Retired {
+    std::unique_ptr<AnswerTable> table;
+    uint64_t stamp;
+  };
+  mutable std::mutex retired_mutex_;
+  std::vector<Retired> retired_answers_;
+  EpochManager epochs_;
+
+  // Reentrant evaluation lock state.
+  std::mutex eval_mutex_;
+  std::atomic<std::thread::id> eval_owner_{};
+  int eval_depth_ = 0;  // touched only by the owner
+
+  // Completion parking for waits-on-in-progress.
+  std::mutex completion_mutex_;
+  std::condition_variable completion_cv_;
+
+  std::atomic<uint64_t> next_batch_id_{1};
   TableStats stats_;
+};
+
+// RAII evaluation-lock guard.
+class EvalLock {
+ public:
+  explicit EvalLock(TableSpace* tables) : tables_(tables) {
+    tables_->LockEval();
+  }
+  ~EvalLock() { tables_->UnlockEval(); }
+  EvalLock(const EvalLock&) = delete;
+  EvalLock& operator=(const EvalLock&) = delete;
+
+ private:
+  TableSpace* tables_;
 };
 
 }  // namespace xsb

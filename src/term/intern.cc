@@ -2,6 +2,25 @@
 
 namespace xsb {
 
+InternTable::InternTable(const SymbolTable* symbols) : symbols_(symbols) {
+  dedup_.store(NewDedupTable(1024), std::memory_order_release);
+}
+
+InternTable::~InternTable() {
+  delete dedup_.load(std::memory_order_relaxed);
+  for (DedupTable* t : retired_dedup_) delete t;
+}
+
+InternTable::DedupTable* InternTable::NewDedupTable(size_t capacity) {
+  DedupTable* t = new DedupTable;
+  t->capacity = capacity;
+  t->buckets = std::make_unique<std::atomic<InternId>[]>(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    t->buckets[i].store(kNoId, std::memory_order_relaxed);
+  }
+  return t;
+}
+
 uint64_t InternTable::HashNode(FunctorId functor, const Word* args,
                                int arity) {
   uint64_t h = 1469598103934665603ULL;
@@ -18,46 +37,92 @@ bool InternTable::NodeEquals(InternId id, FunctorId functor, const Word* args,
                              int arity) const {
   const Node& node = nodes_[id];
   if (node.functor != functor) return false;
-  const Word* stored = arg_pool_.data() + node.first_arg;
+  const Word* stored = arg_pool_.at(node.first_arg);
   for (int i = 0; i < arity; ++i) {
     if (stored[i] != args[i]) return false;
   }
   return true;
 }
 
-Word InternTable::MakeNode(FunctorId functor, const Word* args, int arity) {
-  uint64_t h = HashNode(functor, args, arity);
-  auto [it, inserted] = dedup_.try_emplace(h, kNoId);
-  if (!inserted) {
-    for (InternId id = it->second; id != kNoId;
-         id = nodes_[id].next_same_hash) {
-      if (NodeEquals(id, functor, args, arity)) {
-        ++hits_;
-        return InternedCell(id);
-      }
-    }
-  }
-  ++misses_;
-  InternId id = static_cast<InternId>(nodes_.size());
-  Node node;
-  node.functor = functor;
-  node.first_arg = static_cast<uint32_t>(arg_pool_.size());
-  node.next_same_hash = it->second;  // chain any hash collisions
-  arg_pool_.insert(arg_pool_.end(), args, args + arity);
-  nodes_.push_back(node);
-  it->second = id;
-  return InternedCell(id);
-}
-
 Word InternTable::FindNode(FunctorId functor, const Word* args,
                            int arity) const {
   uint64_t h = HashNode(functor, args, arity);
-  auto it = dedup_.find(h);
-  if (it == dedup_.end()) return kNoToken;
-  for (InternId id = it->second; id != kNoId; id = nodes_[id].next_same_hash) {
+  const DedupTable* t = dedup_.load(std::memory_order_acquire);
+  InternId id = t->buckets[h & (t->capacity - 1)].load(
+      std::memory_order_acquire);
+  while (id != kNoId) {
     if (NodeEquals(id, functor, args, arity)) return InternedCell(id);
+    id = nodes_[id].next_same_hash.load(std::memory_order_acquire);
   }
   return kNoToken;
+}
+
+Word InternTable::MakeNode(FunctorId functor, const Word* args, int arity) {
+  // Lock-free fast path: a hit is definitive, and on warm workloads nearly
+  // every probe is a hit.
+  Word found = FindNode(functor, args, arity);
+  if (found != kNoToken) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return found;
+  }
+  GrowIfNeeded();
+  uint64_t h = HashNode(functor, args, arity);
+  std::lock_guard<std::mutex> lock(shard_mutex_[h % kShards]);
+  // Re-probe under the shard lock: the lock-free miss was advisory.
+  found = FindNode(functor, args, arity);
+  if (found != kNoToken) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return found;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  DedupTable* t = dedup_.load(std::memory_order_acquire);
+  size_t bucket = h & (t->capacity - 1);
+  InternId head = t->buckets[bucket].load(std::memory_order_relaxed);
+  InternId id;
+  {
+    std::lock_guard<std::mutex> alloc(alloc_mutex_);
+    uint32_t first_arg =
+        static_cast<uint32_t>(arg_pool_.AppendRun(args, arity));
+    id = static_cast<InternId>(nodes_.EmplaceBack(functor, first_arg, head));
+  }
+  // Publish: the release store on the bucket head orders the node and its
+  // argument run before any reader that follows the chain to it.
+  t->buckets[bucket].store(id, std::memory_order_release);
+  return InternedCell(id);
+}
+
+void InternTable::GrowIfNeeded() {
+  DedupTable* t = dedup_.load(std::memory_order_acquire);
+  if (nodes_.size() * 10 < t->capacity * 7) return;
+  // Take every shard lock (ascending order; writers never hold one shard
+  // while waiting for another, so this cannot deadlock), then rebuild.
+  for (size_t s = 0; s < kShards; ++s) shard_mutex_[s].lock();
+  t = dedup_.load(std::memory_order_relaxed);
+  size_t n = nodes_.size();
+  if (n * 10 >= t->capacity * 7) {
+    size_t capacity = t->capacity;
+    while (n * 10 >= capacity * 7) capacity *= 2;
+    DedupTable* bigger = NewDedupTable(capacity);
+    // Relink every node into the new bucket array in ascending id order, so
+    // chains keep the strictly-descending-id invariant that guarantees
+    // termination for readers caught mid-walk on a relinked chain.
+    for (InternId id = 0; id < n; ++id) {
+      const Node& node = nodes_[id];
+      int arity = symbols_->FunctorArity(node.functor);
+      uint64_t h = HashNode(node.functor, arg_pool_.at(node.first_arg), arity);
+      size_t bucket = h & (capacity - 1);
+      nodes_[id].next_same_hash.store(
+          bigger->buckets[bucket].load(std::memory_order_relaxed),
+          std::memory_order_release);
+      bigger->buckets[bucket].store(id, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> alloc(alloc_mutex_);
+      retired_dedup_.push_back(t);
+    }
+    dedup_.store(bigger, std::memory_order_release);
+  }
+  for (size_t s = kShards; s-- > 0;) shard_mutex_[s].unlock();
 }
 
 Word InternTable::InternSubterm(const std::vector<Word>& cells, size_t pos,
@@ -148,7 +213,7 @@ void InternTable::AppendExpansion(Word token, std::vector<Word>* out) const {
   const Node& node = nodes_[id];
   out->push_back(FunctorCell(node.functor));
   int arity = symbols_->FunctorArity(node.functor);
-  const Word* args = arg_pool_.data() + node.first_arg;
+  const Word* args = arg_pool_.at(node.first_arg);
   for (int i = 0; i < arity; ++i) AppendExpansion(args[i], out);
 }
 
@@ -165,11 +230,13 @@ FlatTerm InternTable::Decode(const std::vector<Word>& tokens) const {
 }
 
 size_t InternTable::bytes() const {
-  size_t total = nodes_.capacity() * sizeof(Node) +
-                 arg_pool_.capacity() * sizeof(Word);
-  // Node-based hash map overhead (key + value + pointers), approximated.
-  total += dedup_.size() *
-           (sizeof(uint64_t) + sizeof(InternId) + 2 * sizeof(void*));
+  size_t total = nodes_.bytes() + arg_pool_.bytes();
+  const DedupTable* t = dedup_.load(std::memory_order_acquire);
+  total += sizeof(DedupTable) + t->capacity * sizeof(std::atomic<InternId>);
+  std::lock_guard<std::mutex> alloc(alloc_mutex_);
+  for (const DedupTable* r : retired_dedup_) {
+    total += sizeof(DedupTable) + r->capacity * sizeof(std::atomic<InternId>);
+  }
   return total;
 }
 

@@ -1,11 +1,14 @@
 #ifndef XSB_TERM_INTERN_H_
 #define XSB_TERM_INTERN_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "base/concurrent.h"
 #include "term/cell.h"
 #include "term/flat.h"
 #include "term/symbols.h"
@@ -34,11 +37,23 @@ inline InternId InternIdOf(Word w) {
 // tries and canonical call keys are built over tokens, which is what makes
 // tabled answer check/insert effectively constant-time on ground-heavy
 // workloads.
+//
+// Concurrency: the store is shared by every serving thread of a
+// QueryService. Reads (FindNode, AppendExpansion, Decode, ArgsOfId, ...)
+// are lock-free — node and argument storage live in append-only arenas that
+// never move, and the dedup index is an open bucket array of atomic chain
+// heads published with release stores. Writes (Intern / Encode / InternNode
+// miss paths) take a shard lock chosen by the key's hash plus a single
+// allocation lock for the arena appends; distinct shards dedup-check in
+// parallel. A lock-free FindNode may miss a term interned concurrently —
+// a miss is advisory (callers re-probe under the evaluation lock before
+// concluding a call variant is new); a hit is definitive.
 class InternTable {
  public:
-  explicit InternTable(const SymbolTable* symbols) : symbols_(symbols) {}
+  explicit InternTable(const SymbolTable* symbols);
   InternTable(const InternTable&) = delete;
   InternTable& operator=(const InternTable&) = delete;
+  ~InternTable();
 
   // Interns the ground term `t`; its cells must contain no kLocal cell.
   // Returns the token for it: an atomic cell for atoms/ints, a kInterned
@@ -59,11 +74,11 @@ class InternTable {
   void EncodeOpen(const std::vector<Word>& cells, std::vector<Word>* out);
 
   // Appends the plain flat-cell expansion of `token` to *out (the inverse
-  // of Encode, one token at a time).
+  // of Encode, one token at a time). Lock-free.
   void AppendExpansion(Word token, std::vector<Word>* out) const;
 
   // Expands a whole token stream back into a FlatTerm. num_vars is
-  // recomputed from the kLocal ordinals present.
+  // recomputed from the kLocal ordinals present. Lock-free.
   FlatTerm Decode(const std::vector<Word>& tokens) const;
 
   // Interns the compound (functor, args) where the args are already tokens.
@@ -73,19 +88,21 @@ class InternTable {
     return MakeNode(functor, args, arity);
   }
 
-  // Lookup-only probe: the token for hash-consed (functor, args) if that
-  // compound has already been interned, or kNoToken if it has not. The call
-  // trie uses this on its const lookup path — a ground compound absent from
-  // the intern table cannot appear in any stored call either.
+  // Lock-free lookup-only probe: the token for hash-consed (functor, args)
+  // if that compound has already been interned, or kNoToken if it has not.
+  // The call trie uses this on its lock-free lookup path — a ground
+  // compound absent from the intern table cannot appear in any stored call
+  // either. A kNoToken result is advisory under concurrency (see class
+  // comment).
   static constexpr Word kNoToken = ~Word{0};
   Word FindNode(FunctorId functor, const Word* args, int arity) const;
 
   const SymbolTable& symbols() const { return *symbols_; }
 
-  // Functor and argument tokens of an interned compound.
+  // Functor and argument tokens of an interned compound. Lock-free.
   FunctorId FunctorOfId(InternId id) const { return nodes_[id].functor; }
   const Word* ArgsOfId(InternId id) const {
-    return arg_pool_.data() + nodes_[id].first_arg;
+    return arg_pool_.at(nodes_[id].first_arg);
   }
   int ArityOfId(InternId id) const {
     return symbols_->FunctorArity(nodes_[id].functor);
@@ -94,18 +111,40 @@ class InternTable {
   // --- Statistics -----------------------------------------------------------
 
   size_t num_terms() const { return nodes_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  // Approximate resident bytes of the store (nodes + arg pool + hash map).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  // Approximate resident bytes of the store (nodes + arg pool + hash index).
   size_t bytes() const;
 
  private:
   static constexpr InternId kNoId = 0xffffffffu;
+  // Write-path shards. Bucket counts are always a multiple of kShards, and
+  // shard(h) == bucket(h) % kShards, so each dedup bucket is owned by
+  // exactly one shard lock and chain-head updates never race.
+  static constexpr size_t kShards = 16;
 
   struct Node {
     FunctorId functor;
-    uint32_t first_arg;          // offset into arg_pool_
-    InternId next_same_hash;     // intrusive collision chain for dedup_
+    uint32_t first_arg;  // offset of the args run in arg_pool_
+    // Intrusive collision/bucket chain. Always strictly less than the id of
+    // the node holding it (new nodes are prepended, and rebuilds process
+    // ids in ascending order), so a reader walking a chain — even one
+    // re-linked by a concurrent bucket-array growth — strictly descends
+    // and terminates.
+    std::atomic<InternId> next_same_hash{kNoId};
+
+    Node(FunctorId f, uint32_t a, InternId next) : functor(f), first_arg(a) {
+      next_same_hash.store(next, std::memory_order_relaxed);
+    }
+  };
+
+  // Open bucket array: hash -> head of an intrusive next_same_hash chain.
+  // Grown by rebuild under all shard locks; superseded arrays are retired
+  // (not freed) so lock-free readers probing a stale array see at worst an
+  // advisory miss.
+  struct DedupTable {
+    size_t capacity;  // power of two, >= kShards
+    std::unique_ptr<std::atomic<InternId>[]> buckets;
   };
 
   // Interns the subterm starting at `pos` of `cells` (which must be ground
@@ -126,15 +165,20 @@ class InternTable {
   bool NodeEquals(InternId id, FunctorId functor, const Word* args,
                   int arity) const;
 
+  static DedupTable* NewDedupTable(size_t capacity);
+  void GrowIfNeeded();
+
   const SymbolTable* symbols_;
-  std::vector<Node> nodes_;
-  std::vector<Word> arg_pool_;
-  // Hash -> chain head; collisions resolved by structural compare of the
-  // (functor, args) key — one level deep thanks to hash-consing — walking
-  // the intrusive next_same_hash chain.
-  std::unordered_map<uint64_t, InternId> dedup_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  ConcurrentArena<Node> nodes_;
+  ConcurrentArena<Word, 12> arg_pool_;
+  std::atomic<DedupTable*> dedup_{nullptr};
+  std::vector<DedupTable*> retired_dedup_;
+  std::mutex shard_mutex_[kShards];
+  // Serializes arena appends across shards (and guards retired_dedup_).
+  // Lock order: shard lock(s) first, then alloc_mutex_.
+  mutable std::mutex alloc_mutex_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace xsb

@@ -13,21 +13,22 @@ SymbolTable::SymbolTable() {
 }
 
 AtomId SymbolTable::InternAtom(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
   auto it = atom_ids_.find(std::string(name));
   if (it != atom_ids_.end()) return it->second;
-  AtomId id = static_cast<AtomId>(atom_names_.size());
-  atom_names_.emplace_back(name);
-  atom_ids_.emplace(atom_names_.back(), id);
+  AtomId id = static_cast<AtomId>(atom_names_.EmplaceBack(name));
+  atom_ids_.emplace(atom_names_[id], id);
   return id;
 }
 
 FunctorId SymbolTable::InternFunctor(AtomId name, int arity) {
   uint64_t key = (static_cast<uint64_t>(name) << 16) |
                  static_cast<uint64_t>(arity & 0xffff);
+  std::lock_guard<std::mutex> lock(intern_mutex_);
   auto it = functor_ids_.find(key);
   if (it != functor_ids_.end()) return it->second;
-  FunctorId id = static_cast<FunctorId>(functors_.size());
-  functors_.push_back(Functor{name, arity});
+  FunctorId id =
+      static_cast<FunctorId>(functors_.EmplaceBack(Functor{name, arity}));
   functor_ids_.emplace(key, id);
   return id;
 }

@@ -2,10 +2,13 @@
 #define XSB_TERM_SYMBOLS_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "base/concurrent.h"
 
 namespace xsb {
 
@@ -22,17 +25,21 @@ using FunctorId = uint32_t;
 //
 // Every term-producing component (parser, stores, loaders) shares one
 // SymbolTable so that atom identity is pointer-free equality on ids.
-// Not thread-safe; the engine is single-threaded by design (section 5 of the
-// paper argues for separating concurrency from the query engine).
+//
+// Concurrency: id -> name/arity reads (AtomName, FunctorAtom, FunctorArity)
+// are lock-free — they index append-only arenas whose entries are immutable
+// once published, which is what keeps the tabling and serving hot paths free
+// of symbol locks. Interning (InternAtom / InternFunctor, i.e. parsing and
+// consulting) takes a mutex; it is far off the hot path.
 class SymbolTable {
  public:
   SymbolTable();
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
-  // Returns the id for `name`, interning it on first use.
+  // Returns the id for `name`, interning it on first use. Thread-safe.
   AtomId InternAtom(std::string_view name);
-  // Returns the id for name/arity, interning it on first use.
+  // Returns the id for name/arity, interning it on first use. Thread-safe.
   FunctorId InternFunctor(AtomId name, int arity);
 
   const std::string& AtomName(AtomId id) const { return atom_names_[id]; }
@@ -57,9 +64,10 @@ class SymbolTable {
     int arity;
   };
 
-  std::vector<std::string> atom_names_;
+  std::mutex intern_mutex_;  // guards atom_ids_ / functor_ids_ and appends
+  ConcurrentArena<std::string> atom_names_;
   std::unordered_map<std::string, AtomId> atom_ids_;
-  std::vector<Functor> functors_;
+  ConcurrentArena<Functor> functors_;
   std::unordered_map<uint64_t, FunctorId> functor_ids_;
 
   AtomId nil_, comma_, dot_, neck_, apply_, true_, curly_;
