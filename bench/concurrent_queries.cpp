@@ -69,6 +69,33 @@ Workload CycleWorkload(int nodes, int variants) {
   return w;
 }
 
+// `families` disjoint transitive-closure predicates path0..pathN-1: the
+// analyzer places each in its own shard, so cold evaluation of different
+// families proceeds concurrently under the shard-ownership protocol. This
+// is the workload where cold q/s can actually scale with workers (the
+// single-predicate workloads above share one shard and serialize their
+// cold batches by design).
+Workload FamiliesWorkload(int families, int nodes) {
+  Workload w;
+  w.name = "families" + std::to_string(families) + "x" +
+           std::to_string(nodes);
+  std::string program;
+  for (int f = 0; f < families; ++f) {
+    std::string p = "path" + std::to_string(f);
+    std::string e = "edge" + std::to_string(f);
+    program += ":- table " + p + "/2.\n";
+    program += p + "(X,Y) :- " + e + "(X,Y).\n";
+    program += p + "(X,Y) :- " + p + "(X,Z), " + e + "(Z,Y).\n";
+    for (int i = 1; i < nodes; ++i) {
+      program += e + "(" + std::to_string(i) + "," +
+                 std::to_string(i + 1) + ").\n";
+    }
+    w.goals.push_back(p + "(1, X)");
+  }
+  w.program = std::move(program);
+  return w;
+}
+
 size_t Drain(std::vector<std::future<xsb::Result<std::vector<xsb::Answer>>>>*
                  futures) {
   size_t answers = 0;
@@ -101,6 +128,8 @@ struct Measurement {
   double cold_qps = 0;
   double warm_qps = 0;
   size_t answers = 0;  // divergence guard across thread counts
+  uint64_t parallel_batches = 0;  // cold batches evaluated under < full mask
+  uint64_t coarse_fallbacks = 0;  // cold batches restarted coarse
 };
 
 Measurement Measure(const Workload& w, int threads, int queries) {
@@ -112,7 +141,12 @@ Measurement Measure(const Workload& w, int threads, int queries) {
     if (!service.Consult(w.program).ok()) std::abort();
     size_t answers = 0;
     double t = RunBatch(&service, w, queries, &answers);
-    if (run == 0) m.answers = answers;
+    if (run == 0) {
+      m.answers = answers;
+      QueryService::ServiceStats stats = service.Stats();
+      m.parallel_batches = stats.parallel_batches;
+      m.coarse_fallbacks = stats.coarse_fallbacks;
+    }
     if (t < cold_best) cold_best = t;
   }
   m.cold_qps = queries / cold_best;
@@ -164,16 +198,23 @@ int main(int argc, char** argv) {
   const int kQueries = 64;
   std::vector<int> thread_counts = {1, 2, 4, 8};
   std::vector<Workload> workloads = {ChainWorkload(300, 16),
-                                     CycleWorkload(200, 16)};
+                                     CycleWorkload(200, 16),
+                                     FamiliesWorkload(8, 200)};
 
   std::string json = "{\n  \"bench\": \"concurrent_queries\",\n";
   json += "  \"unit\": \"queries_per_second\",\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
+  // hardware_concurrency() may return 0 when the count is unknowable; treat
+  // that as "not measured" too rather than implying parallelism.
+  bool parallel_measured = hardware >= 2;
+  json += std::string("  \"parallelism_not_measured\": ") +
+          (parallel_measured ? "false" : "true") + ",\n";
   json +=
       "  \"note\": \"scaling across worker counts is only meaningful when "
-      "hardware_threads exceeds the worker count; on a single-core machine "
-      "all worker counts time-slice one core and warm throughput stays "
-      "flat\",\n";
+      "hardware_threads exceeds the worker count; when "
+      "parallelism_not_measured is true all worker counts time-slice one "
+      "core, so multi-worker numbers show queue pipelining, not parallel "
+      "speedup — see EXPERIMENTS.md\",\n";
   json += "  \"workloads\": [\n";
 
   for (size_t wi = 0; wi < workloads.size(); ++wi) {
@@ -181,7 +222,7 @@ int main(int argc, char** argv) {
     PrintHeader("concurrent serving: " + w.name + " (" +
                 std::to_string(kQueries) + " queries, " +
                 std::to_string(w.goals.size()) + " variants)");
-    PrintRow("threads", {"cold q/s", "warm q/s", "answers"});
+    PrintRow("threads", {"cold q/s", "warm q/s", "answers", "par batches"});
     json += "    {\"workload\": \"" + w.name + "\", \"queries\": " +
             std::to_string(kQueries) + ", \"points\": [\n";
     size_t answers0 = 0;
@@ -195,10 +236,15 @@ int main(int argc, char** argv) {
       }
       PrintRow(std::to_string(threads),
                {Fmt(m.cold_qps, 1), Fmt(m.warm_qps, 1),
-                std::to_string(m.answers)});
+                std::to_string(m.answers),
+                std::to_string(m.parallel_batches)});
       json += "      {\"threads\": " + std::to_string(threads) +
               ", \"cold_qps\": " + Fmt(m.cold_qps, 2) +
-              ", \"warm_qps\": " + Fmt(m.warm_qps, 2) + "}" +
+              ", \"warm_qps\": " + Fmt(m.warm_qps, 2) +
+              ", \"parallel_batches\": " +
+              std::to_string(m.parallel_batches) +
+              ", \"coarse_fallbacks\": " +
+              std::to_string(m.coarse_fallbacks) + "}" +
               (ti + 1 < thread_counts.size() ? ",\n" : "\n");
     }
     json += "    ]}" + std::string(wi + 1 < workloads.size() ? ",\n" : "\n");

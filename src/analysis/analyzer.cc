@@ -755,4 +755,56 @@ void PublishIncrementalDeps(Program* program, const AnalysisResult& result) {
   program->SetIncrementalDeps(IncrementalDependencies(*program, result));
 }
 
+void PublishEvalShards(Program* program, const AnalysisResult& result) {
+  // A component contributes its shard bit only when it contains a tabled
+  // predicate: untabled SCCs never materialize subgoals, so including them
+  // would make every pair of queries that shares a helper predicate collide
+  // on a shard for no reason.
+  size_t n = result.sccs.size();
+  std::vector<ShardMask> self_bit(n, 0);
+  for (size_t c = 0; c < n; ++c) {
+    for (FunctorId member : result.sccs[c].members) {
+      const Predicate* pred = program->Lookup(member);
+      if (pred != nullptr && pred->tabled()) {
+        self_bit[c] =
+            EvalShardBit(static_cast<int>(c) % kNumEvalShards);
+        break;
+      }
+    }
+  }
+  // Tarjan discovery order is reverse topological: every edge leads from a
+  // later component to an earlier one, so one ascending pass over the
+  // components sees each edge target's mask already finished.
+  std::vector<ShardMask> reach(n, 0);
+  std::vector<std::vector<int>> out_sccs(n);
+  for (const CallEdge& edge : result.edges) {
+    auto from = result.scc_of.find(edge.from);
+    auto to = result.scc_of.find(edge.to);
+    if (from == result.scc_of.end() || to == result.scc_of.end()) continue;
+    if (from->second != to->second) {
+      out_sccs[static_cast<size_t>(from->second)].push_back(to->second);
+    }
+  }
+  for (size_t c = 0; c < n; ++c) {
+    reach[c] = self_bit[c];
+    for (int target : out_sccs[c]) {
+      reach[c] |= reach[static_cast<size_t>(target)];
+    }
+  }
+  // A widened graph (HiLog / call-N forced edges to every in-scope
+  // predicate) already reaches everything tabled, but make the coarse
+  // fallback explicit: unknown masks mean "all shards" downstream.
+  for (const auto& [functor, pred] : program->predicates()) {
+    auto it = result.scc_of.find(functor);
+    if (it == result.scc_of.end()) {
+      pred->set_eval_shards(-1, 0);
+      continue;
+    }
+    int scc = it->second;
+    ShardMask mask = result.widened ? kAllEvalShards
+                                    : reach[static_cast<size_t>(scc)];
+    pred->set_eval_shards(scc % kNumEvalShards, mask);
+  }
+}
+
 }  // namespace xsb::analysis

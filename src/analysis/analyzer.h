@@ -101,6 +101,16 @@ std::unordered_map<FunctorId, std::vector<FunctorId>> IncrementalDependencies(
 // when it creates tables.
 void PublishIncrementalDeps(Program* program, const AnalysisResult& result);
 
+// Assigns each predicate its evaluation shard (call-graph SCC index mod
+// kNumEvalShards) and the mask of shards holding *tabled* SCCs statically
+// reachable from it. The shared-table evaluator acquires a cold batch's
+// whole reach mask up front, so batches over call-graph-independent tabled
+// subgoals own disjoint shard sets and evaluate concurrently. Masks are
+// hints, not load-bearing: clauses asserted after this pass can understate
+// reachability, which the evaluator's per-call ownership check repairs at
+// runtime (shard escalation, or the coarse-lock fallback).
+void PublishEvalShards(Program* program, const AnalysisResult& result);
+
 }  // namespace xsb::analysis
 
 #endif  // XSB_ANALYSIS_ANALYZER_H_

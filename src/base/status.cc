@@ -25,6 +25,8 @@ const char* CodeName(ErrorCode code) {
       return "INVALID";
     case ErrorCode::kIo:
       return "IO";
+    case ErrorCode::kRetryEvaluation:
+      return "RETRY_EVALUATION";
   }
   return "UNKNOWN";
 }

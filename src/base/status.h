@@ -11,15 +11,17 @@ namespace xsb {
 // through Status / Result<T> rather than C++ exceptions.
 enum class ErrorCode {
   kOk = 0,
-  kParse,           // syntax error in source text
-  kType,            // wrong argument type to a builtin
-  kInstantiation,   // argument insufficiently instantiated (e.g. X is Y)
-  kExistence,       // unknown predicate called
-  kPermission,      // e.g. asserting into a static predicate
-  kStratification,  // program not modularly stratified under tnot
-  kResource,        // limits exceeded
-  kInvalid,         // malformed request to an API
-  kIo,              // file errors
+  kParse,            // syntax error in source text
+  kType,             // wrong argument type to a builtin
+  kInstantiation,    // argument insufficiently instantiated (e.g. X is Y)
+  kExistence,        // unknown predicate called
+  kPermission,       // e.g. asserting into a static predicate
+  kStratification,   // program not modularly stratified under tnot
+  kResource,         // limits exceeded
+  kInvalid,          // malformed request to an API
+  kIo,               // file errors
+  kRetryEvaluation,  // internal: a tabled batch must restart under wider
+                     // shard ownership (never surfaces through the API)
 };
 
 // A success-or-error value; cheap to copy on the success path.

@@ -297,6 +297,7 @@ Status Loader::RunAnalysis() {
   }
   analysis::PublishVerdict(program_, result);
   analysis::PublishIncrementalDeps(program_, result);
+  analysis::PublishEvalShards(program_, result);
   if (strict_) {
     for (const analysis::Diagnostic& diagnostic : result.diagnostics) {
       if (diagnostic.severity == analysis::Severity::kError) {

@@ -1,6 +1,7 @@
 #ifndef XSB_DB_PROGRAM_H_
 #define XSB_DB_PROGRAM_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -17,6 +18,24 @@
 #include "term/store.h"
 
 namespace xsb {
+
+// --- Evaluation sharding ------------------------------------------------------
+//
+// The shared table space is partitioned into kNumEvalShards evaluation
+// shards; a tabled subgoal belongs to the shard of its predicate's call-graph
+// SCC (scc index mod kNumEvalShards, assigned by the consult-time analyzer).
+// A cold evaluation batch owns the shards of every *tabled* SCC statically
+// reachable from its root before it starts, so batches over independent
+// subgoals hold disjoint shard sets and run concurrently. A ShardMask is a
+// bitset over the shards; mask 0 means "unknown" and callers treat it as
+// kAllEvalShards (coarse, mutually exclusive with everything).
+inline constexpr int kNumEvalShards = 16;
+using ShardMask = uint32_t;
+inline constexpr ShardMask kAllEvalShards =
+    (ShardMask{1} << kNumEvalShards) - 1;
+inline constexpr ShardMask EvalShardBit(int shard) {
+  return ShardMask{1} << shard;
+}
 
 // How a predicate's clauses are indexed.
 enum class IndexKind {
@@ -62,6 +81,21 @@ class Predicate {
   bool discontiguous_ok() const { return discontiguous_ok_; }
   void set_discontiguous_ok(bool value) { discontiguous_ok_ = value; }
 
+  // Evaluation-shard assignment published by the consult-time analyzer:
+  // `eval_shard` is the shard of this predicate's call-graph SCC (-1 before
+  // any analysis), `eval_reach_mask` the shards of every tabled SCC
+  // statically reachable from it (0 = unknown; callers treat 0 as all
+  // shards). The mask is a *hint*: clauses asserted after the analysis can
+  // make it stale, which the evaluator's ownership check catches at the
+  // tabled call (escalate or fall back to coarse) — soundness never depends
+  // on the mask being current.
+  int eval_shard() const { return eval_shard_; }
+  ShardMask eval_reach_mask() const { return eval_reach_mask_; }
+  void set_eval_shards(int shard, ShardMask reach_mask) {
+    eval_shard_ = shard;
+    eval_reach_mask_ = reach_mask;
+  }
+
   IndexKind index_kind() const { return index_kind_; }
 
   const std::vector<Clause>& clauses() const { return clauses_; }
@@ -106,6 +140,8 @@ class Predicate {
   bool incremental_ = false;
   bool declared_ = false;
   bool discontiguous_ok_ = false;
+  int eval_shard_ = -1;
+  ShardMask eval_reach_mask_ = 0;
   size_t live_count_ = 0;
 
   IndexKind index_kind_ = IndexKind::kFirstArg;

@@ -826,7 +826,8 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
 // table_stats/2: table_stats(Goal, Stats) unifies Stats with
 // [subgoals-N, answers-N, trie_nodes-N, call_trie_nodes-N, interned_terms-N,
 // bytes-N, factored_saved_bytes-N, findall_flatten_reuses-N,
-// shared_table_hits-N, waits_on_inprogress-N, epochs_retired-N] for the
+// shared_table_hits-N, waits_on_inprogress-N, epochs_retired-N,
+// coarse_fallbacks-N] for the
 // variant table of Goal, or aggregated over the whole table space when Goal
 // is the atom `all`. Fails when Goal has no table; errors when no tabling
 // evaluator is installed. The shared-serving counters are relaxed atomics:
@@ -871,6 +872,7 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
       pair("shared_table_hits", info.shared_table_hits),
       pair("waits_on_inprogress", info.waits_on_inprogress),
       pair("epochs_retired", info.epochs_retired),
+      pair("coarse_fallbacks", info.coarse_fallbacks),
   };
   Word list = store->MakeList(items, AtomCell(symbols->nil()));
   return UnifyResult(m, Arg(m, goal, 1), list);
@@ -891,6 +893,7 @@ BuiltinResult BuiltinAnalyze(Machine& m, Word goal, const GoalNode*) {
   analysis::AnalysisResult result = analysis::Analyze(*m.program());
   analysis::PublishVerdict(m.program(), result);
   analysis::PublishIncrementalDeps(m.program(), result);
+  analysis::PublishEvalShards(m.program(), result);
 
   FunctorId dash = symbols->InternFunctor(symbols->InternAtom("-"), 2);
   FunctorId slash = symbols->InternFunctor(symbols->InternAtom("/"), 2);

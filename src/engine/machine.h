@@ -71,6 +71,8 @@ class TabledCallHandler {
     uint64_t shared_table_hits = 0;     // lock-free warm-table serves
     uint64_t waits_on_inprogress = 0;   // callers parked on another batch
     uint64_t epochs_retired = 0;        // retired answer tables reclaimed
+    uint64_t coarse_fallbacks = 0;      // batches restarted under the
+                                        // all-shards coarse lock
   };
   // Statistics for the variant table of `goal`, or aggregated over the
   // whole table space when goal == 0. Default: no statistics available.

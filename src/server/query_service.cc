@@ -222,6 +222,12 @@ QueryService::ServiceStats QueryService::Stats() const {
   stats.waits_on_inprogress =
       ts.waits_on_inprogress.load(std::memory_order_relaxed);
   stats.epochs_retired = ts.epochs_retired.load(std::memory_order_relaxed);
+  stats.parallel_batches =
+      ts.parallel_batches.load(std::memory_order_relaxed);
+  stats.shard_escalations =
+      ts.shard_escalations.load(std::memory_order_relaxed);
+  stats.coarse_fallbacks =
+      ts.coarse_fallbacks.load(std::memory_order_relaxed);
   return stats;
 }
 

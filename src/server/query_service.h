@@ -44,9 +44,14 @@ namespace xsb {
 //   * Warm queries — every tabled call hits a published complete+valid
 //     table — run entirely lock-free: variant probe via the concurrent call
 //     trie, answer enumeration straight off the append-only answer tries.
-//   * The first caller of an unevaluated variant computes it under the
-//     space's evaluation lock; concurrent callers of the *same* variant
-//     park on the completion condvar instead of duplicating the work.
+//   * Cold queries evaluate *in parallel* when independent: the first
+//     caller of an unevaluated variant acquires its predicate's shard
+//     reach mask (analyzer SCC output) and computes it; workers whose cold
+//     roots reach disjoint shard sets evaluate concurrently against the
+//     shared space, and concurrent callers of the *same* variant park on
+//     the completion condvar instead of duplicating the work. Dependencies
+//     that cross the owned mask mid-evaluation widen it non-blockingly or
+//     restart the batch under the full mask (coarse_fallbacks counter).
 //   * Consult/Update are pause-the-world: the service drains in-flight
 //     queries, mutates the program on the control session (which owns the
 //     Program's update-listener slot, so incremental invalidation works),
@@ -104,6 +109,9 @@ class QueryService {
     uint64_t shared_table_hits = 0;   // lock-free warm-table serves
     uint64_t waits_on_inprogress = 0; // callers parked on another batch
     uint64_t epochs_retired = 0;      // retired answer tables reclaimed
+    uint64_t parallel_batches = 0;    // cold batches on a proper shard subset
+    uint64_t shard_escalations = 0;   // successful mid-batch mask widenings
+    uint64_t coarse_fallbacks = 0;    // batches restarted under all shards
   };
   ServiceStats Stats() const;
 

@@ -18,6 +18,16 @@ Status StratificationFailure(Machine* machine, FunctorId functor,
   return StratificationError(fallback);
 }
 
+// Internal unwind signal: a batch hit a call outside its owned shards and
+// the non-blocking widening lost the race. It propagates through the
+// machine's ordinary error path (disposing the batch's partial tables on the
+// way out) and is consumed by the top-level retry loop — it never reaches
+// the API.
+Status RetryEvaluation() {
+  return Status(ErrorCode::kRetryEvaluation,
+                "shard escalation contended; restarting coarse");
+}
+
 }  // namespace
 
 Evaluator::Evaluator(Machine* machine, Options options,
@@ -52,8 +62,28 @@ Evaluator::~Evaluator() {
 }
 
 void Evaluator::AbolishAllTables() {
-  EvalLock lock(tables_);
+  ShardLease lease(tables_, kAllEvalShards);
   tables_->Clear();
+}
+
+ShardMask Evaluator::ReachMask(FunctorId functor) const {
+  const Predicate* pred = machine_->program()->Lookup(functor);
+  if (pred == nullptr || pred->eval_shard() < 0) return kAllEvalShards;
+  // The self bit is OR-ed in explicitly: a predicate tabled *after* the
+  // analysis ran has a shard but no tabled bit in its published mask, and
+  // exclusivity requires every evaluator of `functor` to hold its shard.
+  return pred->eval_reach_mask() | EvalShardBit(pred->eval_shard());
+}
+
+Status Evaluator::EnsureOwnedForCall(FunctorId functor) {
+  ShardMask need = ReachMask(functor) & ~owned_shards_;
+  if (need == 0) return Status::Ok();
+  // Already holding shards: blocking here could deadlock, so the widening
+  // is try-only; contention unwinds the batch into the coarse restart.
+  if (!tables_->TryAcquireShards(need)) return RetryEvaluation();
+  owned_shards_ |= need;
+  ++tables_->stats().shard_escalations;
+  return Status::Ok();
 }
 
 void Evaluator::SeedSubgoalDeps(SubgoalId id, FunctorId functor) {
@@ -77,26 +107,29 @@ void Evaluator::OnIncrementalAccess(FunctorId functor) {
 
 void Evaluator::OnIncrementalUpdate(FunctorId functor) {
   ++stats_.update_events;
-  EvalLock lock(tables_);
   if (!incremental_) {
     // Baseline policy: any update to incremental data invalidates the world.
     // Deferred while a batch is live — Clear() would pull the tables out
     // from under the running evaluation.
     if (batches_.empty()) {
+      ShardLease lease(tables_, kAllEvalShards);
       tables_->Clear();
     } else {
       pending_full_abolish_ = true;
     }
     return;
   }
+  // Invalidation is shard-free: it takes the structure mutex and flips
+  // per-subgoal atomics, so it is safe both mid-batch (assertz from inside
+  // evaluation) and against other sessions' batches.
   tables_->InvalidateForPredicate(functor);
 }
 
 void Evaluator::OnIncrementalDeclaration(FunctorId /*functor*/) {
-  EvalLock lock(tables_);
   if (tables_->num_subgoals() == 0) return;
   if (!incremental_) {
     if (batches_.empty()) {
+      ShardLease lease(tables_, kAllEvalShards);
       tables_->Clear();
     } else {
       pending_full_abolish_ = true;
@@ -177,26 +210,54 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
       }
     }
     // Cold path: evaluate to completion (also when an update left the table
-    // invalid) under the evaluation lock, then enumerate answers.
-    EvalLock lock(tables_);
-    ApplyPendingAbolish();
-    SubgoalId id = tables_->Lookup(*store, goal);
-    if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
-      bool has_answer = false;
-      Status st = EvaluateToCompletion(goal, *functor, /*existential=*/false,
-                                       &has_answer, &id);
-      if (!st.ok()) {
-        machine->SetError(st);
-        return CallOutcome::kError;
+    // invalid) while owning the call's shard reach mask, then enumerate
+    // answers. A contended mid-batch escalation unwinds back here and
+    // restarts under the full mask (coarse fallback).
+    for (bool coarse = false;;) {
+      ShardMask mask = coarse || pending_full_abolish_ ? kAllEvalShards
+                                                       : ReachMask(*functor);
+      tables_->AcquireShards(mask);
+      owned_shards_ = mask;
+      ApplyPendingAbolish();
+      SubgoalId id = tables_->Lookup(*store, goal);
+      Status st = Status::Ok();
+      if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
+        bool has_answer = false;
+        st = EvaluateToCompletion(goal, *functor, /*existential=*/false,
+                                  &has_answer, &id);
       }
+      if (st.ok() && owned_shards_ != kAllEvalShards) {
+        ++tables_->stats().parallel_batches;
+      }
+      // Capture the published table pointer *before* releasing the shards:
+      // once they are gone another session may dispose the subgoal and swap
+      // in a fresh empty table. The captured snapshot stays enumerable —
+      // epoch reclamation keeps a concurrently retired table readable.
+      AnswerTable* table = st.ok() ? tables_->subgoal(id).table() : nullptr;
+      tables_->ReleaseShards(owned_shards_);
+      owned_shards_ = 0;
+      if (st.ok()) {
+        machine->PushAnswerChoices(goal, table, cont);
+        return CallOutcome::kContinue;
+      }
+      if (st.code() == ErrorCode::kRetryEvaluation && !coarse) {
+        coarse = true;
+        ++tables_->stats().coarse_fallbacks;
+        continue;
+      }
+      machine->SetError(st);
+      return CallOutcome::kError;
     }
-    const Subgoal& sg = tables_->subgoal(id);
-    machine->PushAnswerChoices(goal, sg.table(), cont);
-    return CallOutcome::kContinue;
   }
 
-  // In-batch call: the batch already holds the evaluation lock.
+  // In-batch call: widen this batch's shard ownership to cover the callee
+  // before touching its tables (stale reach masks are repaired here).
   Batch& batch = batches_.back();
+  Status own = EnsureOwnedForCall(*functor);
+  if (!own.ok()) {
+    machine->SetError(own);
+    return CallOutcome::kError;
+  }
   auto [id, created] =
       tables_->LookupOrCreate(*store, goal, *functor, batch.id);
   // The consuming table depends on the consumed one: an update invalidating
@@ -404,6 +465,7 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
   } else {
     // Publication: the release stores make every answer inserted above
     // visible to any thread that later acquires the state.
+    TableSpace::Perturb("batch.publish");
     for (SubgoalId id : batch.subgoals) {
       tables_->subgoal(id).state.store(SubgoalState::kComplete,
                                        std::memory_order_release);
@@ -440,11 +502,48 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
     return CallOutcome::kError;
   }
 
-  // Negation both reads and (on the miss path) evaluates; it runs under the
-  // evaluation lock throughout, so an incomplete table seen here can only
-  // belong to this thread's own enclosing batch — a genuine stratification
-  // violation, never another session's in-flight work.
-  EvalLock lock(tables_);
+  if (batches_.empty()) {
+    // Top-level negation: acquire the negated predicate's reach mask like
+    // any cold call (same coarse-fallback loop); owning its shard means an
+    // incomplete variant of it cannot exist here.
+    for (bool coarse = false;;) {
+      ShardMask mask = coarse ? kAllEvalShards : ReachMask(*functor);
+      tables_->AcquireShards(mask);
+      owned_shards_ = mask;
+      SubgoalId id = tables_->Lookup(*store, goal);
+      if (id != kNoSubgoal && !tables_->NeedsReevaluation(id)) {
+        bool empty = tables_->subgoal(id).table()->empty();
+        tables_->ReleaseShards(owned_shards_);
+        owned_shards_ = 0;
+        return empty ? CallOutcome::kContinue : CallOutcome::kFail;
+      }
+      bool has_answer = false;
+      Status status = EvaluateToCompletion(goal, *functor, existential,
+                                           &has_answer, &id);
+      tables_->ReleaseShards(owned_shards_);
+      owned_shards_ = 0;
+      if (status.ok()) {
+        return has_answer ? CallOutcome::kFail : CallOutcome::kContinue;
+      }
+      if (status.code() == ErrorCode::kRetryEvaluation && !coarse) {
+        coarse = true;
+        ++tables_->stats().coarse_fallbacks;
+        continue;
+      }
+      machine->SetError(status);
+      return CallOutcome::kError;
+    }
+  }
+
+  // In-batch negation: once this batch owns the negated predicate's shards,
+  // an incomplete table seen here can only belong to this thread's own
+  // enclosing batch — a genuine stratification violation, never another
+  // session's in-flight work.
+  Status own = EnsureOwnedForCall(*functor);
+  if (!own.ok()) {
+    machine->SetError(own);
+    return CallOutcome::kError;
+  }
   SubgoalId id = tables_->Lookup(*store, goal);
   SubgoalId caller = CurrentSubgoal();
   // An invalid table falls through to re-evaluation below.
@@ -496,23 +595,58 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
     return CallOutcome::kError;
   }
 
-  EvalLock lock(tables_);
-  SubgoalId id = tables_->Lookup(*store, goal);
-  if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
-    Status status = EvaluateToCompletion(goal, *functor,
-                                         /*existential=*/false, nullptr, &id);
-    if (!status.ok()) {
+  SubgoalId id = kNoSubgoal;
+  const AnswerTable* projected = nullptr;
+  if (batches_.empty()) {
+    // Top-level tfindall: complete the goal's table like a cold call (same
+    // shard acquisition and coarse-fallback loop), then project below. The
+    // table pointer is captured before the shards go (see OnTabledCall).
+    for (bool coarse = false;;) {
+      ShardMask mask = coarse ? kAllEvalShards : ReachMask(*functor);
+      tables_->AcquireShards(mask);
+      owned_shards_ = mask;
+      id = tables_->Lookup(*store, goal);
+      Status status = Status::Ok();
+      if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
+        status = EvaluateToCompletion(goal, *functor,
+                                      /*existential=*/false, nullptr, &id);
+      }
+      if (status.ok()) projected = tables_->subgoal(id).table();
+      tables_->ReleaseShards(owned_shards_);
+      owned_shards_ = 0;
+      if (status.ok()) break;
+      if (status.code() == ErrorCode::kRetryEvaluation && !coarse) {
+        coarse = true;
+        ++tables_->stats().coarse_fallbacks;
+        continue;
+      }
       machine->SetError(status);
       return CallOutcome::kError;
     }
-  } else if (tables_->subgoal(id).state_acquire() !=
-             SubgoalState::kComplete) {
-    // The paper's tfindall *suspends* until completion; under local
-    // scheduling a same-SCC tfindall would deadlock, which we report.
-    machine->SetError(StratificationFailure(
-        machine, *functor,
-        "tfindall/3 on a table of the same recursive component"));
-    return CallOutcome::kError;
+  } else {
+    Status own = EnsureOwnedForCall(*functor);
+    if (!own.ok()) {
+      machine->SetError(own);
+      return CallOutcome::kError;
+    }
+    id = tables_->Lookup(*store, goal);
+    if (id == kNoSubgoal || tables_->NeedsReevaluation(id)) {
+      Status status = EvaluateToCompletion(goal, *functor,
+                                           /*existential=*/false, nullptr,
+                                           &id);
+      if (!status.ok()) {
+        machine->SetError(status);
+        return CallOutcome::kError;
+      }
+    } else if (tables_->subgoal(id).state_acquire() !=
+               SubgoalState::kComplete) {
+      // The paper's tfindall *suspends* until completion; under local
+      // scheduling a same-SCC tfindall would deadlock, which we report.
+      machine->SetError(StratificationFailure(
+          machine, *functor,
+          "tfindall/3 on a table of the same recursive component"));
+      return CallOutcome::kError;
+    }
   }
 
   SubgoalId caller = CurrentSubgoal();
@@ -522,7 +656,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   // per-instance flatten goes through a reused scratch, so the stored copy
   // is exact-size and the scratch stops allocating once warm.
   std::vector<FlatTerm> instances;
-  const AnswerTable& table = *tables_->subgoal(id).table();
+  const AnswerTable& table =
+      projected != nullptr ? *projected : *tables_->subgoal(id).table();
   FlatTerm answer;
   FlatTerm instance_scratch;
   for (size_t i = 0; i < table.size(); ++i) {
@@ -551,7 +686,24 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
 
 bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
   TermStore* store = machine->store();
-  EvalLock lock(tables_);
+  std::optional<FunctorId> functor = Program::CallableFunctor(*store, goal);
+  ShardMask need =
+      functor.has_value() ? ReachMask(*functor) : kAllEvalShards;
+  if (batches_.empty()) {
+    ShardLease lease(tables_, need);
+    SubgoalId id = tables_->Lookup(*store, goal);
+    if (id == kNoSubgoal) return false;
+    // Owning the shard, an incomplete table can only be a leftover of this
+    // thread; defensively refuse (matches the documented mid-batch no-op).
+    if (tables_->subgoal(id).state_acquire() == SubgoalState::kIncomplete) {
+      return false;
+    }
+    tables_->Dispose(id);
+    return true;
+  }
+  // Mid-batch abolish is best-effort: widen ownership without blocking and
+  // report failure (no-op) when the shards are contended.
+  if (!EnsureOwnedForCall(functor.value_or(0)).ok()) return false;
   SubgoalId id = tables_->Lookup(*store, goal);
   if (id == kNoSubgoal) return false;
   // A table mid-evaluation belongs to a live batch; pulling it out would
@@ -565,8 +717,10 @@ bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
 
 TabledCallHandler::TableState Evaluator::GetTableState(Machine* machine,
                                                        Word goal) {
+  // Entirely lock-free: Lookup is an advisory probe and the state/invalid
+  // reads are the published atomics — the result is a consistent snapshot
+  // of one instant, which is all table_state/2 ever promised.
   TermStore* store = machine->store();
-  EvalLock lock(tables_);
   SubgoalId id = tables_->Lookup(*store, goal);
   if (id == kNoSubgoal) return TableState::kNoTable;
   const Subgoal& sg = tables_->subgoal(id);
@@ -584,7 +738,20 @@ TabledCallHandler::TableState Evaluator::GetTableState(Machine* machine,
 
 TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
                                                            Word goal) {
-  EvalLock lock(tables_);
+  // The byte walks need a quiescent space (they read non-atomic capacity
+  // fields), so stats take every shard. At top level that blocks until
+  // running batches drain; mid-batch the widening is try-only and on
+  // contention the walk degrades gracefully: counters and the mutex-guarded
+  // aggregate walks stay exact, byte totals report 0.
+  ShardMask added = kAllEvalShards & ~owned_shards_;
+  bool exclusive;
+  if (batches_.empty()) {
+    tables_->AcquireShards(added);
+    exclusive = true;
+  } else {
+    exclusive = tables_->TryAcquireShards(added);
+    if (!exclusive) added = 0;
+  }
   TableStatsInfo info;
   info.interned_terms = tables_->interns().num_terms();
   info.call_trie_nodes = tables_->call_trie_nodes();
@@ -593,24 +760,28 @@ TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
   info.shared_table_hits = tables_->stats().shared_table_hits;
   info.waits_on_inprogress = tables_->stats().waits_on_inprogress;
   info.epochs_retired = tables_->stats().epochs_retired;
+  info.coarse_fallbacks = tables_->stats().coarse_fallbacks;
   if (goal == 0) {
     // Aggregate over the whole table space.
     info.found = true;
     info.subgoals = tables_->num_subgoals();
     info.answers = tables_->total_answers();
     info.trie_nodes = tables_->total_trie_nodes();
-    info.bytes = tables_->table_bytes();
+    info.bytes = exclusive ? tables_->table_bytes() : 0;
+    if (added != 0) tables_->ReleaseShards(added);
     return info;
   }
   TermStore* store = machine->store();
   SubgoalId id = tables_->Lookup(*store, goal);
-  if (id == kNoSubgoal) return info;  // found == false
-  const Subgoal& sg = tables_->subgoal(id);
-  info.found = true;
-  info.subgoals = 1;
-  info.answers = sg.table()->size();
-  info.trie_nodes = sg.table()->trie_nodes();
-  info.bytes = sg.table()->bytes();
+  if (id != kNoSubgoal) {
+    const Subgoal& sg = tables_->subgoal(id);
+    info.found = true;
+    info.subgoals = 1;
+    info.answers = sg.table()->size();
+    info.trie_nodes = sg.table()->trie_nodes();
+    info.bytes = exclusive ? sg.table()->bytes() : 0;
+  }
+  if (added != 0) tables_->ReleaseShards(added);
   return info;
 }
 

@@ -42,13 +42,27 @@ namespace xsb {
 // lazily on its next call, reusing every still-valid subsidiary table.
 //
 // Shared-table mode: an Evaluator may be constructed over an external
-// TableSpace shared with other sessions (QueryService workers). Evaluation
-// then runs under the space's evaluation lock, while the *warm path* — a
-// top-level call whose table is already complete and valid — serves answers
-// entirely lock-free via the publication/revalidation protocol (see
-// Subgoal). A top-level caller that finds another session's batch mid-
-// computation of its variant parks on the completion condvar instead of
-// duplicating the work (first caller computes).
+// TableSpace shared with other sessions (QueryService workers). The *warm
+// path* — a top-level call whose table is already complete and valid —
+// serves answers entirely lock-free via the publication/revalidation
+// protocol (see Subgoal). A top-level caller that finds another session's
+// batch mid-computation of its variant parks on the completion condvar
+// instead of duplicating the work (first caller computes).
+//
+// Cold evaluation is parallel across *independent* subgoals: a top-level
+// cold call acquires its predicate's static shard reach mask (analyzer SCC
+// output, see PublishEvalShards) all-or-nothing, making this session the
+// exclusive evaluator of every tabled predicate in those shards. Sessions
+// whose roots reach disjoint shard sets evaluate concurrently against the
+// shared space. A mid-batch call that falls outside the owned mask (the
+// mask went stale via assertz, or the predicate was never analyzed) tries a
+// non-blocking shard escalation; if the needed shards are contended the
+// batch unwinds via an internal kRetryEvaluation status — disposing its
+// partial tables exactly like an error — and restarts under the full shard
+// mask (the coarse fallback, counted in coarse_fallbacks). Blocking shard
+// acquisition only ever happens while holding no shards, so the scheduler
+// cannot deadlock; condvar waits on in-progress variants likewise occur
+// only outside any batch.
 class Evaluator : public TabledCallHandler, public TableUpdateListener {
  public:
   struct Options {
@@ -129,7 +143,9 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   // Runs `root` (a fresh subgoal for `goal`) to completion in a new batch.
   // With `existential`, stops at the root's first answer and disposes the
   // batch's tables. *has_answer reports whether the root derived an answer.
-  // Caller holds the evaluation lock.
+  // Caller owns shards covering `functor` (owned_shards_); may return the
+  // internal kRetryEvaluation status, after which the batch's tables are
+  // already disposed and the caller restarts under the full mask.
   Status EvaluateToCompletion(Word goal, FunctorId functor, bool existential,
                               bool* has_answer, SubgoalId* root_out);
 
@@ -159,6 +175,18 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   // Applies a deferred full abolish (baseline mode) once no batch is live.
   void ApplyPendingAbolish();
 
+  // --- Shard ownership (see the class comment) -------------------------------
+
+  // The shards to acquire before evaluating `functor` cold: its published
+  // reach mask plus its own shard bit; kAllEvalShards when the analyzer
+  // never assigned it a shard.
+  ShardMask ReachMask(FunctorId functor) const;
+  // Ensures the running batch owns shards covering `functor`, widening
+  // owned_shards_ via a non-blocking TryAcquireShards when it does not.
+  // Returns the internal kRetryEvaluation status if the widening loses the
+  // race; the batch then unwinds and restarts coarse.
+  Status EnsureOwnedForCall(FunctorId functor);
+
   Machine* machine_;
   std::unique_ptr<TableSpace> owned_tables_;  // null in shared mode
   TableSpace* tables_;
@@ -166,6 +194,10 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   bool incremental_;
   bool listener_registered_;
   std::vector<Batch> batches_;
+  // Evaluation shards this session currently holds. Nonzero exactly while a
+  // top-level cold evaluation (and its nested batches) runs; the session is
+  // single-threaded, so no synchronization is needed on the member itself.
+  ShardMask owned_shards_ = 0;
   // Subgoals whose evaluation frames are active, innermost last.
   std::vector<SubgoalId> eval_stack_;
   bool pending_full_abolish_ = false;

@@ -165,10 +165,14 @@ size_t AnswerTable::bytes() const {
   return total;
 }
 
+std::atomic<TableSpace::SchedulePerturbFn> TableSpace::perturb_hook_{nullptr};
+
 std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const TermStore& store,
                                                       Word goal,
                                                       FunctorId functor,
                                                       uint64_t batch_id) {
+  Perturb("table.lookup_or_create");
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   TokenTrie::NodeId leaf = call_trie_.LookupOrInsert(store, goal);
   uint32_t payload = call_trie_.payload(leaf);
   if (payload != TokenTrie::kNoPayload) {
@@ -199,6 +203,7 @@ SubgoalId TableSpace::Lookup(const TermStore& store, Word goal) const {
 
 bool TableSpace::AddAnswer(SubgoalId id, const TermStore& store,
                            Word instance) {
+  Perturb("answer.insert");
   size_t saved = 0;
   bool fresh = subgoals_[id].table()->Insert(store, instance, &saved);
   if (fresh) {
@@ -242,6 +247,7 @@ void TableSpace::Clear() {
     for (size_t i = 0; i < n; ++i) {
       Dispose(static_cast<SubgoalId>(i));
     }
+    std::lock_guard<std::mutex> lock(structure_mutex_);
     pred_readers_.clear();
     return;
   }
@@ -249,6 +255,7 @@ void TableSpace::Clear() {
     Subgoal& sg = subgoals_[i];
     if (sg.table() != nullptr) RetireAnswers(sg);
   }
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   call_trie_.Clear();
   subgoals_.Clear();
   pred_readers_.clear();
@@ -256,6 +263,7 @@ void TableSpace::Clear() {
 
 void TableSpace::AddDependent(SubgoalId callee, SubgoalId caller) {
   if (callee == caller) return;
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   std::vector<SubgoalId>& deps = subgoals_[callee].dependents;
   if (std::find(deps.begin(), deps.end(), caller) == deps.end()) {
     deps.push_back(caller);
@@ -263,10 +271,12 @@ void TableSpace::AddDependent(SubgoalId callee, SubgoalId caller) {
 }
 
 void TableSpace::AddPredReader(FunctorId pred, SubgoalId reader) {
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   pred_readers_[pred].insert(reader);
 }
 
 size_t TableSpace::InvalidateForPredicate(FunctorId pred) {
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   auto it = pred_readers_.find(pred);
   if (it == pred_readers_.end()) return 0;
   size_t count = 0;
@@ -336,25 +346,39 @@ size_t TableSpace::num_retired_answers() const {
   return retired_answers_.size();
 }
 
-void TableSpace::LockEval() {
-  std::thread::id me = std::this_thread::get_id();
-  if (eval_owner_.load(std::memory_order_relaxed) == me) {
-    ++eval_depth_;
-    return;
-  }
-  eval_mutex_.lock();
-  eval_owner_.store(me, std::memory_order_relaxed);
-  eval_depth_ = 1;
+void TableSpace::AcquireShards(ShardMask mask) {
+  Perturb("shards.acquire");
+  std::unique_lock<std::mutex> lock(sched_mutex_);
+  sched_cv_.wait(lock, [&] { return (shards_busy_ & mask) == 0; });
+  shards_busy_ |= mask;
+  lock.unlock();
+  Perturb("shards.acquired");
 }
 
-void TableSpace::UnlockEval() {
-  if (--eval_depth_ == 0) {
-    eval_owner_.store(std::thread::id{}, std::memory_order_relaxed);
-    eval_mutex_.unlock();
+bool TableSpace::TryAcquireShards(ShardMask mask) {
+  Perturb("shards.try");
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  if ((shards_busy_ & mask) != 0) return false;
+  shards_busy_ |= mask;
+  return true;
+}
+
+void TableSpace::ReleaseShards(ShardMask mask) {
+  Perturb("shards.release");
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    shards_busy_ &= ~mask;
   }
+  sched_cv_.notify_all();
+}
+
+ShardMask TableSpace::BusyShards() const {
+  std::lock_guard<std::mutex> lock(sched_mutex_);
+  return shards_busy_;
 }
 
 void TableSpace::WaitUntilComplete(SubgoalId id) {
+  Perturb("completion.park");
   std::unique_lock<std::mutex> lock(completion_mutex_);
   completion_cv_.wait(lock, [&] {
     return subgoals_[id].state_acquire() != SubgoalState::kIncomplete;
@@ -362,6 +386,7 @@ void TableSpace::WaitUntilComplete(SubgoalId id) {
 }
 
 void TableSpace::NotifyCompletion() {
+  Perturb("completion.notify");
   // Taking the mutex (even empty) orders the preceding state stores before
   // the notify with respect to a parker between its predicate check and its
   // wait — the classic lost-wakeup guard.
@@ -370,6 +395,7 @@ void TableSpace::NotifyCompletion() {
 }
 
 size_t TableSpace::total_answers() const {
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   size_t total = 0;
   size_t n = subgoals_.size();
   for (size_t i = 0; i < n; ++i) {
@@ -379,6 +405,7 @@ size_t TableSpace::total_answers() const {
 }
 
 size_t TableSpace::total_trie_nodes() const {
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   size_t total = 0;
   size_t n = subgoals_.size();
   for (size_t i = 0; i < n; ++i) {
@@ -388,6 +415,7 @@ size_t TableSpace::total_trie_nodes() const {
 }
 
 size_t TableSpace::table_bytes() const {
+  std::lock_guard<std::mutex> lock(structure_mutex_);
   size_t total = interns_.bytes() + call_trie_.bytes();
   size_t n = subgoals_.size();
   total += subgoals_.bytes();
@@ -397,7 +425,7 @@ size_t TableSpace::table_bytes() const {
     total += sg.call.cells.capacity() * sizeof(Word);
     total += sg.dependents.capacity() * sizeof(SubgoalId);
   }
-  std::lock_guard<std::mutex> lock(retired_mutex_);
+  std::lock_guard<std::mutex> retired_lock(retired_mutex_);
   for (const Retired& r : retired_answers_) total += r.table->bytes();
   return total;
 }

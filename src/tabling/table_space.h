@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "base/concurrent.h"
+#include "db/program.h"
 #include "db/token_trie.h"
 #include "engine/answer_source.h"
 #include "tabling/call_trie.h"
@@ -42,11 +43,12 @@ enum class SubgoalState : uint8_t {
 // the factored consumer path) or splices the segments back into the template
 // (ReadAnswer, for callers that need the full instance).
 //
-// Concurrency: Insert runs only under the table space's evaluation lock
-// (answers are only added to incomplete tables, and evaluation is
-// serialized). The read-back paths use thread-local scratch and only
-// acquire-loads of the append-only trie, so any number of threads can
-// enumerate a completed (or retired) table lock-free.
+// Concurrency: Insert runs only from the evaluation batch that owns the
+// subgoal's shard (answers are only added to incomplete tables, and shard
+// ownership makes the owning batch the table's single mutator). The
+// read-back paths use thread-local scratch and only acquire-loads of the
+// append-only trie, so any number of threads can enumerate a completed (or
+// retired) table lock-free.
 class AnswerTrie {
  public:
   // `call_template` is the canonical (flattened) call; it is owned by the
@@ -102,7 +104,7 @@ class AnswerTrie {
   // Published answer count: released after the leaf is fully linked, so a
   // reader that observes size() >= k can read answers [0, k) lock-free.
   std::atomic<size_t> num_answers_{0};
-  // Insert scratch (single mutator under the evaluation lock).
+  // Insert scratch (single mutator: the batch owning the subgoal's shard).
   std::vector<Word> bindings_scratch_;
   std::vector<uint64_t> var_scratch_;
   std::vector<Word> walk_scratch_;
@@ -178,14 +180,16 @@ struct Subgoal {
   TokenTrie::NodeId call_leaf = TokenTrie::kNilNode;
   FunctorId functor = 0;
   std::atomic<SubgoalState> state{SubgoalState::kIncomplete};
-  uint64_t batch_id = 0;  // evaluation batch that created it (eval lock)
+  // Evaluation batch that created it. Written under the structure mutex at
+  // creation; read by the owning batch and by same-thread reentrancy checks.
+  uint64_t batch_id = 0;
   std::atomic<AnswerTable*> answers{nullptr};
   // Incremental maintenance: a completed table whose support changed is
   // marked invalid and lazily re-evaluated on its next call.
   std::atomic<bool> invalid{false};
   // Subgoals that consumed this table's answers (reverse call edges captured
   // during SLG evaluation); invalidation propagates along these. Guarded by
-  // the evaluation lock.
+  // the structure mutex.
   std::vector<SubgoalId> dependents;
 
   Subgoal() = default;
@@ -227,6 +231,13 @@ struct TableStats {
   std::atomic<uint64_t> shared_table_hits{0};    // lock-free warm serves
   std::atomic<uint64_t> waits_on_inprogress{0};  // blocked on another batch
   std::atomic<uint64_t> epochs_retired{0};       // retired tables reclaimed
+  // Parallel-evaluation counters (relaxed; see struct comment).
+  std::atomic<uint64_t> parallel_batches{0};     // batches run on a proper
+                                                 // shard subset (not coarse)
+  std::atomic<uint64_t> shard_escalations{0};    // in-batch TryAcquireShards
+                                                 // widenings that succeeded
+  std::atomic<uint64_t> coarse_fallbacks{0};     // batches restarted under
+                                                 // the all-shards coarse lock
 };
 
 // The table space (section 3.2): call trie for variant-based subgoal
@@ -235,10 +246,22 @@ struct TableStats {
 // live heap term — the hit path materializes nothing.
 //
 // Threading model (see DESIGN.md "Threading model" for the full treatment):
-//   * All mutation — subgoal creation, answer insertion, completion,
-//     disposal, invalidation — happens under the *evaluation lock*
-//     (LockEval/UnlockEval, reentrant per thread). One evaluation batch
-//     holds it end to end, so SLG evaluation itself stays single-threaded.
+//   * The space is partitioned into kNumEvalShards *evaluation shards*
+//     (shard = call-graph SCC index mod kNumEvalShards, published by the
+//     analyzer onto Predicate). An evaluation batch acquires its root
+//     call's whole static reach mask up front (AcquireShards, all-or-
+//     nothing) and is then the exclusive evaluator of every subgoal in
+//     those shards: batches over call-graph-independent tabled subgoals
+//     own disjoint masks and run concurrently. A mid-batch call outside
+//     the owned mask (stale mask after assertz) tries a non-blocking
+//     widening (TryAcquireShards); if that fails the batch unwinds and
+//     restarts under kAllEvalShards — the documented coarse fallback, and
+//     the reason shard acquisition never deadlocks: blocking waits happen
+//     only while holding nothing.
+//   * Shared bookkeeping that is not per-shard — the call trie and subgoal
+//     arena (insertion), the dependency graph, invalidation sweeps, global
+//     stat walks — is serialized by the short-hold *structure mutex*;
+//     per-answer work never touches it.
 //   * Completed tables are published by a release store of the subgoal
 //     state; thereafter any thread enumerates them lock-free (Lookup +
 //     revalidation, see Subgoal). Concurrent variant callers of an
@@ -260,7 +283,10 @@ class TableSpace {
 
   // Variant lookup straight from the heap term `goal`. Returns
   // {id, created}; on creation the new subgoal's canonical call (answer
-  // template) is decoded from the walk's token stream. Evaluation lock.
+  // template) is decoded from the walk's token stream. Takes the structure
+  // mutex internally (trie insert + subgoal init + payload publish are one
+  // critical section); the caller's batch must own `functor`'s shard, which
+  // makes it the only possible creator/evaluator of this variant.
   std::pair<SubgoalId, bool> LookupOrCreate(const TermStore& store, Word goal,
                                             FunctorId functor,
                                             uint64_t batch_id);
@@ -274,14 +300,14 @@ class TableSpace {
   const Subgoal& subgoal(SubgoalId id) const { return subgoals_[id]; }
 
   // Inserts the answer instance (a heap instance of `id`'s call) after
-  // factoring out the call's ground skeleton; returns true if new.
-  // Evaluation lock.
+  // factoring out the call's ground skeleton; returns true if new. Caller:
+  // the batch owning `id`'s shard — the table's single mutator.
   bool AddAnswer(SubgoalId id, const TermStore& store, Word instance);
 
   // Removes the subgoal from the call index and drops its answers (tcut /
   // existential negation, abolish_table_call/1). The id remains valid but
   // disposed. The answer table is retired, not destroyed, so open cursors
-  // keep enumerating their frozen snapshot. Evaluation lock.
+  // keep enumerating their frozen snapshot. Caller owns `id`'s shard.
   void Dispose(SubgoalId id);
 
   // Drops every table (abolish_all_tables/0). The intern store survives: it
@@ -289,7 +315,7 @@ class TableSpace {
   // retired (see Dispose) until ReleaseRetiredAnswers(). In shared mode the
   // call trie and subgoal arena are kept (concurrent readers may hold
   // indices into them) and every live subgoal is disposed instead;
-  // non-shared mode truly clears. Evaluation lock.
+  // non-shared mode truly clears. Caller owns all shards.
   void Clear();
 
   // --- Incremental dependency graph ----------------------------------------
@@ -321,7 +347,8 @@ class TableSpace {
   // Reopens an invalid table for re-evaluation in `batch_id`: the old answer
   // table is retired (open cursors keep their frozen snapshot) and a fresh
   // one installed. The variant index entry is reused, so dependency edges
-  // pointing at this subgoal survive re-evaluation. Evaluation lock.
+  // pointing at this subgoal survive re-evaluation. Caller owns `id`'s
+  // shard.
   void ResetForReevaluation(SubgoalId id, uint64_t batch_id);
 
   // Frees retired answer tables whose epoch stamp every serving thread has
@@ -339,14 +366,22 @@ class TableSpace {
 
   bool shared() const { return shared_; }
 
-  // --- Evaluation lock / ownership protocol ---------------------------------
+  // --- Shard ownership protocol ---------------------------------------------
 
-  // Reentrant per-thread evaluation lock: serializes all table-space
-  // mutation and SLG evaluation. Reentrancy lets nested top-level
-  // evaluations (a query started from inside a builtin) keep the old
-  // single-threaded semantics.
-  void LockEval();
-  void UnlockEval();
+  // Blocking all-or-nothing acquisition of every shard in `mask`: parks on
+  // the scheduler condvar until the whole mask is free, then claims it in
+  // one step. Deadlock-freedom rule: a thread calls this only while holding
+  // *no* shards (batch start, or coarse-fallback restart after releasing),
+  // so circular hold-and-wait is impossible by construction.
+  void AcquireShards(ShardMask mask);
+  // Non-blocking widening for a batch that already holds shards and hits a
+  // call outside its mask (stale reach mask after assertz). Claims `mask`
+  // iff every requested-but-unowned shard is free; on failure the caller
+  // must unwind to its batch boundary and restart coarse.
+  bool TryAcquireShards(ShardMask mask);
+  void ReleaseShards(ShardMask mask);
+  // Shards currently held by some batch (diagnostic/test snapshot).
+  ShardMask BusyShards() const;
 
   // Globally unique evaluation-batch ids across all sessions of this space.
   uint64_t NextBatchId() {
@@ -363,12 +398,29 @@ class TableSpace {
 
   EpochManager& epochs() { return epochs_; }
 
-  // Aggregates over all live tables (the table_stats/2 builtin).
+  // --- Schedule-perturbation test hook ---------------------------------------
+
+  // Invoked (when set) at every lock acquisition / wait / publication point,
+  // named by a stable string. The parallel stress tests install a seeded
+  // randomized yield/sleep here to widen the explored interleaving space;
+  // production leaves it null (one relaxed load on each hot-path call).
+  using SchedulePerturbFn = void (*)(const char* point);
+  static void SetSchedulePerturb(SchedulePerturbFn fn) {
+    perturb_hook_.store(fn, std::memory_order_release);
+  }
+  static void Perturb(const char* point) {
+    SchedulePerturbFn fn = perturb_hook_.load(std::memory_order_acquire);
+    if (fn != nullptr) fn(point);
+  }
+
+  // Aggregates over all live tables (the table_stats/2 builtin). Each walk
+  // takes the structure mutex so it never races subgoal initialization.
   size_t total_answers() const;
   size_t total_trie_nodes() const;  // answer-trie nodes
   size_t call_trie_nodes() const { return call_trie_.node_count(); }
   // Resident table-space bytes: answer tables (live and retired), the call
-  // trie, subgoal metadata, and the intern store.
+  // trie, subgoal metadata, and the intern store. Caller must hold every
+  // shard (the intern/retired byte walks are not concurrency-safe).
   size_t table_bytes() const;
 
   TableStats& stats() { return stats_; }
@@ -384,7 +436,7 @@ class TableSpace {
   InternTable interns_;
   CallTrie call_trie_;
   ConcurrentArena<Subgoal, 7> subgoals_;
-  // Incremental predicate -> tables that read its clauses. Evaluation lock.
+  // Incremental predicate -> tables that read its clauses. Structure mutex.
   std::unordered_map<FunctorId, std::unordered_set<SubgoalId>> pred_readers_;
 
   // Answer tables detached by Dispose/Clear/ResetForReevaluation but kept
@@ -398,31 +450,45 @@ class TableSpace {
   std::vector<Retired> retired_answers_;
   EpochManager epochs_;
 
-  // Reentrant evaluation lock state.
-  std::mutex eval_mutex_;
-  std::atomic<std::thread::id> eval_owner_{};
-  int eval_depth_ = 0;  // touched only by the owner
+  // Shard scheduler: which evaluation shards are held by some batch.
+  // Guarded by sched_mutex_; AcquireShards parks on sched_cv_.
+  mutable std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;
+  ShardMask shards_busy_ = 0;
+
+  // Serializes cross-shard structural bookkeeping: call-trie insertion and
+  // subgoal initialization, the dependency graph (dependents/pred_readers_),
+  // invalidation sweeps, and whole-space stat walks. Never held while
+  // blocking; below sched_mutex_ in the lock hierarchy (the two are never
+  // held together).
+  mutable std::mutex structure_mutex_;
 
   // Completion parking for waits-on-in-progress.
   std::mutex completion_mutex_;
   std::condition_variable completion_cv_;
 
+  static std::atomic<SchedulePerturbFn> perturb_hook_;
+
   std::atomic<uint64_t> next_batch_id_{1};
   TableStats stats_;
 };
 
-// RAII evaluation-lock guard.
-class EvalLock {
+// RAII shard lease: acquires `mask` blocking in the constructor, releases in
+// the destructor. For whole-space operations and tests; the evaluator's
+// batch loop manages its masks manually (it widens and restarts).
+class ShardLease {
  public:
-  explicit EvalLock(TableSpace* tables) : tables_(tables) {
-    tables_->LockEval();
+  ShardLease(TableSpace* tables, ShardMask mask)
+      : tables_(tables), mask_(mask) {
+    tables_->AcquireShards(mask_);
   }
-  ~EvalLock() { tables_->UnlockEval(); }
-  EvalLock(const EvalLock&) = delete;
-  EvalLock& operator=(const EvalLock&) = delete;
+  ~ShardLease() { tables_->ReleaseShards(mask_); }
+  ShardLease(const ShardLease&) = delete;
+  ShardLease& operator=(const ShardLease&) = delete;
 
  private:
   TableSpace* tables_;
+  ShardMask mask_;
 };
 
 }  // namespace xsb

@@ -317,6 +317,9 @@ TEST(QueryServiceTest, StatsBuiltinExposesServiceCounters) {
       << rendered;
   EXPECT_NE(rendered.find("waits_on_inprogress"), std::string::npos);
   EXPECT_NE(rendered.find("epochs_retired"), std::string::npos);
+  // Warm path only: the coarse-fallback counter must be present and zero.
+  EXPECT_NE(rendered.find("coarse_fallbacks - 0"), std::string::npos)
+      << rendered;
 }
 
 // --- Multi-thread vs single-thread differential ----------------------------

@@ -1,14 +1,19 @@
 // Differential update fuzzing for incremental table maintenance: seeded
 // random programs subjected to random assert/retract/query interleavings.
-// After every mutation the same query is answered four ways —
+// After every mutation the same query is answered five ways —
 //   1. the persistent engine maintaining tables incrementally,
 //   2. a persistent engine in baseline mode (updates abolish all tables),
 //   3. a fresh engine consulted from scratch with the current facts,
-//   4. bottom-up semi-naive evaluation of the current facts —
-// and all four must agree. A divergence in (1) alone pins an invalidation
+//   4. bottom-up semi-naive evaluation of the current facts,
+//   5. a persistent parallel QueryService (4 workers) mirroring every
+//      update, with the step's queries submitted concurrently so cold
+//      re-evaluation after invalidation races across the worker pool —
+// and all five must agree. A divergence in (1) alone pins an invalidation
 // bug (a table that should have been marked stale survived, or a
 // re-evaluation picked up stale subsidiary answers); the fresh-engine and
-// bottom-up oracles share no update machinery at all.
+// bottom-up oracles share no update machinery at all; (5) additionally
+// exercises the shard-ownership protocol on the invalidate-then-requery
+// path.
 //
 // Failures print an `ops:` repro line with the exact interleaving so a seed
 // can be replayed by hand.
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "bottomup/seminaive.h"
+#include "server/query_service.h"
 #include "xsb/engine.h"
 
 namespace xsb {
@@ -137,6 +143,18 @@ AnswerSet BottomUpAnswers(const Scenario& s, const std::set<Fact>& facts) {
   return result;
 }
 
+AnswerSet CollectService(QueryService& service, const std::string& query) {
+  AnswerSet result;
+  Result<std::vector<Answer>> answers = service.Query(query);
+  EXPECT_TRUE(answers.ok())
+      << (answers.ok() ? "" : answers.status().ToString());
+  if (!answers.ok()) return result;
+  for (const Answer& a : answers.value()) {
+    result.insert({a["X"], a["Y"]});
+  }
+  return result;
+}
+
 Scenario PickScenario(uint32_t seed) {
   switch (seed % 4) {
     case 0:
@@ -178,6 +196,10 @@ TEST_P(IncrementalUpdateFuzz, AgreesWithFromScratchAtEveryStep) {
                   .ConsultString(s.directives + s.rules +
                                  FactText(s.base, facts))
                   .ok());
+  QueryService service({.num_workers = 4});
+  ASSERT_TRUE(service
+                  .Consult(s.directives + s.rules + FactText(s.base, facts))
+                  .ok());
 
   std::string ops = "consult";  // repro line, grows one entry per step
   const int steps = 10 + static_cast<int>(rng() % 6);
@@ -195,6 +217,7 @@ TEST_P(IncrementalUpdateFuzz, AgreesWithFromScratchAtEveryStep) {
         ops += " | " + goal;
         ASSERT_TRUE(incremental.Holds(goal).ok());
         ASSERT_TRUE(baseline.Holds(goal).ok());
+        ASSERT_TRUE(service.Update(goal).ok());
       } else {
         ops += " | noop";
       }
@@ -213,6 +236,10 @@ TEST_P(IncrementalUpdateFuzz, AgreesWithFromScratchAtEveryStep) {
       ASSERT_TRUE(inc.ok() && base.ok());
       EXPECT_EQ(inc.value(), base.value()) << "ops: " << ops;
       EXPECT_EQ(inc.value(), facts.count(f) == 1) << "ops: " << ops;
+      // Update() reports a failed goal as a status error, which is exactly
+      // the retract-of-absent-fact case.
+      EXPECT_EQ(service.Update(goal).ok(), facts.count(f) == 1)
+          << "ops: " << ops;
       facts.erase(f);
     } else {
       // Query a ground-ish variant to multiply the live tables.
@@ -221,18 +248,30 @@ TEST_P(IncrementalUpdateFuzz, AgreesWithFromScratchAtEveryStep) {
       ops += " | ?" + variant;
       ASSERT_TRUE(incremental.Holds(variant).ok());
       ASSERT_TRUE(baseline.Holds(variant).ok());
+      ASSERT_TRUE(service.Query(variant).ok());
     }
 
+    // Two variant probes race the full query across the service's worker
+    // pool, so the post-update cold re-evaluation happens under contention.
+    auto probe1 = service.Submit(
+        s.query_pred + "(" + std::to_string(1 + rng() % num_nodes) + ", Y)");
+    auto probe2 = service.Submit(
+        s.query_pred + "(" + std::to_string(1 + rng() % num_nodes) + ", Y)");
     AnswerSet inc = Collect(incremental, s.query);
     AnswerSet base = Collect(baseline, s.query);
     AnswerSet fresh = FreshAnswers(s, facts);
     AnswerSet bottom_up = BottomUpAnswers(s, facts);
+    AnswerSet parallel = CollectService(service, s.query);
+    EXPECT_TRUE(probe1.get().ok());
+    EXPECT_TRUE(probe2.get().ok());
     EXPECT_EQ(inc, fresh) << "seed " << seed << " step " << step
                           << "\nops: " << ops;
     EXPECT_EQ(base, fresh) << "seed " << seed << " step " << step
                            << "\nops: " << ops;
     EXPECT_EQ(bottom_up, fresh) << "seed " << seed << " step " << step
                                 << "\nops: " << ops;
+    EXPECT_EQ(parallel, fresh) << "seed " << seed << " step " << step
+                               << "\nops: " << ops;
     if (HasFailure()) break;  // one repro line is enough
   }
 }
