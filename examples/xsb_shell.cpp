@@ -60,6 +60,14 @@ int main(int argc, char** argv) {
                   << (result.widened ? ", call graph widened by meta-calls"
                                      : "")
                   << "\n";
+        if (!result.modes.preds.empty()) {
+          std::cout << "modes inferred for " << result.modes.preds.size()
+                    << " predicate"
+                    << (result.modes.preds.size() == 1 ? "" : "s")
+                    << " in " << result.modes.iterations
+                    << " fixpoint iterations (M001 below; "
+                       "predicate_mode/2 queries one)\n";
+        }
         for (const xsb::analysis::Diagnostic& diag : result.diagnostics) {
           std::cout << FormatDiagnostic(engine.symbols(), diag) << "\n";
         }

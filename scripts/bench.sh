@@ -38,6 +38,7 @@ run() {  # run <name> [args...] — log stdout, keep going on failure
 run subst_factoring bench-out/BENCH_subst_factoring.json
 run incremental_updates bench-out/BENCH_incremental.json
 run concurrent_queries bench-out/BENCH_concurrent.json
+run wam_modes bench-out/BENCH_modes.json
 
 if [[ "$quick" == 0 ]]; then
   run fig5_path

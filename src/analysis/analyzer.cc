@@ -58,6 +58,7 @@ class Analyzer {
   // --- Pass 1-5 -------------------------------------------------------------
   void ComputeSccs();
   void StratificationPass();
+  void ModePass();
   void AdvisorPass();
   void LintPass();
 
@@ -523,6 +524,64 @@ void Analyzer::StratificationPass() {
   }
 }
 
+void Analyzer::ModePass() {
+  result_.modes = AnalyzeModes(program_, result_, options_.mode_entries);
+
+  std::vector<FunctorId> preds;
+  preds.reserve(result_.modes.preds.size());
+  for (const auto& [f, pm] : result_.modes.preds) {
+    (void)pm;
+    preds.push_back(f);
+  }
+  std::sort(preds.begin(), preds.end());
+
+  for (FunctorId f : preds) {
+    const PredModes& pm = result_.modes.preds[f];
+    // M001: report inferred modes only when they carry information beyond
+    // all-`any` (every predicate trivially has the top pattern).
+    bool informative = false;
+    for (Inst i : pm.site_join) informative = informative || i != Inst::kAny;
+    for (Inst i : pm.success_join) {
+      informative = informative || i != Inst::kAny;
+    }
+    if (informative) {
+      std::string message = "inferred modes: call " +
+                            (pm.site_join.empty()
+                                 ? std::string("(unknown)")
+                                 : FormatInstVec(pm.site_join)) +
+                            ", success " +
+                            (pm.success_join.empty()
+                                 ? std::string("(never succeeds)")
+                                 : FormatInstVec(pm.success_join));
+      Diag(DiagCode::kInferredModes, Severity::kInfo, f, std::move(message),
+           SourceSpan{});
+    }
+    // M002: an argument position no analyzed call site ever binds. Feeds
+    // the index advisor: indexing on such an argument can never be used.
+    for (size_t i = 0; i < pm.site_join.size(); ++i) {
+      if (pm.site_join[i] == Inst::kFree) {
+        Diag(DiagCode::kNeverBound, Severity::kInfo, f,
+             "argument " + std::to_string(i + 1) +
+                 " is passed a free variable at every analyzed call site; "
+                 "an index on it would never be consulted",
+             SourceSpan{});
+      }
+    }
+  }
+
+  // M003: a call feeds a definitely-free variable into a position the
+  // callee's every clause demands bound before its arithmetic.
+  for (const ModeViolation& v : result_.modes.violations) {
+    Diag(DiagCode::kModeViolation, Severity::kWarning, v.caller,
+         "call to " + PredName(v.callee) + " passes a free variable as "
+             "argument " + std::to_string(v.argnum) +
+             ", which every clause of " + PredName(v.callee) +
+             " feeds into arithmetic: the call will raise an "
+             "instantiation error",
+         v.span);
+  }
+}
+
 void Analyzer::AdvisorPass() {
   // Auto-table advisor: any predicate on a call-graph cycle can loop under
   // plain SLD; tabling every member of a recursive component breaks every
@@ -574,6 +633,7 @@ void Analyzer::AdvisorPass() {
     }
     if (profile.calls == 0 || profile.bound_count.empty()) continue;
     if (profile.bound_count[0] > 0) continue;  // first-arg index is usable
+    bool suggested = false;
     for (size_t i = 1; i < profile.bound_count.size(); ++i) {
       if (profile.bound_count[i] == profile.calls) {
         int argnum = static_cast<int>(i) + 1;
@@ -582,6 +642,29 @@ void Analyzer::AdvisorPass() {
              "all " + std::to_string(profile.calls) +
                  " call sites bind argument " + std::to_string(argnum) +
                  " but never argument 1; consider :- index(" + PredName(f) +
+                 ", " + std::to_string(argnum) + ").",
+             SourceSpan{});
+        suggested = true;
+        break;
+      }
+    }
+    if (suggested) continue;
+    // Mode-informed fallback: the abstract interpreter propagates bindings
+    // through call patterns (a head variable bound by the *caller* counts),
+    // so it can prove an argument always-bound where the syntactic profile
+    // above cannot.
+    auto mit = result_.modes.preds.find(f);
+    if (mit == result_.modes.preds.end()) continue;
+    const InstVec& sj = mit->second.site_join;
+    if (sj.empty() || sj[0] != Inst::kFree) continue;
+    for (size_t i = 1; i < sj.size(); ++i) {
+      if (sj[i] == Inst::kGround || sj[i] == Inst::kNonvar) {
+        int argnum = static_cast<int>(i) + 1;
+        result_.index_suggestions.emplace_back(f, argnum);
+        Diag(DiagCode::kIndexAdvice, Severity::kInfo, f,
+             "mode analysis proves every call binds argument " +
+                 std::to_string(argnum) +
+                 " and never argument 1; consider :- index(" + PredName(f) +
                  ", " + std::to_string(argnum) + ").",
              SourceSpan{});
         break;
@@ -669,6 +752,7 @@ AnalysisResult Analyzer::Run() {
 
   ComputeSccs();
   StratificationPass();
+  if (options_.mode_pass) ModePass();
   if (options_.advisor_pass) AdvisorPass();
   if (options_.lint_pass) LintPass();
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "analysis/modes.h"
 #include "db/program.h"
 
 namespace xsb::analysis {
@@ -59,6 +60,10 @@ struct AnalysisResult {
   // Index advisor output: predicate -> 1-based argument to index on.
   std::vector<std::pair<FunctorId, int>> index_suggestions;
 
+  // Mode/groundness analysis output (per-predicate call-pattern tabulation);
+  // empty when the mode pass is disabled.
+  ModeResult modes;
+
   bool stratified() const { return verdict == StratVerdict::kStratified; }
 };
 
@@ -66,6 +71,12 @@ struct AnalyzeOptions {
   bool safety_pass = true;
   bool advisor_pass = true;
   bool lint_pass = true;
+  // Run the abstract-interpretation mode pass (analysis/modes.h) and fold
+  // its M001-M003 findings into the diagnostics.
+  bool mode_pass = true;
+  // Known entry-point call shapes to seed the mode fixpoint with, beyond
+  // what in-program call sites reveal.
+  std::vector<ModeEntry> mode_entries;
 };
 
 // Runs the pass pipeline over every predicate of `program`: call-graph

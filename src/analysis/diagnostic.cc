@@ -22,6 +22,12 @@ const char* DiagCodeName(DiagCode code) {
       return "L002";
     case DiagCode::kUnknownPredicate:
       return "L003";
+    case DiagCode::kInferredModes:
+      return "M001";
+    case DiagCode::kNeverBound:
+      return "M002";
+    case DiagCode::kModeViolation:
+      return "M003";
   }
   return "?";
 }

@@ -38,6 +38,10 @@ enum class DiagCode {
   kSingletonVar,     // L001: named variable occurs once in its clause
   kDiscontiguous,    // L002: clauses of a predicate are not contiguous
   kUnknownPredicate, // L003: call to a predicate with no clauses
+  // Mode analysis (M...)
+  kInferredModes,    // M001: inferred call/success modes of a predicate
+  kNeverBound,       // M002: an argument no call site ever binds
+  kModeViolation,    // M003: a free variable fed into a demanded-ground arg
 };
 
 // "S001", "A002", ...

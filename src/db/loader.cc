@@ -298,6 +298,7 @@ Status Loader::RunAnalysis() {
   analysis::PublishVerdict(program_, result);
   analysis::PublishIncrementalDeps(program_, result);
   analysis::PublishEvalShards(program_, result);
+  analysis::PublishModes(program_, result);
   if (strict_) {
     for (const analysis::Diagnostic& diagnostic : result.diagnostics) {
       if (diagnostic.severity == analysis::Severity::kError) {

@@ -223,6 +223,7 @@ Status Program::AddClauseTerm(const TermStore& store, Word clause_term,
   }
   Predicate* pred = LookupOrCreate(*functor);
   pred->AddClause(*symbols_, std::move(clause), front);
+  BumpClauseEpoch();
   if (pred->incremental()) NotifyIncrementalUpdate(*functor);
   return Status::Ok();
 }

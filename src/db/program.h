@@ -37,6 +37,43 @@ inline constexpr ShardMask EvalShardBit(int shard) {
   return ShardMask{1} << shard;
 }
 
+// --- Published instantiation modes --------------------------------------------
+//
+// The mode/groundness analysis (analysis/modes.h) publishes its per-predicate
+// results here as raw bytes so this header stays free of the analysis types;
+// analysis::Inst maps onto these values one-to-one.
+inline constexpr uint8_t kModeGround = 0;  // no variables anywhere
+inline constexpr uint8_t kModeNonvar = 1;  // outer symbol known
+inline constexpr uint8_t kModeFree = 2;    // definitely an unbound variable
+inline constexpr uint8_t kModeAny = 3;     // no information
+
+// Inferred call/success patterns of one predicate, as published by
+// analysis::PublishModes. Consumers: the WAM compiler (specialization
+// target + runtime guard), predicate_mode/2, the evaluator's per-pattern
+// shard reach masks, and the sanitizer-build soundness oracle.
+struct PublishedModes {
+  struct Pattern {
+    std::vector<uint8_t> call;
+    // Empty when the analysis proved the pattern can never succeed.
+    std::vector<uint8_t> success;
+    // Shards of the tabled SCCs reachable from this call pattern; a hint
+    // exactly like Predicate::eval_reach_mask (0 = unknown).
+    ShardMask reach_mask = 0;
+  };
+  std::vector<Pattern> patterns;     // [0] is the all-`any` top pattern
+  std::vector<uint8_t> site_join;    // join over call-site patterns ([] = no
+                                     // analyzed call site)
+  std::vector<uint8_t> spec_meet;    // most precise site pattern worth
+                                     // specializing for ([] = none)
+  std::vector<uint8_t> success_join; // [] = never succeeds
+  // Program::clause_epoch() at publication. Runtime asserts bump the epoch,
+  // after which success modes may understate the program (a new clause can
+  // produce differently-bound answers): epoch-mismatched modes must not be
+  // *trusted* (the oracle skips its asserts), though they remain usable as
+  // hints (shard masks, guarded WAM code).
+  uint64_t epoch = 0;
+};
+
 // How a predicate's clauses are indexed.
 enum class IndexKind {
   kNone,         // linear scan
@@ -96,6 +133,32 @@ class Predicate {
     eval_reach_mask_ = reach_mask;
   }
 
+  // Inferred call/success modes published by the mode analysis; nullptr
+  // before any analysis (and after clear_modes()). Same publication
+  // discipline as set_eval_shards: written only under pause-the-world or a
+  // single-threaded session.
+  const PublishedModes* modes() const { return modes_.get(); }
+  void set_modes(std::unique_ptr<const PublishedModes> modes) {
+    modes_ = std::move(modes);
+  }
+  void clear_modes() { modes_.reset(); }
+
+  // First-argument dispatch masks for tabled predicates whose live clauses
+  // all key on an atom/int first argument: constant -> shards reachable
+  // through that clause group (plus nothing else). A bound cold call whose
+  // first argument hits a key acquires only that group's shards; a miss
+  // means no clause matches, so only the predicate's own shard is needed.
+  // nullptr = not applicable. Hints like eval_reach_mask: stale entries are
+  // repaired by the evaluator's runtime ownership check.
+  const std::unordered_map<Word, ShardMask>* key_masks() const {
+    return key_masks_.get();
+  }
+  void set_key_masks(
+      std::unique_ptr<const std::unordered_map<Word, ShardMask>> masks) {
+    key_masks_ = std::move(masks);
+  }
+  void clear_key_masks() { key_masks_.reset(); }
+
   IndexKind index_kind() const { return index_kind_; }
 
   const std::vector<Clause>& clauses() const { return clauses_; }
@@ -142,6 +205,8 @@ class Predicate {
   bool discontiguous_ok_ = false;
   int eval_shard_ = -1;
   ShardMask eval_reach_mask_ = 0;
+  std::unique_ptr<const PublishedModes> modes_;
+  std::unique_ptr<const std::unordered_map<Word, ShardMask>> key_masks_;
   size_t live_count_ = 0;
 
   IndexKind index_kind_ = IndexKind::kFirstArg;
@@ -262,6 +327,14 @@ class Program {
   // clauses from different ConsultString calls never appear interleaved.
   int NextConsultId() { return ++consult_counter_; }
 
+  // Monotone count of clause *additions* (consult and runtime asserts).
+  // Published modes carry the epoch they were computed at; a mismatch tells
+  // trust-requiring consumers (the soundness oracle) that success modes may
+  // understate the current program. Clause erasure does not bump it: a
+  // shrunken program only ever satisfies the published upper bounds more.
+  uint64_t clause_epoch() const { return clause_epoch_; }
+  void BumpClauseEpoch() { ++clause_epoch_; }
+
   // --- Incremental update maintenance ---------------------------------------
 
   // Registers the table-maintenance listener (the tabling evaluator).
@@ -301,6 +374,7 @@ class Program {
   std::vector<analysis::Diagnostic> analysis_diagnostics_;
   std::unordered_map<FunctorId, std::string> unstratified_;
   int consult_counter_ = 0;
+  uint64_t clause_epoch_ = 0;
   TableUpdateListener* update_listener_ = nullptr;
   std::unordered_map<FunctorId, std::vector<FunctorId>> incremental_deps_;
 };

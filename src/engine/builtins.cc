@@ -564,6 +564,24 @@ void SplitClausePattern(Machine& m, Word pattern, Word* head, Word* body,
   }
 }
 
+// A successful erasure shrinks the program: shard reach masks and
+// incremental dependency seeds published for the old clause set are now
+// stale (still sound — a shrunken program only satisfies the published
+// upper bounds more — but loose, so every cold call over-acquires shards).
+// Recompute the structural analyses and republish. The mode pass is
+// skipped: published call/success modes are likewise upper bounds that
+// erasure can only tighten, and the fixpoint is the expensive part.
+void RepublishAfterErasure(Machine& m) {
+  analysis::AnalyzeOptions options;
+  options.safety_pass = false;
+  options.advisor_pass = false;
+  options.lint_pass = false;
+  options.mode_pass = false;
+  analysis::AnalysisResult result = analysis::Analyze(*m.program(), options);
+  analysis::PublishIncrementalDeps(m.program(), result);
+  analysis::PublishEvalShards(m.program(), result);
+}
+
 BuiltinResult BuiltinRetract(Machine& m, Word goal, const GoalNode*) {
   TermStore* store = m.store();
   SymbolTable* symbols = store->symbols();
@@ -595,6 +613,7 @@ BuiltinResult BuiltinRetract(Machine& m, Word goal, const GoalNode*) {
     if (store->Unify(head, chead) && store->Unify(body, cbody)) {
       pred->EraseClause(id);
       if (pred->incremental()) m.program()->NotifyIncrementalUpdate(*functor);
+      RepublishAfterErasure(m);
       return BuiltinResult::kTrue;  // bindings stay, as in ISO retract
     }
     store->UndoTrail(trail);
@@ -632,6 +651,7 @@ BuiltinResult BuiltinRetractAll(Machine& m, Word goal, const GoalNode*) {
   if (erased_any && pred->incremental()) {
     m.program()->NotifyIncrementalUpdate(*functor);
   }
+  if (erased_any) RepublishAfterErasure(m);
   return BuiltinResult::kTrue;
 }
 
@@ -661,6 +681,7 @@ BuiltinResult BuiltinAbolish(Machine& m, Word goal, const GoalNode*) {
     if (erased_any && pred->incremental()) {
       m.program()->NotifyIncrementalUpdate(f);
     }
+    if (erased_any) RepublishAfterErasure(m);
   }
   return BuiltinResult::kTrue;
 }
@@ -827,7 +848,7 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
 // [subgoals-N, answers-N, trie_nodes-N, call_trie_nodes-N, interned_terms-N,
 // bytes-N, factored_saved_bytes-N, findall_flatten_reuses-N,
 // shared_table_hits-N, waits_on_inprogress-N, epochs_retired-N,
-// coarse_fallbacks-N] for the
+// coarse_fallbacks-N, mode_violations-N] for the
 // variant table of Goal, or aggregated over the whole table space when Goal
 // is the atom `all`. Fails when Goal has no table; errors when no tabling
 // evaluator is installed. The shared-serving counters are relaxed atomics:
@@ -873,6 +894,7 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
       pair("waits_on_inprogress", info.waits_on_inprogress),
       pair("epochs_retired", info.epochs_retired),
       pair("coarse_fallbacks", info.coarse_fallbacks),
+      pair("mode_violations", info.mode_violations),
   };
   Word list = store->MakeList(items, AtomCell(symbols->nil()));
   return UnifyResult(m, Arg(m, goal, 1), list);
@@ -894,6 +916,7 @@ BuiltinResult BuiltinAnalyze(Machine& m, Word goal, const GoalNode*) {
   analysis::PublishVerdict(m.program(), result);
   analysis::PublishIncrementalDeps(m.program(), result);
   analysis::PublishEvalShards(m.program(), result);
+  analysis::PublishModes(m.program(), result);
 
   FunctorId dash = symbols->InternFunctor(symbols->InternAtom("-"), 2);
   FunctorId slash = symbols->InternFunctor(symbols->InternAtom("/"), 2);
@@ -946,6 +969,69 @@ BuiltinResult BuiltinAnalyze(Machine& m, Word goal, const GoalNode*) {
   Word report = store->MakeList(items, nil);
   m.program()->SetAnalysisDiagnostics(std::move(result.diagnostics));
   return UnifyResult(m, Arg(m, goal, 0), report);
+}
+
+// predicate_mode/2: predicate_mode(Name/Arity, Modes) unifies Modes with
+// the call/success modes the mode analysis published for the predicate:
+//   [call-[ground|nonvar|free|any, ...], success-[...]]
+// `call-unknown` when the analysis saw no call site of the predicate;
+// `success-never` when it proved the predicate cannot succeed. Fails when
+// the predicate is unknown or no analysis has published modes for it.
+BuiltinResult BuiltinPredicateMode(Machine& m, Word goal, const GoalNode*) {
+  TermStore* store = m.store();
+  SymbolTable* symbols = store->symbols();
+  Word spec = store->Deref(Arg(m, goal, 0));
+  FunctorId slash = symbols->InternFunctor(symbols->InternAtom("/"), 2);
+  if (!IsStruct(spec) || store->StructFunctor(spec) != slash) {
+    m.SetError(TypeError("predicate_mode/2: expected Name/Arity"));
+    return BuiltinResult::kError;
+  }
+  Word name = store->Deref(store->Arg(spec, 0));
+  Word arity = store->Deref(store->Arg(spec, 1));
+  if (!IsAtom(name) || !IsInt(arity)) {
+    m.SetError(TypeError("predicate_mode/2: expected Name/Arity"));
+    return BuiltinResult::kError;
+  }
+  FunctorId f = symbols->InternFunctor(AtomOf(name),
+                                       static_cast<int>(IntValue(arity)));
+  const Predicate* pred = m.program()->Lookup(f);
+  if (pred == nullptr || pred->modes() == nullptr) {
+    return BuiltinResult::kFail;
+  }
+  const PublishedModes& modes = *pred->modes();
+  Word nil = AtomCell(symbols->nil());
+  auto atom = [&](const char* text) {
+    return AtomCell(symbols->InternAtom(text));
+  };
+  auto mode_atom = [&](uint8_t mode) {
+    switch (mode) {
+      case kModeGround:
+        return atom("ground");
+      case kModeNonvar:
+        return atom("nonvar");
+      case kModeFree:
+        return atom("free");
+      default:
+        return atom("any");
+    }
+  };
+  auto mode_list = [&](const std::vector<uint8_t>& vec) {
+    std::vector<Word> items;
+    for (uint8_t mode : vec) items.push_back(mode_atom(mode));
+    return store->MakeList(items, nil);
+  };
+  FunctorId dash = symbols->InternFunctor(symbols->InternAtom("-"), 2);
+  auto pair = [&](const char* key, Word value) {
+    return store->MakeStruct(dash, {atom(key), value});
+  };
+  std::vector<Word> items = {
+      pair("call", modes.site_join.empty() ? atom("unknown")
+                                           : mode_list(modes.site_join)),
+      pair("success", modes.success_join.empty()
+                          ? atom("never")
+                          : mode_list(modes.success_join)),
+  };
+  return UnifyResult(m, Arg(m, goal, 1), store->MakeList(items, nil));
 }
 
 // --- Incremental table maintenance ----------------------------------------------
@@ -1125,6 +1211,7 @@ BuiltinRegistry::BuiltinRegistry(SymbolTable* symbols) {
   Register(symbols, "table_stats", 2, BuiltinTableStats);
   Register(symbols, "table_state", 2, BuiltinTableState);
   Register(symbols, "analyze", 1, BuiltinAnalyze);
+  Register(symbols, "predicate_mode", 2, BuiltinPredicateMode);
   Register(symbols, "incremental", 1, BuiltinIncremental);
   Register(symbols, "abolish_table_call", 1, BuiltinAbolishTableCall);
   Register(symbols, "between", 3, BuiltinBetween);

@@ -73,6 +73,8 @@ class TabledCallHandler {
     uint64_t epochs_retired = 0;        // retired answer tables reclaimed
     uint64_t coarse_fallbacks = 0;      // batches restarted under the
                                         // all-shards coarse lock
+    uint64_t mode_violations = 0;       // runtime tabled calls less bound
+                                        // than the inferred call modes
   };
   // Statistics for the variant table of `goal`, or aggregated over the
   // whole table space when goal == 0. Default: no statistics available.

@@ -1,5 +1,8 @@
 #include "tabling/evaluator.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "parser/writer.h"
 
 namespace xsb {
@@ -75,6 +78,74 @@ ShardMask Evaluator::ReachMask(FunctorId functor) const {
   return pred->eval_reach_mask() | EvalShardBit(pred->eval_shard());
 }
 
+ShardMask Evaluator::ReachMask(FunctorId functor, Word goal) const {
+  const Predicate* pred = machine_->program()->Lookup(functor);
+  if (pred == nullptr || pred->eval_shard() < 0) return kAllEvalShards;
+  ShardMask self = EvalShardBit(pred->eval_shard());
+  TermStore* store = machine_->store();
+  int arity = IsStruct(goal) ? store->StructArity(goal) : 0;
+
+  // First-argument key masks: when every live clause keys on a constant
+  // first argument, a bound first argument selects one clause group and
+  // needs only that group's reach; a key-table miss means no clause can
+  // match, so only the predicate's own shard is touched.
+  const std::unordered_map<Word, ShardMask>* keys = pred->key_masks();
+  if (keys != nullptr && arity >= 1) {
+    Word a0 = store->Deref(store->Arg(goal, 0));
+    if (IsAtom(a0) || IsInt(a0)) {
+      auto it = keys->find(a0);
+      return it == keys->end() ? self : (it->second | self);
+    }
+  }
+
+  const PublishedModes* modes = pred->modes();
+  if (modes == nullptr) return pred->eval_reach_mask() | self;
+
+  // Runtime mode-violation counter: the site join is the join over every
+  // call site the analysis saw, so a top-level call less bound than it is
+  // a pattern the static analysis never predicted.
+  if (static_cast<int>(modes->site_join.size()) == arity) {
+    for (int i = 0; i < arity; ++i) {
+      uint8_t m = modes->site_join[i];
+      if (m == kModeAny) continue;
+      Word v = store->Deref(store->Arg(goal, i));
+      bool consistent = m == kModeFree     ? IsRef(v)
+                        : m == kModeNonvar ? !IsRef(v)
+                                           : store->IsGround(v);
+      if (!consistent) {
+        ++tables_->stats().mode_violations;
+        break;
+      }
+    }
+  }
+
+  // Per-pattern reach masks: a pattern whose call modes the actual goal
+  // satisfies abstracts this concrete call, so its mask upper-bounds the
+  // call's reach; intersecting over all such patterns keeps the tightest.
+  ShardMask best = 0;
+  bool found = false;
+  for (const PublishedModes::Pattern& pat : modes->patterns) {
+    if (pat.reach_mask == 0 ||
+        static_cast<int>(pat.call.size()) != arity) {
+      continue;
+    }
+    bool satisfied = true;
+    for (int i = 0; i < arity && satisfied; ++i) {
+      uint8_t m = pat.call[i];
+      if (m == kModeAny) continue;
+      Word v = store->Deref(store->Arg(goal, i));
+      satisfied = m == kModeFree     ? IsRef(v)
+                  : m == kModeNonvar ? !IsRef(v)
+                                     : store->IsGround(v);
+    }
+    if (!satisfied) continue;
+    best = found ? (best & pat.reach_mask) : pat.reach_mask;
+    found = true;
+  }
+  if (found) return best | self;
+  return pred->eval_reach_mask() | self;
+}
+
 Status Evaluator::EnsureOwnedForCall(FunctorId functor) {
   ShardMask need = ReachMask(functor) & ~owned_shards_;
   if (need == 0) return Status::Ok();
@@ -86,7 +157,58 @@ Status Evaluator::EnsureOwnedForCall(FunctorId functor) {
   return Status::Ok();
 }
 
+#ifdef XSB_MODE_ORACLE
+void Evaluator::RecordModeExpectation(SubgoalId id, FunctorId functor) {
+  ModeExpectation exp;
+  const Predicate* pred = machine_->program()->Lookup(functor);
+  if (pred != nullptr && pred->modes() != nullptr) {
+    exp.has_modes = true;
+    exp.epoch = pred->modes()->epoch;
+    exp.success = pred->modes()->success_join;
+  }
+  mode_expectations_[id] = std::move(exp);
+}
+
+void Evaluator::CheckAnswerModes(SubgoalId id, Word call_instance) {
+  auto it = mode_expectations_.find(id);
+  if (it == mode_expectations_.end() || !it->second.has_modes) return;
+  const ModeExpectation& exp = it->second;
+  // Runtime asserts since the analysis may have added clauses with more
+  // general answers: the published success modes are no longer a bound on
+  // the current program, so the oracle stands down for this table.
+  if (exp.epoch != machine_->program()->clause_epoch()) return;
+  TermStore* store = machine_->store();
+  Word d = store->Deref(call_instance);
+  int arity = IsStruct(d) ? store->StructArity(d) : 0;
+  auto die = [&](const char* what, int argnum) {
+    std::fprintf(stderr,
+                 "mode oracle: answer for subgoal %lld violates proven "
+                 "success mode (%s, argument %d)\n",
+                 static_cast<long long>(id), what, argnum);
+    std::abort();
+  };
+  if (exp.success.empty()) {
+    // success_join is empty exactly when the analysis proved every call
+    // pattern of this predicate fails — an answer refutes the analysis.
+    die("predicate proven to never succeed", 0);
+  }
+  if (static_cast<int>(exp.success.size()) != arity) return;
+  for (int i = 0; i < arity; ++i) {
+    Word v = store->Deref(store->Arg(d, i));
+    if (exp.success[i] == kModeGround && !store->IsGround(v)) {
+      die("proven ground", i + 1);
+    }
+    if (exp.success[i] == kModeNonvar && IsRef(v)) {
+      die("proven nonvar", i + 1);
+    }
+  }
+}
+#endif  // XSB_MODE_ORACLE
+
 void Evaluator::SeedSubgoalDeps(SubgoalId id, FunctorId functor) {
+#ifdef XSB_MODE_ORACLE
+  RecordModeExpectation(id, functor);
+#endif
   const std::vector<FunctorId>* seeds =
       machine_->program()->IncrementalDepsOf(functor);
   if (seeds != nullptr) {
@@ -214,8 +336,9 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
     // answers. A contended mid-batch escalation unwinds back here and
     // restarts under the full mask (coarse fallback).
     for (bool coarse = false;;) {
-      ShardMask mask = coarse || pending_full_abolish_ ? kAllEvalShards
-                                                       : ReachMask(*functor);
+      ShardMask mask = coarse || pending_full_abolish_
+                           ? kAllEvalShards
+                           : ReachMask(*functor, goal);
       tables_->AcquireShards(mask);
       owned_shards_ = mask;
       ApplyPendingAbolish();
@@ -274,6 +397,9 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
       // Invalid table called mid-batch: reopen it as a generator of this
       // batch; the caller suspends as an ordinary consumer below.
       tables_->ResetForReevaluation(id, batch.id);
+#ifdef XSB_MODE_ORACLE
+      RecordModeExpectation(id, *functor);
+#endif
       batch.subgoals.push_back(id);
       batch.generator_queue.push_back(id);
     } else if (sg.batch_id != batch.id) {
@@ -303,6 +429,9 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
                                                          Word call_instance) {
   TermStore* store = machine->store();
   SubgoalId id = static_cast<SubgoalId>(subgoal_index);
+#ifdef XSB_MODE_ORACLE
+  CheckAnswerModes(id, call_instance);
+#endif
   bool fresh = tables_->AddAnswer(id, *store, call_instance);
   if (fresh && !batches_.empty()) {
     Batch& batch = batches_.back();
@@ -449,6 +578,9 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
     SeedSubgoalDeps(root, functor);
   } else if (tables_->NeedsReevaluation(root)) {
     tables_->ResetForReevaluation(root, batches_[batch_index].id);
+#ifdef XSB_MODE_ORACLE
+    RecordModeExpectation(root, functor);
+#endif
   }
   batches_[batch_index].subgoals.push_back(root);
   batches_[batch_index].generator_queue.push_back(root);
@@ -507,7 +639,8 @@ TabledCallHandler::CallOutcome Evaluator::OnNegation(Machine* machine,
     // any cold call (same coarse-fallback loop); owning its shard means an
     // incomplete variant of it cannot exist here.
     for (bool coarse = false;;) {
-      ShardMask mask = coarse ? kAllEvalShards : ReachMask(*functor);
+      ShardMask mask =
+          coarse ? kAllEvalShards : ReachMask(*functor, goal);
       tables_->AcquireShards(mask);
       owned_shards_ = mask;
       SubgoalId id = tables_->Lookup(*store, goal);
@@ -602,7 +735,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
     // shard acquisition and coarse-fallback loop), then project below. The
     // table pointer is captured before the shards go (see OnTabledCall).
     for (bool coarse = false;;) {
-      ShardMask mask = coarse ? kAllEvalShards : ReachMask(*functor);
+      ShardMask mask =
+          coarse ? kAllEvalShards : ReachMask(*functor, goal);
       tables_->AcquireShards(mask);
       owned_shards_ = mask;
       id = tables_->Lookup(*store, goal);
@@ -688,7 +822,7 @@ bool Evaluator::AbolishTableCall(Machine* machine, Word goal) {
   TermStore* store = machine->store();
   std::optional<FunctorId> functor = Program::CallableFunctor(*store, goal);
   ShardMask need =
-      functor.has_value() ? ReachMask(*functor) : kAllEvalShards;
+      functor.has_value() ? ReachMask(*functor, goal) : kAllEvalShards;
   if (batches_.empty()) {
     ShardLease lease(tables_, need);
     SubgoalId id = tables_->Lookup(*store, goal);
@@ -761,6 +895,7 @@ TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
   info.waits_on_inprogress = tables_->stats().waits_on_inprogress;
   info.epochs_retired = tables_->stats().epochs_retired;
   info.coarse_fallbacks = tables_->stats().coarse_fallbacks;
+  info.mode_violations = tables_->stats().mode_violations;
   if (goal == 0) {
     // Aggregate over the whole table space.
     info.found = true;

@@ -2,6 +2,7 @@
 #define XSB_TABLING_EVALUATOR_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/machine.h"
@@ -172,6 +173,22 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   // Registers a fresh subgoal with the analyzer's static dependency seeds.
   void SeedSubgoalDeps(SubgoalId id, FunctorId functor);
 
+#ifdef XSB_MODE_ORACLE
+  // Sanitizer-build soundness oracle: every subgoal records the success
+  // modes the analysis published for its predicate (plus the clause epoch
+  // they were computed at); every answer is then asserted against them.
+  // An epoch mismatch (runtime assertz after the analysis) downgrades the
+  // modes to untrusted hints and skips the assert.
+  struct ModeExpectation {
+    uint64_t epoch = 0;
+    std::vector<uint8_t> success;  // kMode* bytes; empty = proven to fail
+    bool has_modes = false;
+  };
+  void RecordModeExpectation(SubgoalId id, FunctorId functor);
+  void CheckAnswerModes(SubgoalId id, Word call_instance);
+  std::unordered_map<SubgoalId, ModeExpectation> mode_expectations_;
+#endif
+
   // Applies a deferred full abolish (baseline mode) once no batch is live.
   void ApplyPendingAbolish();
 
@@ -181,6 +198,15 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   // reach mask plus its own shard bit; kAllEvalShards when the analyzer
   // never assigned it a shard.
   ShardMask ReachMask(FunctorId functor) const;
+  // Goal-aware refinement used by top-level cold calls: consults the mode
+  // analysis's per-call-pattern reach masks (and, for a bound first
+  // argument, the predicate's first-arg key masks) to acquire fewer shards
+  // than the functor-level mask. Every returned mask includes the
+  // predicate's own shard bit; all refinements are hints — staleness is
+  // repaired by the in-batch escalation / coarse fallback. Also counts a
+  // runtime mode violation when the actual goal is less bound than the
+  // analysis's site join says every call site is.
+  ShardMask ReachMask(FunctorId functor, Word goal) const;
   // Ensures the running batch owns shards covering `functor`, widening
   // owned_shards_ via a non-blocking TryAcquireShards when it does not.
   // Returns the internal kRetryEvaluation status if the widening loses the

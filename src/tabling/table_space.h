@@ -238,6 +238,9 @@ struct TableStats {
                                                  // widenings that succeeded
   std::atomic<uint64_t> coarse_fallbacks{0};     // batches restarted under
                                                  // the all-shards coarse lock
+  // Top-level tabled calls less bound than the mode analysis's site join
+  // (a runtime call pattern the static analysis never predicted).
+  std::atomic<uint64_t> mode_violations{0};
 };
 
 // The table space (section 3.2): call trie for variant-based subgoal

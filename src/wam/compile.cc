@@ -23,10 +23,12 @@ const std::unordered_map<std::string, BuiltinOp>& BuiltinNames() {
 
 class Compiler {
  public:
-  Compiler(TermStore* store, const Program& program)
+  Compiler(TermStore* store, const Program& program,
+           const CompileOptions& options)
       : store_(store),
         symbols_(store->symbols()),
-        program_(program) {}
+        program_(program),
+        options_(options) {}
 
   Result<CompiledModule> Compile(std::vector<FunctorId> predicates) {
     if (predicates.empty()) {
@@ -102,6 +104,99 @@ class Compiler {
 
     module_.entries[functor] = Here();
 
+    // Mode specialization: when the published modes prove arguments bound
+    // at every analyzed call site and that buys at least one cheaper head
+    // instruction (or a switch without the var test), emit a specialized
+    // body behind a kCheckMode guard, with a generic copy as its verified
+    // fallback. The guard makes the analysis a hint: a call violating the
+    // inferred pattern takes the generic path, never wrong code.
+    std::vector<uint8_t> spec;
+    if (options_.specialize) spec = SpecFor(pred, arity, live, switchable);
+    if (!spec.empty()) {
+      size_t check_pc = Here();
+      Emit(Op::kCheckMode, static_cast<uint32_t>(module_.mode_specs.size()),
+           static_cast<uint32_t>(arity));
+      module_.mode_specs.push_back(spec);
+      cur_spec_ = spec;
+      Status s = EmitPredicateBody(pred, live, first_keys, switchable, arity);
+      cur_spec_.clear();
+      if (!s.ok()) return s;
+      module_.code[check_pc].c = static_cast<uint32_t>(Here());
+    }
+    return EmitPredicateBody(pred, live, first_keys, switchable, arity);
+  }
+
+  // True when `mode` proves the argument has a known outer symbol.
+  static bool ModeBound(uint8_t mode) {
+    return mode == kModeGround || mode == kModeNonvar;
+  }
+
+  // The specialization target for `pred`, or {} when the modes are absent
+  // or buy nothing (guard overhead with no cheaper instruction is a loss).
+  std::vector<uint8_t> SpecFor(const Predicate* pred, int arity,
+                               const std::vector<ClauseId>& live,
+                               bool switchable) const {
+    const PublishedModes* modes = pred->modes();
+    if (modes == nullptr ||
+        modes->spec_meet.size() != static_cast<size_t>(arity)) {
+      return {};
+    }
+    std::vector<uint8_t> spec = modes->spec_meet;
+    // Groundness is only exploited by read-mode code *inside* structured
+    // head arguments (kUnifyConstantRd, read-only nested structures): a
+    // head argument whose structure holds nothing but variables compiles
+    // to the same instructions under nonvar, and the nonvar guard is one
+    // deref where the ground guard walks the whole term on every call.
+    // Weaken each proven-ground argument the emitted code won't exploit.
+    std::vector<bool> interior(static_cast<size_t>(arity), false);
+    for (ClauseId id : live) {
+      const Clause& clause = pred->clause(id);
+      const std::vector<Word>& cells = clause.term.cells;
+      if (!IsFunctor(cells[clause.head_pos])) continue;
+      size_t arg = clause.head_pos + 1;
+      for (int i = 0; i < arity; ++i) {
+        size_t end = SkipFlatSubterm(*symbols_, cells, arg);
+        if (IsFunctor(cells[arg])) {
+          for (size_t p = arg + 1; p < end; ++p) {
+            if (!IsLocal(cells[p])) {
+              interior[static_cast<size_t>(i)] = true;
+              break;
+            }
+          }
+        }
+        arg = end;
+      }
+    }
+    for (int i = 0; i < arity; ++i) {
+      if (spec[static_cast<size_t>(i)] == kModeGround &&
+          !interior[static_cast<size_t>(i)]) {
+        spec[static_cast<size_t>(i)] = kModeNonvar;
+      }
+    }
+    bool benefit = switchable && ModeBound(spec[0]);
+    for (ClauseId id : live) {
+      if (benefit) break;
+      const Clause& clause = pred->clause(id);
+      const std::vector<Word>& cells = clause.term.cells;
+      if (!IsFunctor(cells[clause.head_pos])) break;
+      size_t arg = clause.head_pos + 1;
+      for (int i = 0; i < arity; ++i) {
+        if (ModeBound(spec[static_cast<size_t>(i)]) && !IsLocal(cells[arg])) {
+          benefit = true;
+          break;
+        }
+        arg = SkipFlatSubterm(*symbols_, cells, arg);
+      }
+    }
+    return benefit ? spec : std::vector<uint8_t>{};
+  }
+
+  // One full body of a predicate: dispatch plus clause code. Emitted twice
+  // for specialized predicates (once with cur_spec_ set, once generic).
+  Status EmitPredicateBody(const Predicate* pred,
+                           const std::vector<ClauseId>& live,
+                           const std::vector<Word>& first_keys,
+                           bool switchable, int arity) {
     if (live.size() == 1) {
       return CompileClause(pred->clause(live[0]));
     }
@@ -127,15 +222,26 @@ class Compiler {
       return Status::Ok();
     }
 
-    // switch_on_term + switch_on_constant + shared clause blocks.
-    size_t switch_pc = Here();
-    Emit(Op::kSwitchOnTerm, 0, 0, kFailTarget);  // var/const patched below
+    // switch_on_term + switch_on_constant + shared clause blocks. With a
+    // spec proving the first argument bound, the var test (and the full
+    // chain behind it) is dead: dispatch straight through the constant
+    // table, and the clause blocks skip their first-argument get — the
+    // switch already verified it.
+    bool first_arg_known =
+        !cur_spec_.empty() && ModeBound(cur_spec_[0]);
+    size_t switch_pc = 0;
+    if (!first_arg_known) {
+      switch_pc = Here();
+      Emit(Op::kSwitchOnTerm, 0, 0, kFailTarget);  // var/const patched below
+    }
     size_t const_pc = Here();
     uint32_t table_index = static_cast<uint32_t>(
         module_.switch_tables.size());
     module_.switch_tables.emplace_back();
     Emit(Op::kSwitchOnConstant, table_index);
-    module_.code[switch_pc].b = static_cast<uint32_t>(const_pc);
+    if (!first_arg_known) {
+      module_.code[switch_pc].b = static_cast<uint32_t>(const_pc);
+    }
 
     // Clause blocks (each ends in proceed); record their pcs.
     // They are emitted after the chains, so use fixup lists.
@@ -174,21 +280,26 @@ class Compiler {
       }
     }
 
-    // Full chain (unbound first argument).
-    size_t full_chain_pc = Here();
-    module_.code[switch_pc].a = static_cast<uint32_t>(full_chain_pc);
-    for (size_t i = 0; i < live.size(); ++i) {
-      Op op = i == 0 ? Op::kTry
-                     : (i + 1 < live.size() ? Op::kRetry : Op::kTrust);
-      refs.push_back({Here(), i});
-      Emit(op, 0, static_cast<uint32_t>(arity));
+    // Full chain (unbound first argument); dead when the spec proves the
+    // first argument bound.
+    if (!first_arg_known) {
+      size_t full_chain_pc = Here();
+      module_.code[switch_pc].a = static_cast<uint32_t>(full_chain_pc);
+      for (size_t i = 0; i < live.size(); ++i) {
+        Op op = i == 0 ? Op::kTry
+                       : (i + 1 < live.size() ? Op::kRetry : Op::kTrust);
+        refs.push_back({Here(), i});
+        Emit(op, 0, static_cast<uint32_t>(arity));
+      }
     }
 
     // Clause blocks.
     std::vector<size_t> clause_pc(live.size());
     for (size_t i = 0; i < live.size(); ++i) {
       clause_pc[i] = Here();
+      skip_first_get_ = first_arg_known;
       Status s = CompileClause(pred->clause(live[i]));
+      skip_first_get_ = false;
       if (!s.ok()) return s;
     }
     for (const ChainRef& ref : refs) {
@@ -309,41 +420,55 @@ class Compiler {
   }
   bool FirstOccurrence(Word var) { return seen_.insert(PayloadOf(var)).second; }
 
+  // BFS queue entry for nested head structures: `rd` marks a structure
+  // rooted under a proven-ground argument, whose subterm cells can never be
+  // unbound (read-only matching, no write-mode code).
+  struct HeadStruct {
+    uint32_t reg;
+    Word term;
+    bool rd;
+  };
+
   Status CompileHead(ClauseCtx* ctx, Word head) {
     head = store_->Deref(head);
     if (IsAtom(head)) return Status::Ok();
     int arity = store_->StructArity(head);
-    // BFS queue of (temp reg, nested struct) pairs.
-    std::deque<std::pair<uint32_t, Word>> queue;
+    std::deque<HeadStruct> queue;
     for (int i = 0; i < arity; ++i) {
       Word arg = store_->Deref(store_->Arg(head, i));
       uint32_t ai = static_cast<uint32_t>(i + 1);
+      uint8_t mode = static_cast<size_t>(i) < cur_spec_.size()
+                         ? cur_spec_[static_cast<size_t>(i)]
+                         : kModeAny;
       if (IsRef(arg)) {
         uint32_t reg = VarReg(ctx, arg);
         Emit(FirstOccurrence(arg) ? Op::kGetVariable : Op::kGetValue, reg,
              ai);
       } else if (IsAtom(arg) || IsInt(arg)) {
-        Emit(Op::kGetConstant,
+        if (i == 0 && skip_first_get_) continue;  // the switch verified it
+        Emit(ModeBound(mode) ? Op::kGetConstantNv : Op::kGetConstant,
              static_cast<uint32_t>(module_.AddConstant(arg)), ai);
       } else {
-        Emit(Op::kGetStructure,
+        Emit(ModeBound(mode) ? Op::kGetStructureRd : Op::kGetStructure,
              static_cast<uint32_t>(store_->StructFunctor(arg)), ai);
-        EmitUnifyArgs(ctx, arg, &queue);
+        EmitUnifyArgs(ctx, arg, &queue, mode == kModeGround);
       }
     }
     while (!queue.empty()) {
-      auto [reg, term] = queue.front();
+      HeadStruct item = queue.front();
       queue.pop_front();
-      Emit(Op::kGetStructure,
-           static_cast<uint32_t>(store_->StructFunctor(term)), reg);
-      EmitUnifyArgs(ctx, term, &queue);
+      Emit(item.rd ? Op::kGetStructureRd : Op::kGetStructure,
+           static_cast<uint32_t>(store_->StructFunctor(item.term)), item.reg);
+      EmitUnifyArgs(ctx, item.term, &queue, item.rd);
     }
     return Status::Ok();
   }
 
   // unify_* sequence for the args of `term`, queueing nested structures.
-  void EmitUnifyArgs(ClauseCtx* ctx, Word term,
-                     std::deque<std::pair<uint32_t, Word>>* queue) {
+  // `rd`: the enclosing structure is proven ground, so argument cells are
+  // never unbound and nested structures stay read-only.
+  void EmitUnifyArgs(ClauseCtx* ctx, Word term, std::deque<HeadStruct>* queue,
+                     bool rd) {
     int n = store_->StructArity(term);
     for (int i = 0; i < n; ++i) {
       Word arg = store_->Deref(store_->Arg(term, i));
@@ -352,12 +477,12 @@ class Compiler {
         Emit(FirstOccurrence(arg) ? Op::kUnifyVariable : Op::kUnifyValue,
              reg);
       } else if (IsAtom(arg) || IsInt(arg)) {
-        Emit(Op::kUnifyConstant,
+        Emit(rd ? Op::kUnifyConstantRd : Op::kUnifyConstant,
              static_cast<uint32_t>(module_.AddConstant(arg)));
       } else {
         uint32_t temp = XReg(ctx->temp_next++);
         Emit(Op::kUnifyVariable, temp);
-        queue->push_back({temp, arg});
+        queue->push_back({temp, arg, rd});
       }
     }
   }
@@ -443,18 +568,30 @@ class Compiler {
   TermStore* store_;
   SymbolTable* symbols_;
   const Program& program_;
+  CompileOptions options_;
   CompiledModule module_;
   std::vector<std::pair<size_t, FunctorId>> call_fixups_;
   std::unordered_set<FunctorId> compiled_set_;
   std::unordered_set<uint64_t> seen_;
+  // Active mode spec while emitting a specialized predicate body (empty =
+  // generic), and whether clause blocks may omit their first-argument get
+  // (constant-switch dispatch already verified it).
+  std::vector<uint8_t> cur_spec_;
+  bool skip_first_get_ = false;
 };
 
 }  // namespace
 
 Result<CompiledModule> CompileModule(TermStore* store, const Program& program,
-                                     const std::vector<FunctorId>& predicates) {
-  Compiler compiler(store, program);
+                                     const std::vector<FunctorId>& predicates,
+                                     const CompileOptions& options) {
+  Compiler compiler(store, program, options);
   return compiler.Compile(predicates);
+}
+
+Result<CompiledModule> CompileModule(TermStore* store, const Program& program,
+                                     const std::vector<FunctorId>& predicates) {
+  return CompileModule(store, program, predicates, CompileOptions{});
 }
 
 }  // namespace xsb::wam

@@ -10,6 +10,14 @@
 
 namespace xsb::wam {
 
+struct CompileOptions {
+  // Emit mode-specialized entry code for predicates whose published modes
+  // (Predicate::modes()->spec_meet) prove arguments bound: the entry checks
+  // the actual arguments against the spec (kCheckMode) and falls back to a
+  // generic copy on mismatch, so the analysis is verified, never trusted.
+  bool specialize = true;
+};
+
 // Compiles `predicates` ({} = every predicate with clauses) of `program`
 // into WAM code with first-argument switch_on_constant indexing where all
 // clause heads key on a constant.
@@ -19,6 +27,9 @@ namespace xsb::wam {
 // builtins of BuiltinOp. Control constructs, negation, and tabled
 // predicates stay on the interpreted engine (exactly the paper's split:
 // WAM-speed for compiled code, SLG machinery above it).
+Result<CompiledModule> CompileModule(TermStore* store, const Program& program,
+                                     const std::vector<FunctorId>& predicates,
+                                     const CompileOptions& options);
 Result<CompiledModule> CompileModule(TermStore* store, const Program& program,
                                      const std::vector<FunctorId>& predicates);
 

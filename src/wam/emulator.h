@@ -17,6 +17,10 @@ using WamSolutionFn = std::function<WamAction()>;
 struct WamStats {
   uint64_t instructions = 0;
   uint64_t choice_points = 0;
+  // Mode-specialized entries taken / kCheckMode guards that failed and fell
+  // back to the generic copy (a call violating its inferred mode pattern).
+  uint64_t mode_checks = 0;
+  uint64_t mode_fallbacks = 0;
 };
 
 // The WAM bytecode emulator: registers, environment stack and choice-point
@@ -66,6 +70,7 @@ class Emulator {
   std::vector<Frame> frames_;
   size_t cur_frame_ = 0;  // index+1; 0 = none
   std::vector<Choice> cps_;
+  std::vector<Word> ground_work_;  // kCheckMode ground-walk scratch
   WamStats stats_;
 };
 

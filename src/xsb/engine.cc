@@ -147,6 +147,10 @@ analysis::AnalysisResult Engine::Analyze(
   analysis::AnalysisResult result = analysis::Analyze(*program_, options);
   analysis::PublishVerdict(program_.get(), result);
   analysis::PublishIncrementalDeps(program_.get(), result);
+  analysis::PublishEvalShards(program_.get(), result);
+  // Publishing an empty mode set would clear previously published modes,
+  // so skip it when the caller disabled the pass.
+  if (options.mode_pass) analysis::PublishModes(program_.get(), result);
   return result;
 }
 

@@ -1,0 +1,221 @@
+// Differential tests for WAM mode specialization (src/wam/compile.cc +
+// the kCheckMode/kGetConstantNv/kGetStructureRd/kUnifyConstantRd ops):
+// a module compiled with specialization ON must produce byte-identical
+// answers, in identical order, to the same module compiled with it OFF —
+// including on calls that violate the inferred modes and take the guarded
+// fallback into the generic copy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/loader.h"
+#include "parser/reader.h"
+#include "parser/writer.h"
+#include "wam/compile.h"
+#include "wam/emulator.h"
+
+namespace xsb::wam {
+namespace {
+
+class WamModesTest : public ::testing::Test {
+ protected:
+  WamModesTest() : store_(&symbols_), program_(&symbols_) {}
+
+  // Consults (running the analyzer, which publishes modes) and compiles the
+  // program twice: with and without mode specialization.
+  void LoadAndCompile(const std::string& text) {
+    Loader loader(&store_, &program_);
+    Status s = loader.ConsultString(text);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    CompileOptions spec_on;
+    spec_on.specialize = true;
+    Result<CompiledModule> spec =
+        CompileModule(&store_, program_, {}, spec_on);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    spec_module_ = std::move(spec.value());
+    CompileOptions spec_off;
+    spec_off.specialize = false;
+    Result<CompiledModule> generic =
+        CompileModule(&store_, program_, {}, spec_off);
+    ASSERT_TRUE(generic.ok()) << generic.status().ToString();
+    generic_module_ = std::move(generic.value());
+    spec_emulator_ = std::make_unique<Emulator>(&store_, &spec_module_);
+    generic_emulator_ = std::make_unique<Emulator>(&store_, &generic_module_);
+    // A module compiled without specialization must emit none of it.
+    EXPECT_TRUE(generic_module_.mode_specs.empty());
+  }
+
+  Word Parse(const std::string& text) {
+    Result<Word> r = ParseTermString(&store_, program_.ops(), text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+
+  // Every solution of `goal` on `emulator`, rendered, in derivation order.
+  std::vector<std::string> Answers(Emulator* emulator,
+                                   const std::string& goal) {
+    Word g = Parse(goal);
+    size_t trail = store_.TrailMark();
+    std::vector<std::string> out;
+    Status s = emulator->Solve(g, [&]() {
+      out.push_back(WriteTerm(store_, *program_.ops(), g));
+      return WamAction::kContinue;
+    });
+    store_.UndoTrail(trail);
+    EXPECT_TRUE(s.ok()) << goal << ": " << s.ToString();
+    return out;
+  }
+
+  // The core differential: identical answers, identical order.
+  void ExpectAgreement(const std::vector<std::string>& queries) {
+    for (const std::string& q : queries) {
+      EXPECT_EQ(Answers(spec_emulator_.get(), q),
+                Answers(generic_emulator_.get(), q))
+          << "query: " << q;
+    }
+  }
+
+  SymbolTable symbols_;
+  TermStore store_;
+  Program program_;
+  CompiledModule spec_module_;
+  CompiledModule generic_module_;
+  std::unique_ptr<Emulator> spec_emulator_;
+  std::unique_ptr<Emulator> generic_emulator_;
+};
+
+TEST_F(WamModesTest, ConstantFactsAgreeOnAllCallShapes) {
+  LoadAndCompile("lookup(a, 1). lookup(b, 2). lookup(c, 3).\n"
+                 "use(V) :- lookup(a, V).\n");
+  // The analyzed call sites always bind argument 1: the compiler must have
+  // found a specialization worth guarding.
+  ASSERT_FALSE(spec_module_.mode_specs.empty());
+  // Constants at the top of an argument are compare-only (kGetConstantNv),
+  // which needs nonvar, not ground: the guard must have been weakened from
+  // the analyzer's proven-ground meet to the cheap single-deref check.
+  for (const std::vector<uint8_t>& spec : spec_module_.mode_specs) {
+    for (uint8_t m : spec) EXPECT_NE(m, kModeGround);
+  }
+  ExpectAgreement({
+      "lookup(a, X)",   // matches the inferred pattern (specialized path)
+      "lookup(b, 2)",   // fully bound
+      "lookup(c, 9)",   // fully bound, fails
+      "lookup(Z, 2)",   // violates the pattern: guarded fallback
+      "lookup(X, Y)",   // open call, enumerates all three
+      "use(V)",
+  });
+}
+
+TEST_F(WamModesTest, StructureArgumentsAgreeInReadMode) {
+  LoadAndCompile(
+      "area(rect(W, H), A) :- A is W * H.\n"
+      "area(circle(R), A) :- A is 3 * R * R.\n"
+      "top(A) :- area(rect(3, 4), A).\n"
+      "top2(A) :- area(circle(5), A).\n");
+  ExpectAgreement({
+      "area(rect(2, 5), A)",    // ground struct: read-mode specialized head
+      "area(circle(7), A)",
+      "top(A)",
+      "top2(A)",
+  });
+}
+
+TEST_F(WamModesTest, ListRecursionAgreesUnderSeededGroundCalls) {
+  LoadAndCompile(
+      "app([], L, L).\n"
+      "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "nrev([], []).\n"
+      "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+      "drive(R) :- nrev([1,2,3,4], R).\n");
+  ExpectAgreement({
+      "app([1,2], [3], Z)",
+      "app(X, Y, [1,2,3])",  // open split: enumerates all four splits
+      "nrev([1,2,3], R)",
+      "drive(R)",
+  });
+}
+
+TEST_F(WamModesTest, InteriorConstantsKeepGroundGuardAndAgree) {
+  LoadAndCompile(
+      "tag(f(red, N), N).\n"
+      "tag(g(blue), 0).\n"
+      "drive(N) :- tag(f(red, 7), N).\n"
+      "drive2(N) :- tag(g(blue), N).\n");
+  ASSERT_FALSE(spec_module_.mode_specs.empty());
+  // Constants *inside* a structured argument compile to read-mode
+  // unify_constant, which is only sound when the whole argument is ground:
+  // the guard must keep the analyzer's ground mode here.
+  bool any_ground = false;
+  for (const std::vector<uint8_t>& spec : spec_module_.mode_specs) {
+    for (uint8_t m : spec) any_ground = any_ground || m == kModeGround;
+  }
+  EXPECT_TRUE(any_ground);
+  ExpectAgreement({
+      "tag(f(red, 3), X)",
+      "tag(f(blue, 3), X)",  // wrong interior constant: fails both ways
+      "tag(g(blue), X)",
+      "tag(Z, 0)",           // violates the guard: write-mode fallback binds Z
+      "drive(N)",
+      "drive2(N)",
+  });
+}
+
+TEST_F(WamModesTest, ArithmeticChainsAgree) {
+  LoadAndCompile(
+      "step(X, Y) :- Y is X + 7.\n"
+      "twice(X, Z) :- step(X, Y), step(Y, Z).\n"
+      "from_const(Z) :- twice(10, Z).\n");
+  ExpectAgreement({
+      "step(1, Y)",
+      "twice(5, Z)",
+      "from_const(Z)",
+  });
+}
+
+TEST_F(WamModesTest, GuardFailureFallsBackAndCounts) {
+  LoadAndCompile("lookup(a, 1). lookup(b, 2). lookup(c, 3).\n"
+                 "use(V) :- lookup(a, V).\n");
+  ASSERT_FALSE(spec_module_.mode_specs.empty());
+
+  // A call matching the inferred pattern takes the specialized entry.
+  uint64_t checks0 = spec_emulator_->stats().mode_checks;
+  uint64_t falls0 = spec_emulator_->stats().mode_fallbacks;
+  EXPECT_EQ(Answers(spec_emulator_.get(), "lookup(a, X)").size(), 1u);
+  EXPECT_GT(spec_emulator_->stats().mode_checks, checks0);
+  EXPECT_EQ(spec_emulator_->stats().mode_fallbacks, falls0);
+
+  // A call violating the proven-ground argument fails the guard, falls
+  // back to the generic copy, and still answers correctly.
+  std::vector<std::string> open =
+      Answers(spec_emulator_.get(), "lookup(Z, 2)");
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0], "lookup(b,2)");
+  EXPECT_GT(spec_emulator_->stats().mode_fallbacks, falls0);
+
+  // The generic module has no guards at all.
+  EXPECT_EQ(Answers(generic_emulator_.get(), "lookup(Z, 2)").size(), 1u);
+  EXPECT_EQ(generic_emulator_->stats().mode_checks, 0u);
+  EXPECT_EQ(generic_emulator_->stats().mode_fallbacks, 0u);
+}
+
+TEST_F(WamModesTest, SpecializedPathExecutesFewerInstructions) {
+  LoadAndCompile("lookup(a, 1). lookup(b, 2). lookup(c, 3).\n"
+                 "use(V) :- lookup(a, V).\n");
+  ASSERT_FALSE(spec_module_.mode_specs.empty());
+
+  auto cost = [&](Emulator* emulator, const std::string& goal) {
+    uint64_t before = emulator->stats().instructions;
+    Answers(emulator, goal);
+    return emulator->stats().instructions - before;
+  };
+  // A pattern-conformant bound call skips switch_on_term and the verified
+  // first-argument get in the clause body.
+  EXPECT_LT(cost(spec_emulator_.get(), "lookup(b, X)"),
+            cost(generic_emulator_.get(), "lookup(b, X)"));
+}
+
+}  // namespace
+}  // namespace xsb::wam
