@@ -1,0 +1,173 @@
+// Answer-subsumption bench: lattice aggregation in the answer-trie insert
+// path versus computing every answer and aggregating afterwards.
+//
+// Workload: single-source shortest path (min lattice) and widest path (max
+// lattice) over a layered DAG — L fully connected layers of W nodes with
+// random weights 1..9. The DAG keeps the compute-all baseline finite (a
+// cyclic graph only terminates with the lattice), yet each (source, node)
+// pair still has many distinct walk costs, so the subsumptive table holds
+// one answer per key while the plain table holds every cost and re-feeds
+// each of them to the recursive consumer.
+//
+//   * mode "subsumption":  :- table best(_, _, min)  — replace in the trie.
+//   * mode "compute_all":  :- table best/3            — keep all costs, then
+//                          aggregate per key at enumeration time.
+//
+// Usage: subsumption [OUT.json] — with an argument, also writes the
+// machine-readable snapshot scripts/bench.sh collects.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "xsb/engine.h"
+
+namespace {
+
+struct Row {
+  std::string key;
+  const char* mode;
+  double time_ms;
+  size_t live_answers;
+  size_t table_bytes;
+  uint64_t subsumed_dropped;
+  uint64_t subsumed_replaced;
+};
+
+// L layers x W nodes, all edges between consecutive layers, weights 1..9.
+std::string LayeredEdges(int layers, int width, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::string text;
+  for (int j = 1; j <= width; ++j) {
+    int w = 1 + static_cast<int>(rng() % 9);
+    text += "edge(s, n1_" + std::to_string(j) + ", " + std::to_string(w) +
+            ").\n";
+  }
+  for (int i = 1; i < layers; ++i) {
+    for (int a = 1; a <= width; ++a) {
+      for (int b = 1; b <= width; ++b) {
+        int w = 1 + static_cast<int>(rng() % 9);
+        text += "edge(n" + std::to_string(i) + "_" + std::to_string(a) +
+                ", n" + std::to_string(i + 1) + "_" + std::to_string(b) +
+                ", " + std::to_string(w) + ").\n";
+      }
+    }
+  }
+  return text;
+}
+
+std::string Rules(const std::string& kind, const std::string& table) {
+  std::string combine =
+      kind == "min" ? "C is C1 + C2" : "C is min(C1, C2)";
+  return table + "best(X, Y, C) :- edge(X, Y, C).\n" +
+         "best(X, Y, C) :- best(X, Z, C1), edge(Z, Y, C2), " + combine +
+         ".\n";
+}
+
+// One timed evaluation: enumerate best(s, Y, C) and reduce to the per-node
+// optimum in the callback (a no-op reduction for the subsumptive table,
+// the actual aggregation step for compute_all).
+size_t QueryAndAggregate(xsb::Engine& engine, const std::string& kind) {
+  std::map<std::string, long> agg;
+  xsb::Status s = engine.ForEach("best(s, Y, C)", [&](const xsb::Answer& a) {
+    long c = std::strtol(a["C"].c_str(), nullptr, 10);
+    auto [it, inserted] = agg.try_emplace(a["Y"], c);
+    if (!inserted) {
+      it->second = kind == "min" ? std::min(it->second, c)
+                                 : std::max(it->second, c);
+    }
+    return true;
+  });
+  if (!s.ok()) std::abort();
+  return agg.size();
+}
+
+Row Run(const std::string& key, const char* mode, const std::string& program,
+        const std::string& kind) {
+  xsb::Engine engine;
+  if (!engine.ConsultString(program).ok()) std::abort();
+  double secs = xsb::bench::TimeBest([&]() {
+    engine.AbolishAllTables();
+    QueryAndAggregate(engine, kind);
+  });
+  const xsb::TableSpace& tables = engine.evaluator().tables();
+  engine.AbolishAllTables();
+  uint64_t dropped_before = tables.stats().subsumed_dropped;
+  uint64_t replaced_before = tables.stats().subsumed_replaced;
+  QueryAndAggregate(engine, kind);
+  Row row{key,
+          mode,
+          secs * 1e3,
+          tables.total_answers(),
+          tables.table_bytes(),
+          tables.stats().subsumed_dropped - dropped_before,
+          tables.stats().subsumed_replaced - replaced_before};
+  std::printf(
+      "%-22s %-12s time_ms=%8.3f live_answers=%7zu table_bytes=%9zu "
+      "dropped=%7llu replaced=%6llu\n",
+      row.key.c_str(), row.mode, row.time_ms, row.live_answers,
+      row.table_bytes, static_cast<unsigned long long>(row.subsumed_dropped),
+      static_cast<unsigned long long>(row.subsumed_replaced));
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xsb::bench::PrintHeader(
+      "answer subsumption: in-trie lattice vs compute-all-then-aggregate");
+
+  struct Config {
+    const char* name;
+    int layers;
+    int width;
+    const char* kind;
+  };
+  std::vector<Config> configs{
+      {"shortest_12x6", 12, 6, "min"},
+      {"shortest_16x8", 16, 8, "min"},
+      {"widest_12x6", 12, 6, "max"},
+  };
+
+  std::vector<Row> rows;
+  for (const Config& c : configs) {
+    std::string edges = LayeredEdges(c.layers, c.width, 42);
+    std::string spec = std::string(":- table best(_, _, ") + c.kind + ").\n";
+    rows.push_back(
+        Run(c.name, "subsumption", Rules(c.kind, spec) + edges, c.kind));
+    rows.push_back(Run(c.name, "compute_all",
+                       Rules(c.kind, ":- table best/3.\n") + edges, c.kind));
+  }
+
+  std::printf(
+      "\nThe subsumptive table keeps one lattice-best answer per key and\n"
+      "retires beaten ones in place; compute_all stores every distinct cost\n"
+      "and re-fires the recursive consumer for each. Compare against\n"
+      "BENCH_subsumption.json.\n");
+
+  if (argc > 1) {
+    std::string json = "{\n  \"bench\": \"subsumption\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      json += "    {\"workload\": \"" + r.key + "\", \"mode\": \"" + r.mode +
+              "\", \"time_ms\": " + xsb::bench::Fmt(r.time_ms, 3) +
+              ", \"live_answers\": " + std::to_string(r.live_answers) +
+              ", \"table_bytes\": " + std::to_string(r.table_bytes) +
+              ", \"subsumed_dropped\": " + std::to_string(r.subsumed_dropped) +
+              ", \"subsumed_replaced\": " +
+              std::to_string(r.subsumed_replaced) + "}";
+      json += (i + 1 < rows.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    std::ofstream out(argv[1]);
+    out << json;
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@ run subst_factoring bench-out/BENCH_subst_factoring.json
 run incremental_updates bench-out/BENCH_incremental.json
 run concurrent_queries bench-out/BENCH_concurrent.json
 run wam_modes bench-out/BENCH_modes.json
+run subsumption bench-out/BENCH_subsumption.json
 
 if [[ "$quick" == 0 ]]; then
   run fig5_path

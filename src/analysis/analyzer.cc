@@ -58,6 +58,7 @@ class Analyzer {
   // --- Pass 1-5 -------------------------------------------------------------
   void ComputeSccs();
   void StratificationPass();
+  void SubsumptionPass();
   void ModePass();
   void AdvisorPass();
   void LintPass();
@@ -524,6 +525,53 @@ void Analyzer::StratificationPass() {
   }
 }
 
+// Aggregate stratification for answer subsumption (`:- table p(_, min)`).
+// A lattice choosing among a predicate's answers is only well-defined when
+// the full answer set it selects from is monotonically derivable:
+//   * Recursion through min/max over the predicate's own SCC is the intended
+//     fixpoint-optimization use (shortest path) and stays silent.
+//   * Negation inside the SCC makes the aggregate see a non-monotone answer
+//     set — rejected with T001 (an error: strict consults fail).
+//   * first(N) inside a recursive SCC keeps whichever N derivations the
+//     scheduler produced first — not rejected, but downgraded to a T002
+//     warning since re-evaluation order can change the table.
+void Analyzer::SubsumptionPass() {
+  for (FunctorId f : nodes_) {
+    const Predicate* pred = program_.Lookup(f);
+    const TableSpec* spec = pred == nullptr ? nullptr : pred->table_spec();
+    if (spec == nullptr || !spec->subsumptive()) continue;
+    auto it = result_.scc_of.find(f);
+    if (it == result_.scc_of.end()) continue;
+    const SccInfo& scc = result_.sccs[static_cast<size_t>(it->second)];
+    if (scc.negative_internal) {
+      Diag(DiagCode::kSubsumptionNegation, Severity::kError, f,
+           "answer subsumption on " + PredName(f) +
+               " inside a recursive component crossed by negation (" +
+               PredName(scc.witness.from) + " -> " +
+               PredName(scc.witness.to) +
+               "): the lattice aggregate is not stratified; break the cycle "
+               "or drop the lattice declaration",
+           scc.witness.span);
+      continue;
+    }
+    bool first_n = spec->args[spec->agg_pos].agg == TableSpec::Agg::kFirst;
+    if (first_n && scc.recursive) {
+      SourceSpan span;
+      for (const Clause& clause : pred->clauses()) {
+        if (!clause.erased) {
+          span = clause.span;
+          break;
+        }
+      }
+      Diag(DiagCode::kSubsumptionOrdered, Severity::kWarning, f,
+           "first(N) subsumption on recursive " + PredName(f) +
+               " keeps whichever N answers are derived first; the table "
+               "contents depend on evaluation order",
+           span);
+    }
+  }
+}
+
 void Analyzer::ModePass() {
   result_.modes = AnalyzeModes(program_, result_, options_.mode_entries);
 
@@ -752,6 +800,7 @@ AnalysisResult Analyzer::Run() {
 
   ComputeSccs();
   StratificationPass();
+  SubsumptionPass();
   if (options_.mode_pass) ModePass();
   if (options_.advisor_pass) AdvisorPass();
   if (options_.lint_pass) LintPass();

@@ -28,6 +28,10 @@ const char* DiagCodeName(DiagCode code) {
       return "M002";
     case DiagCode::kModeViolation:
       return "M003";
+    case DiagCode::kSubsumptionNegation:
+      return "T001";
+    case DiagCode::kSubsumptionOrdered:
+      return "T002";
   }
   return "?";
 }

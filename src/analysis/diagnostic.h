@@ -42,6 +42,12 @@ enum class DiagCode {
   kInferredModes,    // M001: inferred call/success modes of a predicate
   kNeverBound,       // M002: an argument no call site ever binds
   kModeViolation,    // M003: a free variable fed into a demanded-ground arg
+  // Answer subsumption (T...)
+  kSubsumptionNegation, // T001: lattice-tabled predicate in an SCC crossed
+                        // by negation — the aggregate is not stratified
+  kSubsumptionOrdered,  // T002: first(N) inside a recursive SCC is
+                        // evaluation-order dependent (downgraded, not
+                        // rejected)
 };
 
 // "S001", "A002", ...

@@ -197,19 +197,19 @@ Result<Literal> FactorRewrite(DatalogProgram* program, const Literal& query) {
     // f_p(Y) :- e(c, Y).
     Rule rule;
     rule.num_vars = 1;
-    rule.head = Literal{factored, false, {Arg::Var(0)}};
+    rule.head = Literal{factored, false, Literal::Builtin::kNone, {Arg::Var(0)}};
     rule.body.push_back(
-        Literal{edge, false, {Arg::Const(query.args[0].id), Arg::Var(0)}});
+        Literal{edge, false, Literal::Builtin::kNone, {Arg::Const(query.args[0].id), Arg::Var(0)}});
     rewritten.push_back(std::move(rule));
   }
   {
     // f_p(Y) :- f_p(Z), e(Z, Y).
     Rule rule;
     rule.num_vars = 2;
-    rule.head = Literal{factored, false, {Arg::Var(0)}};
-    rule.body.push_back(Literal{factored, false, {Arg::Var(1)}});
+    rule.head = Literal{factored, false, Literal::Builtin::kNone, {Arg::Var(0)}};
+    rule.body.push_back(Literal{factored, false, Literal::Builtin::kNone, {Arg::Var(1)}});
     rule.body.push_back(
-        Literal{edge, false, {Arg::Var(1), Arg::Var(0)}});
+        Literal{edge, false, Literal::Builtin::kNone, {Arg::Var(1), Arg::Var(0)}});
     rewritten.push_back(std::move(rule));
   }
   program->rules() = std::move(rewritten);

@@ -39,6 +39,16 @@ bool Relation::Insert(const Tuple& tuple) {
   return true;
 }
 
+void Relation::Kill(uint32_t row) {
+  if (row >= tuples_.size() || IsDead(row)) return;
+  if (dead_.size() < tuples_.size()) dead_.resize(tuples_.size(), 0);
+  dead_[row] = 1;
+  ++num_dead_;
+  // Probe indexes keep the row (IsDead filters it at scan sites), but the
+  // dedup set must forget it so Contains sees only live tuples.
+  dedup_.erase(tuples_[row]);
+}
+
 const std::vector<uint32_t>& Relation::Probe(int column, Value v) {
   auto it = indexes_.find(column);
   if (it == indexes_.end()) {
@@ -55,6 +65,8 @@ const std::vector<uint32_t>& Relation::Probe(int column, Value v) {
 
 void Relation::Clear() {
   tuples_.clear();
+  dead_.clear();
+  num_dead_ = 0;
   dedup_.clear();
   indexes_.clear();
 }

@@ -67,6 +67,17 @@ class Relation {
     return dedup_.count(tuple) > 0;
   }
 
+  // Tombstones a row replaced by answer subsumption. The row stays in
+  // tuples() so probe indexes remain valid; scans and membership tests must
+  // skip it via IsDead. The tuple leaves the dedup set, so a *different*
+  // tuple may be inserted afresh later (a lattice only replaces with
+  // strictly better values, so the same tuple never comes back).
+  void Kill(uint32_t row);
+  bool IsDead(uint32_t row) const {
+    return row < dead_.size() && dead_[row] != 0;
+  }
+  size_t live_size() const { return tuples_.size() - num_dead_; }
+
   // Builds (once) and uses a hash index on `column`; returns the row ids
   // whose `column` equals `v`.
   const std::vector<uint32_t>& Probe(int column, Value v);
@@ -78,6 +89,8 @@ class Relation {
 
   int arity_;
   std::vector<Tuple> tuples_;
+  std::vector<uint8_t> dead_;  // grown on first Kill; empty = all live
+  size_t num_dead_ = 0;
   std::unordered_map<Tuple, uint32_t, TupleHash> dedup_;
   // indexes_[c] maps value -> row ids; absent until first probe on c.
   std::unordered_map<int, std::unordered_map<Value, std::vector<uint32_t>>>

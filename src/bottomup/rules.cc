@@ -26,6 +26,11 @@ Status DatalogProgram::CheckSafety() const {
     std::vector<bool> positive(rule.num_vars, false);
     for (const Literal& literal : rule.body) {
       if (literal.negated) continue;
+      if (literal.is_builtin()) {
+        // add/min bind only their output; the first two args are inputs.
+        if (literal.args[2].is_var) positive[literal.args[2].id] = true;
+        continue;
+      }
       for (const Arg& arg : literal.args) {
         if (arg.is_var) positive[arg.id] = true;
       }
@@ -37,6 +42,15 @@ Status DatalogProgram::CheckSafety() const {
       }
     }
     for (const Literal& literal : rule.body) {
+      if (literal.is_builtin()) {
+        for (int i = 0; i < 2; ++i) {
+          const Arg& arg = literal.args[i];
+          if (arg.is_var && !positive[arg.id]) {
+            return InvalidError("unsafe builtin input: " + RuleToString(rule));
+          }
+        }
+        continue;
+      }
       if (!literal.negated) continue;
       for (const Arg& arg : literal.args) {
         if (arg.is_var && !positive[arg.id]) {
@@ -201,8 +215,52 @@ class DatalogParser {
     literal.pred = program_->InternPred(name.value(),
                                         static_cast<int>(args.size()));
     literal.negated = negated;
+    if (args.size() == 3) {
+      if (name.value() == "add") literal.builtin = Literal::Builtin::kAdd;
+      if (name.value() == "min") literal.builtin = Literal::Builtin::kMin;
+    }
+    if (literal.is_builtin() && negated) {
+      return ParseError("negated arithmetic builtins are not supported");
+    }
     literal.args = std::move(args);
     return literal;
+  }
+
+  // `lattice(p, Arity, Pos, min|max|first[, N]).` — a ground pseudo-fact
+  // declaring answer subsumption for p/Arity on 1-based column Pos.
+  Status HandleLatticeDecl(const Tuple& args) {
+    const ConstPool& pool = program_->consts();
+    if (args.size() != 4 && args.size() != 5) {
+      return ParseError("lattice(p, Arity, Pos, min|max|first[, N])");
+    }
+    if (pool.IsInt(args[0]) || !pool.IsInt(args[1]) || !pool.IsInt(args[2]) ||
+        pool.IsInt(args[3])) {
+      return ParseError("lattice(p, Arity, Pos, min|max|first[, N])");
+    }
+    int arity = static_cast<int>(pool.IntOf(args[1]));
+    int pos = static_cast<int>(pool.IntOf(args[2]));
+    if (arity <= 0 || pos < 1 || pos > arity) {
+      return ParseError("lattice declaration: Pos out of range");
+    }
+    DatalogProgram::Lattice lattice;
+    lattice.pos = pos - 1;
+    const std::string& kind = pool.NameOf(args[3]);
+    if (kind == "min") {
+      lattice.kind = DatalogProgram::Lattice::Kind::kMin;
+    } else if (kind == "max") {
+      lattice.kind = DatalogProgram::Lattice::Kind::kMax;
+    } else if (kind == "first") {
+      lattice.kind = DatalogProgram::Lattice::Kind::kFirst;
+      if (args.size() != 5 || !pool.IsInt(args[4]) || pool.IntOf(args[4]) < 0) {
+        return ParseError("lattice first requires a non-negative N");
+      }
+      lattice.n = pool.IntOf(args[4]);
+    } else {
+      return ParseError("lattice kind must be min, max or first");
+    }
+    program_->SetLattice(program_->InternPred(pool.NameOf(args[0]), arity),
+                         lattice);
+    return Status::Ok();
   }
 
   Status ParseClause() {
@@ -218,6 +276,9 @@ class DatalogParser {
       for (const Arg& arg : head.value().args) {
         if (arg.is_var) return ParseError("non-ground fact");
         tuple.push_back(arg.id);
+      }
+      if (program_->PredName(head.value().pred) == "lattice") {
+        return HandleLatticeDecl(tuple);
       }
       program_->AddFact(head.value().pred, std::move(tuple));
       return Status::Ok();

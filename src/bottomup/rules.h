@@ -27,9 +27,19 @@ struct Arg {
 };
 
 struct Literal {
+  // Built-in arithmetic literals `add(X, Y, Z)` (Z = X + Y) and
+  // `min(X, Y, Z)` (Z = min(X, Y)) over integers: evaluated in place during
+  // the join, no stored relation. The inputs must be bound when the join
+  // reaches the literal, so write it after the literals that bind X and Y;
+  // an unbound or non-integer input simply fails to match.
+  enum class Builtin : uint8_t { kNone, kAdd, kMin };
+
   PredId pred;
   bool negated = false;
+  Builtin builtin = Builtin::kNone;
   std::vector<Arg> args;
+
+  bool is_builtin() const { return builtin != Builtin::kNone; }
 };
 
 struct Rule {
@@ -53,6 +63,25 @@ class DatalogProgram {
 
   void AddFact(PredId pred, Tuple tuple) { edb_[pred].emplace_back(tuple); }
   void AddRule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  // Per-predicate answer-subsumption lattice, mirroring the SLG engine's
+  // `:- table p(_, min)`: derived tuples agreeing on every column but `pos`
+  // collapse to the lattice-best one. Declared textually as
+  // `lattice(p, Arity, Pos, min).` / `lattice(p, Arity, Pos, first, N).`
+  // (Pos is 1-based). Applies to IDB derivation; EDB facts load unchanged.
+  struct Lattice {
+    enum class Kind : uint8_t { kMin, kMax, kFirst };
+    Kind kind = Kind::kMin;
+    int pos = 0;     // aggregated column, 0-based
+    int64_t n = 0;   // kFirst: per-key cap
+  };
+  void SetLattice(PredId pred, Lattice lattice) {
+    lattices_[pred] = lattice;
+  }
+  const Lattice* lattice(PredId pred) const {
+    auto it = lattices_.find(pred);
+    return it == lattices_.end() ? nullptr : &it->second;
+  }
 
   const std::vector<Rule>& rules() const { return rules_; }
   std::vector<Rule>& rules() { return rules_; }
@@ -81,6 +110,7 @@ class DatalogProgram {
   ConstPool consts_;
   std::vector<Rule> rules_;
   std::unordered_map<PredId, std::vector<Tuple>> edb_;
+  std::unordered_map<PredId, Lattice> lattices_;
 };
 
 // Parses a textual datalog program:

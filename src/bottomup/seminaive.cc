@@ -56,6 +56,51 @@ void Evaluation::JoinFrom(const Rule& rule, const std::vector<int>& order,
   int body_index = order[idx];
   const Literal& literal = rule.body[body_index];
 
+  if (literal.is_builtin()) {
+    // Built-in add (Z = X + Y) / min (Z = min(X, Y)) over integers: no
+    // stored relation, evaluated in place. Unbound or non-integer inputs
+    // simply fail (CheckSafety requires the inputs to occur in an earlier
+    // positive literal).
+    ConstPool& pool = program_->consts();
+    Value in[2];
+    for (int i = 0; i < 2; ++i) {
+      const Arg& arg = literal.args[i];
+      if (!arg.is_var) {
+        in[i] = arg.id;
+      } else if ((*bound)[arg.id]) {
+        in[i] = (*env)[arg.id];
+      } else {
+        return;
+      }
+      if (!pool.IsInt(in[i])) return;
+    }
+    int64_t x = pool.IntOf(in[0]);
+    int64_t y = pool.IntOf(in[1]);
+    Value sum = pool.Int(literal.builtin == Literal::Builtin::kAdd
+                             ? x + y
+                             : (x < y ? x : y));
+    const Arg& out_arg = literal.args[2];
+    if (!out_arg.is_var) {
+      if (out_arg.id == sum) {
+        JoinFrom(rule, order, idx + 1, delta_literal, delta_rel, env, bound,
+                 out);
+      }
+      return;
+    }
+    if ((*bound)[out_arg.id]) {
+      if ((*env)[out_arg.id] == sum) {
+        JoinFrom(rule, order, idx + 1, delta_literal, delta_rel, env, bound,
+                 out);
+      }
+      return;
+    }
+    (*bound)[out_arg.id] = true;
+    (*env)[out_arg.id] = sum;
+    JoinFrom(rule, order, idx + 1, delta_literal, delta_rel, env, bound, out);
+    (*bound)[out_arg.id] = false;
+    return;
+  }
+
   if (literal.negated) {
     // All variables are bound here (negations are ordered last and safety
     // was checked); a membership test suffices — the stratum below is done.
@@ -128,10 +173,15 @@ void Evaluation::JoinFrom(const Rule& rule, const std::vector<int>& order,
 
   if (probe_column >= 0) {
     for (uint32_t row : rel.Probe(probe_column, probe_value)) {
+      if (rel.IsDead(row)) continue;
       match_row(rel.tuples()[row]);
     }
   } else {
-    for (const Tuple& tuple : rel.tuples()) match_row(tuple);
+    const std::vector<Tuple>& tuples = rel.tuples();
+    for (uint32_t row = 0; row < tuples.size(); ++row) {
+      if (rel.IsDead(row)) continue;
+      match_row(tuples[row]);
+    }
   }
 }
 
@@ -159,6 +209,18 @@ Status Evaluation::Run(const EvalOptions& options) {
     max_stratum = std::max(max_stratum, stratum[rule.head.pred]);
   }
 
+  // Answer-subsumption state: per lattice predicate, the current best value
+  // (or first(N) count) and live row for each key (= the non-aggregated
+  // columns). Mirrors AnswerTable::InsertSubsumptive on the SLG side.
+  struct LatticeEntry {
+    int64_t best = 0;
+    uint32_t row = 0;
+    int64_t count = 0;
+  };
+  std::unordered_map<PredId,
+                     std::unordered_map<Tuple, LatticeEntry, TupleHash>>
+      lattice_state;
+
   for (int s = 0; s <= max_stratum; ++s) {
     std::vector<const Rule*> layer;
     for (const Rule& rule : program_->rules()) {
@@ -184,7 +246,9 @@ Status Evaluation::Run(const EvalOptions& options) {
     std::unordered_set<PredId> recursive;
     for (const Rule* rule : layer) {
       for (const Literal& literal : rule->body) {
-        if (!literal.negated) recursive.insert(literal.pred);
+        if (!literal.negated && !literal.is_builtin()) {
+          recursive.insert(literal.pred);
+        }
       }
     }
 
@@ -194,6 +258,59 @@ Status Evaluation::Run(const EvalOptions& options) {
                      std::unordered_map<PredId, Relation>* next_delta) {
       bool any = false;
       for (const auto& [pred, tuple] : derived) {
+        const DatalogProgram::Lattice* lat = program_->lattice(pred);
+        if (lat != nullptr) {
+          const ConstPool& pool = program_->consts();
+          Relation& rel = relation(pred);
+          Tuple key;
+          key.reserve(tuple.size() - 1);
+          for (size_t i = 0; i < tuple.size(); ++i) {
+            if (static_cast<int>(i) != lat->pos) key.push_back(tuple[i]);
+          }
+          auto& entries = lattice_state[pred];
+          if (lat->kind == DatalogProgram::Lattice::Kind::kFirst) {
+            LatticeEntry& entry = entries[key];
+            if (entry.count >= lat->n || !rel.Insert(tuple)) {
+              ++stats_.duplicate_tuples;
+              continue;
+            }
+            ++entry.count;
+            ++stats_.tuples_inserted;
+            if (recursive.count(pred) > 0) {
+              (*next_delta)[pred].Insert(tuple);
+              any = true;
+            }
+            continue;
+          }
+          Value agg = tuple[lat->pos];
+          if (!pool.IsInt(agg)) {
+            ++stats_.duplicate_tuples;
+            continue;
+          }
+          int64_t value = pool.IntOf(agg);
+          auto [it, created] = entries.try_emplace(key);
+          if (!created) {
+            bool better = lat->kind == DatalogProgram::Lattice::Kind::kMin
+                              ? value < it->second.best
+                              : value > it->second.best;
+            if (!better) {
+              ++stats_.duplicate_tuples;
+              continue;
+            }
+          }
+          // A strictly better value was never stored before, so the insert
+          // always succeeds; the beaten row is tombstoned after.
+          rel.Insert(tuple);
+          ++stats_.tuples_inserted;
+          if (!created) rel.Kill(it->second.row);
+          it->second.best = value;
+          it->second.row = static_cast<uint32_t>(rel.size() - 1);
+          if (recursive.count(pred) > 0) {
+            (*next_delta)[pred].Insert(tuple);
+            any = true;
+          }
+          continue;
+        }
         if (relation(pred).Insert(tuple)) {
           ++stats_.tuples_inserted;
           if (recursive.count(pred) > 0) {
@@ -232,7 +349,7 @@ Status Evaluation::Run(const EvalOptions& options) {
           // One pass per recursive body occurrence, evaluated over delta.
           for (size_t i = 0; i < rule->body.size(); ++i) {
             const Literal& literal = rule->body[i];
-            if (literal.negated) continue;
+            if (literal.negated || literal.is_builtin()) continue;
             auto it = delta.find(literal.pred);
             if (it == delta.end() || it->second.empty()) continue;
             std::vector<Value> env(rule->num_vars, 0);
@@ -264,7 +381,9 @@ std::vector<Tuple> Evaluation::Select(const Literal& query) {
   std::vector<Tuple> out;
   Relation& rel = relation(query.pred);
   std::unordered_map<VarId, Value> seen;
-  for (const Tuple& tuple : rel.tuples()) {
+  for (uint32_t row = 0; row < rel.tuples().size(); ++row) {
+    if (rel.IsDead(row)) continue;
+    const Tuple& tuple = rel.tuples()[row];
     bool ok = true;
     seen.clear();
     for (size_t i = 0; i < query.args.size(); ++i) {

@@ -46,8 +46,73 @@ Status Loader::ForEachPredSpec(Word spec,
 }
 
 Status Loader::HandleTableSpec(Word spec) {
-  return ForEachPredSpec(
-      spec, [this](FunctorId f) { return program_->DeclareTabled(f); });
+  SymbolTable* symbols = store_->symbols();
+  spec = store_->Deref(spec);
+  // Conjunctions and lists mix freely; each element is either Name/Arity or
+  // an answer-subsumption template like `p(_, min)`.
+  FunctorId comma = symbols->InternFunctor(symbols->comma(), 2);
+  FunctorId cons = symbols->InternFunctor(symbols->dot(), 2);
+  if (IsStruct(spec)) {
+    FunctorId f = store_->StructFunctor(spec);
+    if (f == comma || f == cons) {
+      Status s = HandleTableSpec(store_->Arg(spec, 0));
+      if (!s.ok()) return s;
+      Word rest = store_->Deref(store_->Arg(spec, 1));
+      if (IsAtom(rest) && AtomOf(rest) == symbols->nil()) return Status::Ok();
+      return HandleTableSpec(rest);
+    }
+  }
+  Result<FunctorId> functor = ParsePredSpec(spec);
+  if (functor.ok()) return program_->DeclareTabled(functor.value());
+  return ParseSubsumptionSpec(spec);
+}
+
+// `:- table p(_, min).` — each argument of the template is `_` (tabled as
+// usual), `min`/`max` (keep the lattice-best integer answer per key), or
+// `first(N)` (keep at most N answers per key, insertion order).
+Status Loader::ParseSubsumptionSpec(Word spec) {
+  SymbolTable* symbols = store_->symbols();
+  spec = store_->Deref(spec);
+  if (!IsStruct(spec)) {
+    return InvalidError(
+        "expected Name/Arity or an answer-subsumption template like "
+        "p(_, min) in :- table");
+  }
+  FunctorId functor = store_->StructFunctor(spec);
+  int arity = symbols->FunctorArity(functor);
+  FunctorId first1 = symbols->InternFunctor(symbols->InternAtom("first"), 1);
+  TableSpec table_spec;
+  table_spec.args.resize(arity);
+  bool has_agg = false;
+  for (int i = 0; i < arity; ++i) {
+    Word arg = store_->Deref(store_->Arg(spec, i));
+    if (IsRef(arg)) continue;  // `_`: plain argument
+    TableSpec::Arg& out = table_spec.args[i];
+    if (IsAtom(arg)) {
+      const std::string& name = symbols->AtomName(AtomOf(arg));
+      if (name == "min") {
+        out.agg = TableSpec::Agg::kMin;
+      } else if (name == "max") {
+        out.agg = TableSpec::Agg::kMax;
+      } else {
+        return InvalidError("unknown table lattice '" + name +
+                            "' (expected min, max, or first(N))");
+      }
+    } else if (IsStruct(arg) && store_->StructFunctor(arg) == first1) {
+      Word n = store_->Deref(store_->Arg(arg, 0));
+      if (!IsInt(n) || IntValue(n) < 0) {
+        return InvalidError("first(N) requires a non-negative integer N");
+      }
+      out.agg = TableSpec::Agg::kFirst;
+      out.n = IntValue(n);
+    } else {
+      return InvalidError(
+          "table spec arguments must be _, min, max, or first(N)");
+    }
+    has_agg = true;
+  }
+  if (!has_agg) return program_->DeclareTabled(functor);
+  return program_->DeclareTabledSubsumptive(functor, std::move(table_spec));
 }
 
 Status Loader::HandleDiscontiguousSpec(Word spec) {

@@ -52,6 +52,8 @@ class Loader {
   Status ForEachPredSpec(Word spec,
                          const std::function<Status(FunctorId)>& fn);
   Status HandleTableSpec(Word spec);
+  // `p(_, min)`-shaped answer-subsumption declaration inside :- table.
+  Status ParseSubsumptionSpec(Word spec);
   Status HandleIndexSpec(Word pred_spec, Word index_spec);
   Status HandleDiscontiguousSpec(Word spec);
   Result<FunctorId> ParsePredSpec(Word spec);  // name/arity

@@ -235,6 +235,31 @@ Status Program::DeclareTabled(FunctorId functor) {
   return Status::Ok();
 }
 
+Status Program::DeclareTabledSubsumptive(FunctorId functor, TableSpec spec) {
+  int arity = symbols_->FunctorArity(functor);
+  if (static_cast<int>(spec.args.size()) != arity) {
+    return InvalidError("table spec arity does not match predicate arity");
+  }
+  spec.agg_pos = -1;
+  for (size_t i = 0; i < spec.args.size(); ++i) {
+    if (spec.args[i].agg == TableSpec::Agg::kAll) continue;
+    if (spec.agg_pos >= 0) {
+      return InvalidError(
+          "table spec declares more than one aggregated argument");
+    }
+    if (spec.args[i].agg == TableSpec::Agg::kFirst && spec.args[i].n < 0) {
+      return InvalidError("first(N) requires a non-negative N");
+    }
+    spec.agg_pos = static_cast<int>(i);
+  }
+  Predicate* pred = LookupOrCreate(functor);
+  pred->set_tabled(true);
+  pred->set_declared(true);
+  pred->set_table_spec(
+      std::make_unique<const TableSpec>(std::move(spec)));
+  return Status::Ok();
+}
+
 Status Program::DeclareIncremental(FunctorId functor) {
   Predicate* pred = LookupOrCreate(functor);
   bool newly_incremental = !pred->incremental();

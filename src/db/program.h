@@ -74,6 +74,29 @@ struct PublishedModes {
   uint64_t epoch = 0;
 };
 
+// --- Answer subsumption table specs -------------------------------------------
+//
+// `:- table p(_, min).` declares per-argument lattice aggregation: answers
+// that agree on every non-aggregated argument are collapsed by the lattice at
+// the aggregated position instead of accumulating. At most one argument may
+// carry a lattice; `first(N)` bounds the per-key answer count in insertion
+// order rather than comparing values.
+struct TableSpec {
+  enum class Agg : uint8_t {
+    kAll,    // `_`: plain tabling at this argument
+    kMin,    // keep the answer with the smallest integer value
+    kMax,    // keep the answer with the largest integer value
+    kFirst,  // keep at most `n` answers per key, insertion order
+  };
+  struct Arg {
+    Agg agg = Agg::kAll;
+    int64_t n = 0;  // kFirst only
+  };
+  std::vector<Arg> args;
+  int agg_pos = -1;  // index of the (single) aggregated argument, -1 if none
+  bool subsumptive() const { return agg_pos >= 0; }
+};
+
 // How a predicate's clauses are indexed.
 enum class IndexKind {
   kNone,         // linear scan
@@ -117,6 +140,14 @@ class Predicate {
   // :- discontiguous p/N. suppresses the L002 lint.
   bool discontiguous_ok() const { return discontiguous_ok_; }
   void set_discontiguous_ok(bool value) { discontiguous_ok_ = value; }
+
+  // Answer-subsumption lattice declaration (`:- table p(_, min).`); nullptr
+  // for plain tabling. Captured by each Subgoal at table creation, so a
+  // redeclaration only affects tables created afterwards.
+  const TableSpec* table_spec() const { return table_spec_.get(); }
+  void set_table_spec(std::unique_ptr<const TableSpec> spec) {
+    table_spec_ = std::move(spec);
+  }
 
   // Evaluation-shard assignment published by the consult-time analyzer:
   // `eval_shard` is the shard of this predicate's call-graph SCC (-1 before
@@ -203,6 +234,7 @@ class Predicate {
   bool incremental_ = false;
   bool declared_ = false;
   bool discontiguous_ok_ = false;
+  std::unique_ptr<const TableSpec> table_spec_;
   int eval_shard_ = -1;
   ShardMask eval_reach_mask_ = 0;
   std::unique_ptr<const PublishedModes> modes_;
@@ -264,6 +296,9 @@ class Program {
 
   // Declarations (normally issued via directives during a consult).
   Status DeclareTabled(FunctorId functor);
+  // `:- table p(_, min).`: tabled with answer-subsumption. `spec.args` must
+  // match the functor's arity and carry exactly one aggregated position.
+  Status DeclareTabledSubsumptive(FunctorId functor, TableSpec spec);
   // :- incremental(p/N): dynamic + update events feed table maintenance.
   Status DeclareIncremental(FunctorId functor);
   Status DeclareHilog(AtomId atom);

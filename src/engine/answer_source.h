@@ -28,6 +28,12 @@ class AnswerSource {
   // keep one scratch FlatTerm alive across a whole enumeration).
   virtual void ReadAnswer(size_t i, FlatTerm* out) const = 0;
 
+  // Answer subsumption: false when answer `i` has been retired by a better
+  // (lattice-subsuming) answer. The index remains readable — a cursor parked
+  // on it stays sound — but enumerators must skip it. Plain sources are
+  // always fully live.
+  virtual bool live(size_t /*i*/) const { return true; }
+
   // --- Substitution-factored enumeration ------------------------------------
   // A factored source stores answers as bindings of one shared call
   // template's variables. When answer_template() is non-null, a consumer may

@@ -848,7 +848,8 @@ BuiltinResult BuiltinClause(Machine& m, Word goal, const GoalNode* node) {
 // [subgoals-N, answers-N, trie_nodes-N, call_trie_nodes-N, interned_terms-N,
 // bytes-N, factored_saved_bytes-N, findall_flatten_reuses-N,
 // shared_table_hits-N, waits_on_inprogress-N, epochs_retired-N,
-// coarse_fallbacks-N, mode_violations-N] for the
+// coarse_fallbacks-N, mode_violations-N, subsumed_dropped-N,
+// subsumed_replaced-N] for the
 // variant table of Goal, or aggregated over the whole table space when Goal
 // is the atom `all`. Fails when Goal has no table; errors when no tabling
 // evaluator is installed. The shared-serving counters are relaxed atomics:
@@ -895,6 +896,8 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
       pair("epochs_retired", info.epochs_retired),
       pair("coarse_fallbacks", info.coarse_fallbacks),
       pair("mode_violations", info.mode_violations),
+      pair("subsumed_dropped", info.subsumed_dropped),
+      pair("subsumed_replaced", info.subsumed_replaced),
   };
   Word list = store->MakeList(items, AtomCell(symbols->nil()));
   return UnifyResult(m, Arg(m, goal, 1), list);

@@ -148,6 +148,12 @@ bool Machine::Backtrack(size_t base_cp, const GoalNode** goals) {
           // Factored return: per answer, rebuild only the binding segments
           // and unify each against its (goal-aliased) template variable.
           while (cp.next_answer < cp.answers->size()) {
+            // Answer subsumption: an answer retired by a better one is
+            // skipped, not returned. The cursor itself stays valid.
+            if (!cp.answers->live(cp.next_answer)) {
+              ++cp.next_answer;
+              continue;
+            }
             cp.answers->ReadBindings(cp.next_answer++, &answer_scratch_);
             answer_vars_scratch_.assign(answer_scratch_.num_vars, 0);
             size_t pos = 0;
@@ -172,6 +178,10 @@ bool Machine::Backtrack(size_t base_cp, const GoalNode** goals) {
           continue;
         }
         while (cp.next_answer < cp.answers->size()) {
+          if (!cp.answers->live(cp.next_answer)) {
+            ++cp.next_answer;
+            continue;
+          }
           cp.answers->ReadAnswer(cp.next_answer++, &answer_scratch_);
           Word t = Unflatten(store_, answer_scratch_);
           if (store_->Unify(cp.goal, t)) {

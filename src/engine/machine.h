@@ -75,6 +75,10 @@ class TabledCallHandler {
                                         // all-shards coarse lock
     uint64_t mode_violations = 0;       // runtime tabled calls less bound
                                         // than the inferred call modes
+    uint64_t subsumed_dropped = 0;      // answers dropped by lattice
+                                        // subsumption (:- table p(_, min))
+    uint64_t subsumed_replaced = 0;     // answers stored by beating (and
+                                        // retiring) an existing answer
   };
   // Statistics for the variant table of `goal`, or aggregated over the
   // whole table space when goal == 0. Default: no statistics available.

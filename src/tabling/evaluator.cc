@@ -146,6 +146,11 @@ ShardMask Evaluator::ReachMask(FunctorId functor, Word goal) const {
   return pred->eval_reach_mask() | self;
 }
 
+const TableSpec* Evaluator::SpecFor(FunctorId functor) const {
+  const Predicate* pred = machine_->program()->Lookup(functor);
+  return pred == nullptr ? nullptr : pred->table_spec();
+}
+
 Status Evaluator::EnsureOwnedForCall(FunctorId functor) {
   ShardMask need = ReachMask(functor) & ~owned_shards_;
   if (need == 0) return Status::Ok();
@@ -382,7 +387,8 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledCall(
     return CallOutcome::kError;
   }
   auto [id, created] =
-      tables_->LookupOrCreate(*store, goal, *functor, batch.id);
+      tables_->LookupOrCreate(*store, goal, *functor, batch.id,
+                              SpecFor(*functor));
   // The consuming table depends on the consumed one: an update invalidating
   // `id` must also invalidate whoever built answers from it.
   SubgoalId caller = CurrentSubgoal();
@@ -429,10 +435,23 @@ TabledCallHandler::CallOutcome Evaluator::OnTabledAnswer(Machine* machine,
                                                          Word call_instance) {
   TermStore* store = machine->store();
   SubgoalId id = static_cast<SubgoalId>(subgoal_index);
+  AnswerInsert outcome = tables_->AddAnswer(id, *store, call_instance);
+  if (outcome == AnswerInsert::kBadAggregate) {
+    machine->SetError(TypeError(
+        "answer subsumption: min/max argument must be an integer"));
+    return CallOutcome::kError;
+  }
+  // A replacement is an insertion: the table grew (the beaten answer was
+  // retired in place, not unlinked), so suspended consumers see it as a new
+  // answer and re-fire — exactly the wake semantics of a fresh answer.
+  bool fresh =
+      outcome == AnswerInsert::kNew || outcome == AnswerInsert::kReplaced;
 #ifdef XSB_MODE_ORACLE
-  CheckAnswerModes(id, call_instance);
+  // Only answers actually stored are asserted against the published success
+  // modes: lattice-dropped candidates never become answers of the predicate,
+  // and answers later retired by a replacement were valid when stored.
+  if (fresh) CheckAnswerModes(id, call_instance);
 #endif
-  bool fresh = tables_->AddAnswer(id, *store, call_instance);
   if (fresh && !batches_.empty()) {
     Batch& batch = batches_.back();
     if (batch.stop_on_answer == id) {
@@ -544,6 +563,13 @@ Status Evaluator::RunBatchLoop(size_t batch_index) {
         Consumer& c = batches_[batch_index].consumers[ci];
         const AnswerTable* producer = tables_->subgoal(c.producer).table();
         if (c.next_answer >= producer->size()) break;
+        if (!producer->live(c.next_answer)) {
+          // Answer subsumption: retired (beaten) answers are not delivered —
+          // the replacement that retired them sits later in the same table
+          // and re-fires this consumer instead.
+          ++batches_[batch_index].consumers[ci].next_answer;
+          continue;
+        }
         producer->ReadAnswer(c.next_answer, &answer);
         ++batches_[batch_index].consumers[ci].next_answer;
         SubgoalId owner = batches_[batch_index].consumers[ci].owner;
@@ -573,7 +599,8 @@ Status Evaluator::EvaluateToCompletion(Word goal, FunctorId functor,
   size_t batch_index = batches_.size() - 1;
 
   auto [root, created] =
-      tables_->LookupOrCreate(*store, goal, functor, batches_[batch_index].id);
+      tables_->LookupOrCreate(*store, goal, functor, batches_[batch_index].id,
+                              SpecFor(functor));
   if (created) {
     SeedSubgoalDeps(root, functor);
   } else if (tables_->NeedsReevaluation(root)) {
@@ -795,6 +822,7 @@ TabledCallHandler::CallOutcome Evaluator::OnTFindall(Machine* machine,
   FlatTerm answer;
   FlatTerm instance_scratch;
   for (size_t i = 0; i < table.size(); ++i) {
+    if (!table.live(i)) continue;  // answer retired by lattice subsumption
     table.ReadAnswer(i, &answer);
     size_t trail = store->TrailMark();
     size_t heap = store->HeapMark();
@@ -896,6 +924,8 @@ TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
   info.epochs_retired = tables_->stats().epochs_retired;
   info.coarse_fallbacks = tables_->stats().coarse_fallbacks;
   info.mode_violations = tables_->stats().mode_violations;
+  info.subsumed_dropped = tables_->stats().subsumed_dropped;
+  info.subsumed_replaced = tables_->stats().subsumed_replaced;
   if (goal == 0) {
     // Aggregate over the whole table space.
     info.found = true;
@@ -912,7 +942,7 @@ TabledCallHandler::TableStatsInfo Evaluator::GetTableStats(Machine* machine,
     const Subgoal& sg = tables_->subgoal(id);
     info.found = true;
     info.subgoals = 1;
-    info.answers = sg.table()->size();
+    info.answers = sg.table()->live_size();
     info.trie_nodes = sg.table()->trie_nodes();
     info.bytes = exclusive ? sg.table()->bytes() : 0;
   }

@@ -213,6 +213,10 @@ class Evaluator : public TabledCallHandler, public TableUpdateListener {
   // race; the batch then unwinds and restarts coarse.
   Status EnsureOwnedForCall(FunctorId functor);
 
+  // The predicate's answer-subsumption declaration, or nullptr for plain
+  // tabling; passed to TableSpace::LookupOrCreate at table creation.
+  const TableSpec* SpecFor(FunctorId functor) const;
+
   Machine* machine_;
   std::unique_ptr<TableSpace> owned_tables_;  // null in shared mode
   TableSpace* tables_;

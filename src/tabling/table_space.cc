@@ -12,7 +12,7 @@ AnswerTrie::ReadScratch& AnswerTrie::Scratch() {
 }
 
 bool AnswerTrie::Insert(const TermStore& store, Word instance,
-                        size_t* saved_cells) {
+                        size_t* saved_cells, size_t* index) {
   // Factor `instance` against the template in one lockstep walk: the
   // template's flat cells are traversed in preorder while the work stack
   // tracks the corresponding heap subterms. At a template variable's first
@@ -58,17 +58,21 @@ bool AnswerTrie::Insert(const TermStore& store, Word instance,
   for (Word token : encode_scratch_) {
     node = trie_.Extend(node, token, nullptr);
   }
-  if (trie_.payload(node) != TokenTrie::kNoPayload) return false;  // duplicate
+  if (trie_.payload(node) != TokenTrie::kNoPayload) {  // duplicate
+    if (index != nullptr) *index = trie_.payload(node);
+    return false;
+  }
   // Publication order: link the leaf, then release the new answer count —
   // a concurrent enumerator that observes size() >= k finds answer k-1
   // fully formed.
-  size_t i = leaves_.EmplaceBack(
-      Leaf{node, static_cast<uint32_t>(var_scratch_.size())});
+  size_t i =
+      leaves_.EmplaceBack(node, static_cast<uint32_t>(var_scratch_.size()));
   trie_.set_payload(node, static_cast<uint32_t>(i));
   num_answers_.store(i + 1, std::memory_order_release);
   if (saved_cells != nullptr) {
     *saved_cells = full_cells - bindings_scratch_.size();
   }
+  if (index != nullptr) *index = i;
   return true;
 }
 
@@ -127,14 +131,114 @@ size_t AnswerTrie::bytes() const {
          template_.cells.capacity() * sizeof(Word);
 }
 
-bool AnswerTable::Insert(const TermStore& store, Word instance,
-                         size_t* saved_cells) {
-  if (use_trie_) return trie_.Insert(store, instance, saved_cells);
+bool AnswerTable::StoreAnswer(const TermStore& store, Word instance,
+                              size_t* saved_cells, size_t* index) {
+  if (use_trie_) return trie_.Insert(store, instance, saved_cells, index);
   if (saved_cells != nullptr) *saved_cells = 0;
   FlatTerm answer = Flatten(store, instance);
-  bool fresh = hash_index_.insert(answer).second;
-  if (fresh) answers_.push_back(std::move(answer));
-  return fresh;
+  auto it = hash_index_.insert(answer);
+  if (!it.second) {
+    if (index != nullptr) {
+      // Hash mode has no payload back-pointer; recover the index by scan.
+      // Single-threaded ablation store only — not a hot path.
+      for (size_t i = 0; i < answers_.size(); ++i) {
+        if (answers_[i] == answer) {
+          *index = i;
+          break;
+        }
+      }
+    }
+    return false;
+  }
+  if (index != nullptr) *index = answers_.size();
+  answers_.push_back(std::move(answer));
+  if (spec_.subsumptive()) dead_.push_back(0);
+  return true;
+}
+
+void AnswerTable::RetireAnswerAt(size_t i) {
+  if (use_trie_) {
+    trie_.RetireLeaf(i);
+  } else {
+    dead_[i] = 1;
+  }
+  num_retired_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AnswerInsert AnswerTable::Insert(const TermStore& store, Word instance,
+                                 size_t* saved_cells) {
+  if (spec_.subsumptive()) {
+    return InsertSubsumptive(store, instance, saved_cells);
+  }
+  return StoreAnswer(store, instance, saved_cells, nullptr)
+             ? AnswerInsert::kNew
+             : AnswerInsert::kDuplicate;
+}
+
+AnswerInsert AnswerTable::InsertSubsumptive(const TermStore& store,
+                                            Word instance,
+                                            size_t* saved_cells) {
+  const int agg_pos = spec_.agg_pos;
+  const TableSpec::Arg& agg = spec_.args[agg_pos];
+  Word instance_deref = store.Deref(instance);
+  Word agg_value = store.Deref(store.Arg(instance_deref, agg_pos));
+  int64_t value = 0;
+  if (agg.agg != TableSpec::Agg::kFirst) {
+    // min/max compare integers; anything else is a type error the evaluator
+    // raises at the answer site.
+    if (!IsInt(agg_value)) return AnswerInsert::kBadAggregate;
+    value = IntValue(agg_value);
+  }
+  // Aggregate key: the canonical flatten of every non-aggregated argument.
+  // Two answers collapse iff they are variants outside the lattice position.
+  key_scratch_.cells.clear();
+  key_vars_.clear();
+  int arity = static_cast<int>(spec_.args.size());
+  for (int i = 0; i < arity; ++i) {
+    if (i == agg_pos) continue;
+    FlattenAppend(store, store.Arg(instance_deref, i), &key_scratch_.cells,
+                  &key_vars_);
+  }
+  key_scratch_.num_vars = static_cast<uint32_t>(key_vars_.size());
+  auto [it, created] = agg_index_.try_emplace(key_scratch_);
+  AggEntry& entry = it->second;
+
+  if (agg.agg == TableSpec::Agg::kFirst) {
+    if (entry.count >= agg.n) {
+      if (created) agg_index_.erase(it);  // n == 0: nothing is ever kept
+      return AnswerInsert::kSubsumedDropped;
+    }
+    size_t index = 0;
+    if (!StoreAnswer(store, instance, saved_cells, &index)) {
+      return AnswerInsert::kDuplicate;
+    }
+    ++entry.count;
+    return AnswerInsert::kNew;
+  }
+
+  if (!created) {
+    bool better = agg.agg == TableSpec::Agg::kMin ? value < entry.best
+                                                  : value > entry.best;
+    if (!better) {
+      // Equal value + equal key means a variant of the kept answer; a worse
+      // value is lattice-subsumed. Neither touches the trie.
+      return value == entry.best ? AnswerInsert::kDuplicate
+                                 : AnswerInsert::kSubsumedDropped;
+    }
+  }
+  // Store first, retire second: the beaten answer stays readable (frozen)
+  // for any cursor currently parked on it, and the table never passes
+  // through a state with zero live answers for this key. The new answer is
+  // provably trie-fresh — per-key values move strictly through the lattice,
+  // so this (key, value) pair has never been stored.
+  size_t index = 0;
+  if (!StoreAnswer(store, instance, saved_cells, &index)) {
+    return AnswerInsert::kDuplicate;  // defensive; see invariant above
+  }
+  if (!created) RetireAnswerAt(entry.live_index);
+  entry.best = value;
+  entry.live_index = index;
+  return created ? AnswerInsert::kNew : AnswerInsert::kReplaced;
 }
 
 void AnswerTable::ReadAnswer(size_t i, FlatTerm* out) const {
@@ -155,8 +259,14 @@ void AnswerTable::ReadBindings(size_t i, FlatTerm* out) const {
 }
 
 size_t AnswerTable::bytes() const {
-  if (use_trie_) return trie_.bytes();
-  size_t total = answers_.capacity() * sizeof(FlatTerm);
+  size_t agg_bytes = 0;
+  for (const auto& [key, entry] : agg_index_) {
+    agg_bytes += key.cells.capacity() * sizeof(Word) + sizeof(AggEntry) +
+                 2 * sizeof(void*);
+  }
+  if (use_trie_) return trie_.bytes() + agg_bytes;
+  size_t total = agg_bytes + dead_.capacity() +
+                 answers_.capacity() * sizeof(FlatTerm);
   for (const FlatTerm& t : answers_) {
     // Stored twice: once in the vector, once as the hash-set key.
     total += 2 * t.cells.capacity() * sizeof(Word);
@@ -170,7 +280,8 @@ std::atomic<TableSpace::SchedulePerturbFn> TableSpace::perturb_hook_{nullptr};
 std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const TermStore& store,
                                                       Word goal,
                                                       FunctorId functor,
-                                                      uint64_t batch_id) {
+                                                      uint64_t batch_id,
+                                                      const TableSpec* spec) {
   Perturb("table.lookup_or_create");
   std::lock_guard<std::mutex> lock(structure_mutex_);
   TokenTrie::NodeId leaf = call_trie_.LookupOrInsert(store, goal);
@@ -184,7 +295,8 @@ std::pair<SubgoalId, bool> TableSpace::LookupOrCreate(const TermStore& store,
   sg.call_leaf = leaf;
   sg.functor = functor;
   sg.batch_id = batch_id;
-  sg.answers.store(new AnswerTable(answer_trie_, &interns_, sg.call),
+  if (spec != nullptr) sg.spec = *spec;
+  sg.answers.store(new AnswerTable(answer_trie_, &interns_, sg.call, sg.spec),
                    std::memory_order_release);
   // Publish last: a lock-free prober that reads this payload finds the
   // subgoal fully initialized.
@@ -201,22 +313,37 @@ SubgoalId TableSpace::Lookup(const TermStore& store, Word goal) const {
                                           : static_cast<SubgoalId>(payload);
 }
 
-bool TableSpace::AddAnswer(SubgoalId id, const TermStore& store,
-                           Word instance) {
+AnswerInsert TableSpace::AddAnswer(SubgoalId id, const TermStore& store,
+                                   Word instance) {
   Perturb("answer.insert");
   size_t saved = 0;
-  bool fresh = subgoals_[id].table()->Insert(store, instance, &saved);
-  if (fresh) {
-    ++stats_.answers_inserted;
-    stats_.factored_cells_saved += saved;
-  } else {
-    ++stats_.duplicate_answers;
+  AnswerInsert outcome =
+      subgoals_[id].table()->Insert(store, instance, &saved);
+  switch (outcome) {
+    case AnswerInsert::kNew:
+      ++stats_.answers_inserted;
+      stats_.factored_cells_saved += saved;
+      break;
+    case AnswerInsert::kReplaced:
+      ++stats_.answers_inserted;
+      ++stats_.subsumed_replaced;
+      stats_.factored_cells_saved += saved;
+      break;
+    case AnswerInsert::kDuplicate:
+      ++stats_.duplicate_answers;
+      break;
+    case AnswerInsert::kSubsumedDropped:
+      ++stats_.subsumed_dropped;
+      break;
+    case AnswerInsert::kBadAggregate:
+      break;  // the evaluator raises the type error
   }
-  return fresh;
+  return outcome;
 }
 
 void TableSpace::RetireAnswers(Subgoal& sg) {
-  AnswerTable* fresh = new AnswerTable(answer_trie_, &interns_, sg.call);
+  AnswerTable* fresh =
+      new AnswerTable(answer_trie_, &interns_, sg.call, sg.spec);
   AnswerTable* old = sg.answers.exchange(fresh, std::memory_order_acq_rel);
   uint64_t stamp = epochs_.Retire();
   std::lock_guard<std::mutex> lock(retired_mutex_);
@@ -399,7 +526,7 @@ size_t TableSpace::total_answers() const {
   size_t total = 0;
   size_t n = subgoals_.size();
   for (size_t i = 0; i < n; ++i) {
-    if (const AnswerTable* t = subgoals_[i].table()) total += t->size();
+    if (const AnswerTable* t = subgoals_[i].table()) total += t->live_size();
   }
   return total;
 }

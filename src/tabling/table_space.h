@@ -32,6 +32,18 @@ enum class SubgoalState : uint8_t {
   kDisposed,    // deleted by tcut / existential negation
 };
 
+// Outcome of inserting one answer instance. For plain tables only the first
+// two occur; answer-subsumption tables (`:- table p(_, min)`) additionally
+// drop lattice-subsumed answers and replace subsumed existing ones.
+enum class AnswerInsert : uint8_t {
+  kNew,             // stored; consumers must be woken
+  kDuplicate,       // variant of a stored answer; ignored
+  kSubsumedDropped, // an existing answer is at least as good; dropped
+  kReplaced,        // stored, and the beaten answer was retired in place —
+                    // consumers must be woken exactly like for kNew
+  kBadAggregate,    // min/max position not bound to an integer (type error)
+};
+
 // Discrimination trie over answers: the answer-clause index of section 4.5,
 // grown into the *primary* answer store with XSB's substitution factoring.
 // An answer of subgoal `path(1,Y)` is not stored as the full instance
@@ -59,11 +71,24 @@ class AnswerTrie {
   // Factors the heap term `instance` — an instance of the call template —
   // into its binding stream and inserts it. Returns true if the answer was
   // new; then *saved_cells (may be null) is the number of flat cells that
-  // factoring avoided storing versus the full instance.
-  bool Insert(const TermStore& store, Word instance, size_t* saved_cells);
+  // factoring avoided storing versus the full instance. *index (may be null)
+  // receives the answer's insertion-order index, new or existing.
+  bool Insert(const TermStore& store, Word instance, size_t* saved_cells,
+              size_t* index = nullptr);
 
   size_t size() const {
     return num_answers_.load(std::memory_order_acquire);
+  }
+
+  // Per-answer retirement (answer subsumption): a beaten answer is flagged,
+  // not unlinked — indices stay stable and open cursors can still read it,
+  // they just skip it as dead. Flag writes come only from the table's single
+  // mutator; readers acquire-load.
+  void RetireLeaf(size_t i) {
+    leaves_[i].retired.store(1, std::memory_order_release);
+  }
+  bool leaf_live(size_t i) const {
+    return leaves_[i].retired.load(std::memory_order_acquire) == 0;
   }
 
   // Reconstructs full answer `i` (insertion order) by splicing its binding
@@ -81,8 +106,13 @@ class AnswerTrie {
 
  private:
   struct Leaf {
+    Leaf(TokenTrie::NodeId node_in, uint32_t num_vars_in)
+        : node(node_in), num_vars(num_vars_in) {}
     TokenTrie::NodeId node;
     uint32_t num_vars;  // variables in the binding stream
+    // Answer subsumption: set once (by the single mutator) when a better
+    // answer replaces this one. Never cleared.
+    std::atomic<uint8_t> retired{0};
   };
 
   // Per-thread read-back scratch: concurrent enumerators of one completed
@@ -118,18 +148,41 @@ class AnswerTrie {
 // which stores every answer's cells twice.
 class AnswerTable : public AnswerSource {
  public:
-  AnswerTable(bool use_trie, InternTable* interns, FlatTerm call_template)
-      : use_trie_(use_trie), trie_(interns, std::move(call_template)) {}
+  // `spec` (copied) enables answer subsumption when it has an aggregated
+  // argument; the default spec is plain tabling.
+  AnswerTable(bool use_trie, InternTable* interns, FlatTerm call_template,
+              TableSpec spec = TableSpec())
+      : use_trie_(use_trie),
+        spec_(std::move(spec)),
+        trie_(interns, std::move(call_template)) {}
 
-  // Returns true (and stores) if the answer instance was not already
-  // present. *saved_cells as in AnswerTrie::Insert (0 in hash mode).
-  bool Insert(const TermStore& store, Word instance, size_t* saved_cells);
+  // Inserts the answer instance; see AnswerInsert for the outcomes.
+  // *saved_cells as in AnswerTrie::Insert (0 in hash mode). For subsumptive
+  // tables the lattice decision happens here, on the insert hot path: the
+  // per-key aggregate index is consulted before any trie walk, so subsumed
+  // answers are dropped without touching the trie, and a replacement
+  // appends its leaf first and only then retires the beaten one (cursors at
+  // the old answer stay sound; the count grows so suspended consumers wake).
+  AnswerInsert Insert(const TermStore& store, Word instance,
+                      size_t* saved_cells);
 
   // AnswerSource: enumeration in insertion order, stable under growth.
   size_t size() const override {
     return use_trie_ ? trie_.size() : answers_.size();
   }
   void ReadAnswer(size_t i, FlatTerm* out) const override;
+
+  // AnswerSource: false for answers retired by a subsuming replacement.
+  // Indices stay readable either way; enumerators skip dead ones.
+  bool live(size_t i) const override {
+    if (!spec_.subsumptive()) return true;
+    return use_trie_ ? trie_.leaf_live(i) : dead_[i] == 0;
+  }
+  // Answers not beaten by a replacement. Relaxed: the count is a statistic
+  // (table_stats/2), not a synchronization point.
+  size_t live_size() const {
+    return size() - num_retired_.load(std::memory_order_relaxed);
+  }
 
   // Factored enumeration (trie mode only; null template in hash mode makes
   // callers fall back to ReadAnswer).
@@ -140,14 +193,39 @@ class AnswerTable : public AnswerSource {
 
   bool empty() const { return size() == 0; }
 
+  const TableSpec& spec() const { return spec_; }
+
   size_t trie_nodes() const { return use_trie_ ? trie_.node_count() : 0; }
   size_t bytes() const;
 
  private:
+  // Lattice bookkeeping per aggregate key (the flattened non-aggregated
+  // arguments): current best value + its live answer index for min/max,
+  // kept-answer count for first(N).
+  struct AggEntry {
+    int64_t best = 0;
+    size_t live_index = 0;
+    int64_t count = 0;
+  };
+
+  AnswerInsert InsertSubsumptive(const TermStore& store, Word instance,
+                                 size_t* saved_cells);
+  // Plain store shared by both paths: trie or hash-mode vector.
+  bool StoreAnswer(const TermStore& store, Word instance, size_t* saved_cells,
+                   size_t* index);
+  void RetireAnswerAt(size_t i);
+
   bool use_trie_;
+  TableSpec spec_;
   AnswerTrie trie_;
   std::vector<FlatTerm> answers_;  // hash mode only
   std::unordered_set<FlatTerm, FlatTermHash> hash_index_;
+  std::vector<uint8_t> dead_;  // hash mode: parallels answers_
+  std::atomic<size_t> num_retired_{0};
+  std::unordered_map<FlatTerm, AggEntry, FlatTermHash> agg_index_;
+  // Key-building scratch (single mutator, like the trie's insert scratch).
+  FlatTerm key_scratch_;
+  std::vector<uint64_t> key_vars_;
 };
 
 // A suspended consumer: the copied (call, continuation) pair plus a cursor
@@ -179,6 +257,9 @@ struct Subgoal {
   // Leaf of this subgoal's path in the call trie (the variant index).
   TokenTrie::NodeId call_leaf = TokenTrie::kNilNode;
   FunctorId functor = 0;
+  // Answer-subsumption spec captured from the predicate at table creation;
+  // re-evaluation and retirement rebuild answer tables with the same spec.
+  TableSpec spec;
   std::atomic<SubgoalState> state{SubgoalState::kIncomplete};
   // Evaluation batch that created it. Written under the structure mutex at
   // creation; read by the owning batch and by same-thread reentrancy checks.
@@ -220,6 +301,11 @@ struct TableStats {
   std::atomic<uint64_t> subgoals_disposed{0};
   std::atomic<uint64_t> answers_inserted{0};
   std::atomic<uint64_t> duplicate_answers{0};
+  // Answer subsumption (`:- table p(_, min)`): answers dropped because an
+  // existing one was at least as good / answers stored by beating (and
+  // retiring) an existing one.
+  std::atomic<uint64_t> subsumed_dropped{0};
+  std::atomic<uint64_t> subsumed_replaced{0};
   std::atomic<uint64_t> consumer_suspensions{0};
   std::atomic<uint64_t> consumer_resumptions{0};
   std::atomic<uint64_t> tables_invalidated{0};
@@ -290,9 +376,12 @@ class TableSpace {
   // mutex internally (trie insert + subgoal init + payload publish are one
   // critical section); the caller's batch must own `functor`'s shard, which
   // makes it the only possible creator/evaluator of this variant.
+  // `spec` (optional) is the predicate's answer-subsumption declaration; it
+  // is copied onto the subgoal at creation and ignored on a lookup hit.
   std::pair<SubgoalId, bool> LookupOrCreate(const TermStore& store, Word goal,
                                             FunctorId functor,
-                                            uint64_t batch_id);
+                                            uint64_t batch_id,
+                                            const TableSpec* spec = nullptr);
   // Lookup without creating; kNoSubgoal if absent. Never mutates the trie
   // or the intern store; lock-free. Under concurrency a kNoSubgoal result
   // is advisory (the variant may have been inserted concurrently) — the
@@ -303,9 +392,10 @@ class TableSpace {
   const Subgoal& subgoal(SubgoalId id) const { return subgoals_[id]; }
 
   // Inserts the answer instance (a heap instance of `id`'s call) after
-  // factoring out the call's ground skeleton; returns true if new. Caller:
+  // factoring out the call's ground skeleton; see AnswerInsert for the
+  // outcomes (kNew/kReplaced mean "stored — wake consumers"). Caller:
   // the batch owning `id`'s shard — the table's single mutator.
-  bool AddAnswer(SubgoalId id, const TermStore& store, Word instance);
+  AnswerInsert AddAnswer(SubgoalId id, const TermStore& store, Word instance);
 
   // Removes the subgoal from the call index and drops its answers (tcut /
   // existential negation, abolish_table_call/1). The id remains valid but

@@ -1,0 +1,344 @@
+// Answer subsumption (lattice aggregation in the answer-trie insert path):
+// `:- table p(_, min)` declarations keep only the lattice-best answer per
+// key. These tier-1 tests cover the core semantics (min / max / first(N)),
+// the table_stats counters, the parser and analyzer diagnostics (T001 /
+// T002), cursor safety while answers are replaced, incremental invalidation
+// of subsumptive tables, and concurrent serving of a min table. The seeded
+// 51-graph differential sweep lives in subsumption_property_test.cc (tier 2).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "server/query_service.h"
+#include "xsb/engine.h"
+
+namespace xsb {
+namespace {
+
+using analysis::AnalysisResult;
+using analysis::DiagCode;
+using analysis::Diagnostic;
+using analysis::Severity;
+
+const Diagnostic* FindCode(const AnalysisResult& result, DiagCode code) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+// Shortest path over a cyclic weighted digraph. Without subsumption the
+// cycle a -> b -> c -> a would enumerate unboundedly many walk costs; with
+// the min lattice each (X, Y) key keeps one strictly decreasing cost, so
+// SLG terminates.
+const char kShortestPath[] =
+    ":- table sp(_, _, min).\n"
+    "sp(X, Y, C) :- edge(X, Y, C).\n"
+    "sp(X, Y, C) :- sp(X, Z, C1), edge(Z, Y, C2), C is C1 + C2.\n"
+    "edge(a, b, 3). edge(b, c, 4). edge(a, c, 10). edge(c, a, 1).\n";
+
+std::map<std::pair<std::string, std::string>, std::string> AllPairs(
+    Engine& engine, const std::string& pred) {
+  std::map<std::pair<std::string, std::string>, std::string> best;
+  Status s = engine.ForEach(pred + "(X, Y, C)", [&](const Answer& a) {
+    auto [it, inserted] = best.try_emplace({a["X"], a["Y"]}, a["C"]);
+    EXPECT_TRUE(inserted) << "two live answers for key (" << a["X"] << ", "
+                          << a["Y"] << ")";
+    return true;
+  });
+  EXPECT_TRUE(s.ok()) << s.message();
+  return best;
+}
+
+TEST(Subsumption, MinShortestPathOnCyclicGraph) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kShortestPath).ok());
+  auto best = AllPairs(engine, "sp");
+  // All 9 ordered pairs are connected through the a -> b -> c -> a cycle.
+  EXPECT_EQ(best.size(), 9u);
+  EXPECT_EQ((best[{"a", "b"}]), "3");
+  EXPECT_EQ((best[{"a", "c"}]), "7");   // a-b-c beats the direct 10 edge
+  EXPECT_EQ((best[{"c", "b"}]), "4");   // c-a-b
+  EXPECT_EQ((best[{"a", "a"}]), "8");   // around the full cycle: 3 + 4 + 1
+  EXPECT_EQ((best[{"b", "b"}]), "8");
+  EXPECT_EQ((best[{"c", "c"}]), "8");
+
+  // The open call keeps exactly one live answer per key.
+  EXPECT_EQ(engine.Count("sp(a, c, C)").value(), 1u);
+  EXPECT_TRUE(engine.Holds("sp(a, c, 7)").value());
+  // Caveat (documented in DESIGN.md): a call that *binds* the aggregated
+  // argument is its own variant subgoal, so it checks derivability of that
+  // cost rather than consulting the open call's minimum.
+  EXPECT_TRUE(engine.Holds("sp(a, c, 10)").value());
+}
+
+TEST(Subsumption, MaxWidestPath) {
+  // Widest path (maximize the bottleneck capacity); the max lattice keeps
+  // the strictly increasing best per pair and terminates on the cycle.
+  Engine engine;
+  ASSERT_TRUE(
+      engine
+          .ConsultString(":- table wp(_, _, max).\n"
+                         "wp(X, Y, W) :- edge(X, Y, W).\n"
+                         "wp(X, Y, W) :- wp(X, Z, W1), edge(Z, Y, W2), "
+                         "W is min(W1, W2).\n"
+                         "edge(a, b, 5). edge(b, c, 3). edge(a, c, 2). "
+                         "edge(c, a, 9).\n")
+          .ok());
+  auto best = AllPairs(engine, "wp");
+  EXPECT_EQ((best[{"a", "b"}]), "5");
+  EXPECT_EQ((best[{"a", "c"}]), "3");  // a-b-c bottleneck 3 beats direct 2
+  EXPECT_EQ((best[{"c", "b"}]), "5");  // c-a-b bottleneck min(9,5)
+}
+
+TEST(Subsumption, FirstNCapsCardinality) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine
+          .ConsultString(":- table pick(first(2)).\n"
+                         "pick(X) :- num(X).\n"
+                         "num(1). num(2). num(3). num(4).\n")
+          .ok());
+  // One key (no non-aggregated args): at most 2 answers survive.
+  EXPECT_EQ(engine.Count("pick(X)").value(), 2u);
+}
+
+TEST(Subsumption, FirstNIsPerKey) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine
+          .ConsultString(":- table fk(_, first(1)).\n"
+                         "fk(K, V) :- pair(K, V).\n"
+                         "pair(a, 1). pair(a, 2). pair(b, 7).\n")
+          .ok());
+  EXPECT_EQ(engine.Count("fk(K, V)").value(), 2u);
+  EXPECT_EQ(engine.Count("fk(a, V)").value(), 1u);
+  EXPECT_EQ(engine.Count("fk(b, V)").value(), 1u);
+}
+
+TEST(Subsumption, TableStatsCountsDropsAndReplacements) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kShortestPath).ok());
+  ASSERT_EQ(engine.Count("sp(X, Y, C)").value(), 9u);
+  const auto& stats = engine.evaluator().tables().stats();
+  // The cycle derives many walk costs per pair: worse ones are dropped,
+  // better ones replace (a - c via b replaces the direct 10-cost edge).
+  EXPECT_GE(stats.subsumed_dropped.load(), 1u);
+  EXPECT_GE(stats.subsumed_replaced.load(), 1u);
+
+  // ...and both surface through the table_stats/2 builtin.
+  bool saw_dropped = false;
+  bool saw_replaced = false;
+  Status s = engine.ForEach("table_stats(all, S)", [&](const Answer& a) {
+    saw_dropped = a["S"].find("subsumed_dropped") != std::string::npos;
+    saw_replaced = a["S"].find("subsumed_replaced") != std::string::npos;
+    return false;
+  });
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_TRUE(saw_dropped);
+  EXPECT_TRUE(saw_replaced);
+}
+
+TEST(Subsumption, EqualValueIsAVariantNotAReplacement) {
+  // Two derivations of the same cost: the second is a duplicate, the key
+  // still has exactly one live answer.
+  Engine engine;
+  ASSERT_TRUE(
+      engine
+          .ConsultString(":- table sp(_, _, min).\n"
+                         "sp(X, Y, C) :- edge(X, Y, C).\n"
+                         "sp(X, Y, C) :- sp(X, Z, C1), edge(Z, Y, C2), "
+                         "C is C1 + C2.\n"
+                         "edge(a, b, 2). edge(b, d, 3). edge(a, c, 2). "
+                         "edge(c, d, 3).\n")
+          .ok());
+  EXPECT_EQ(engine.Count("sp(a, d, C)").value(), 1u);
+  EXPECT_TRUE(engine.Holds("sp(a, d, 5)").value());
+}
+
+TEST(Subsumption, MinRequiresIntegerAggregate) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine
+          .ConsultString(":- table v(_, min).\n"
+                         "v(K, C) :- w(K, C).\n"
+                         "w(a, oops).\n")
+          .ok());
+  Status s = engine.ForEach("v(K, C)", [](const Answer&) { return true; });
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Subsumption, TableSpecParseErrors) {
+  {
+    Engine engine;
+    EXPECT_FALSE(engine.ConsultString(":- table p(_, foo).\n").ok());
+  }
+  {
+    // At most one aggregated argument.
+    Engine engine;
+    EXPECT_FALSE(engine.ConsultString(":- table p(min, max).\n").ok());
+  }
+  {
+    Engine engine;
+    EXPECT_FALSE(engine.ConsultString(":- table p(_, first(-1)).\n").ok());
+  }
+  {
+    // All-underscore spec falls back to a plain (non-subsumptive) table.
+    Engine engine;
+    ASSERT_TRUE(engine
+                    .ConsultString(":- table p(_, _).\n"
+                                   "p(X, Y) :- q(X, Y).\n"
+                                   "q(1, 2). q(1, 3).\n")
+                    .ok());
+    EXPECT_EQ(engine.Count("p(X, Y)").value(), 2u);
+  }
+}
+
+TEST(Subsumption, AnalyzerRejectsSubsumptionThroughNegation) {
+  // p's min aggregate sits in an SCC crossed by negation: the lattice value
+  // is not well-defined (T001, error severity).
+  const char program[] =
+      ":- table p(_, min).\n"
+      ":- table q/1.\n"
+      "p(X, C) :- q(X), C is 1.\n"
+      "q(X) :- num(X), tnot p(X, 0).\n"
+      "num(1).\n";
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(program).ok());
+  AnalysisResult result = engine.Analyze();
+  const Diagnostic* t001 = FindCode(result, DiagCode::kSubsumptionNegation);
+  ASSERT_NE(t001, nullptr);
+  EXPECT_EQ(t001->severity, Severity::kError);
+
+  // Strict-analysis consults refuse the program outright.
+  Engine strict({.strict_analysis = true});
+  EXPECT_FALSE(strict.ConsultString(program).ok());
+}
+
+TEST(Subsumption, AnalyzerDowngradesFirstNInRecursion) {
+  // first(N) in a recursive SCC is evaluation-order dependent: flagged as a
+  // warning (T002), but still accepted — even under strict analysis.
+  const char program[] =
+      ":- table r(_, first(3)).\n"
+      "r(X, V) :- r(X, V).\n"
+      "r(X, V) :- seed(X, V).\n"
+      "seed(1, 1).\n";
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(program).ok());
+  AnalysisResult result = engine.Analyze();
+  const Diagnostic* t002 = FindCode(result, DiagCode::kSubsumptionOrdered);
+  ASSERT_NE(t002, nullptr);
+  EXPECT_EQ(t002->severity, Severity::kWarning);
+
+  Engine strict({.strict_analysis = true});
+  EXPECT_TRUE(strict.ConsultString(program).ok());
+}
+
+// A non-subsumptive stratified program must not trip the new pass.
+TEST(Subsumption, PlainTablesUnaffectedByPass) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString(":- table path/2.\n"
+                                 "path(X,Y) :- edge(X,Y).\n"
+                                 "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+                                 "edge(1,2). edge(2,3).\n")
+                  .ok());
+  AnalysisResult result = engine.Analyze();
+  EXPECT_EQ(FindCode(result, DiagCode::kSubsumptionNegation), nullptr);
+  EXPECT_EQ(FindCode(result, DiagCode::kSubsumptionOrdered), nullptr);
+}
+
+// --- Cursor safety under replacement ---------------------------------------
+
+const char kIncrementalShortestPath[] =
+    ":- table sp(_, _, min).\n"
+    ":- incremental(edge/3).\n"
+    "sp(X, Y, C) :- edge(X, Y, C).\n"
+    "sp(X, Y, C) :- sp(X, Z, C1), edge(Z, Y, C2), C is C1 + C2.\n"
+    "edge(a, b, 5). edge(b, c, 5).\n";
+
+TEST(SubsumptionCursors, OpenCursorSurvivesMidEnumerationImprovement) {
+  // An open AnswerSource on a completed min table keeps enumerating its
+  // frozen snapshot while an assert invalidates the table and a nested
+  // query recomputes it with a better answer (PR 3's retired-answer
+  // freeze); the follow-up query then sees the improved minimum.
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kIncrementalShortestPath).ok());
+  size_t seen = 0;
+  Status s = engine.ForEach("sp(a, Y, C)", [&](const Answer&) {
+    if (seen++ == 0) {
+      EXPECT_TRUE(engine.Holds("assert(edge(a, c, 1))").value());
+      EXPECT_TRUE(engine.Holds("sp(a, c, 1)").value());
+    }
+    return true;
+  });
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_EQ(seen, 2u);  // the snapshot: (b, 5) and (c, 10)
+  EXPECT_EQ(engine.Count("sp(a, c, C)").value(), 1u);
+  EXPECT_TRUE(engine.Holds("sp(a, c, 1)").value());
+}
+
+TEST(SubsumptionCursors, RetractReevaluatesToWorseMinimum) {
+  // Retracting the edge carrying the current best forces re-evaluation;
+  // the recomputed table reflects the (now worse) true minimum.
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kIncrementalShortestPath).ok());
+  ASSERT_TRUE(engine.Holds("assert(edge(a, c, 1))").value());
+  EXPECT_TRUE(engine.Holds("sp(a, c, 1)").value());
+
+  ASSERT_TRUE(engine.Holds("retract(edge(a, c, 1))").value());
+  EXPECT_EQ(engine.Count("sp(a, c, C)").value(), 1u);
+  EXPECT_TRUE(engine.Holds("sp(a, c, 10)").value());
+  EXPECT_GE(engine.evaluator().tables().stats().tables_reevaluated, 1u);
+}
+
+// --- Concurrent serving -----------------------------------------------------
+
+TEST(SubsumptionConcurrent, FourWorkersAgreeOnMinTable) {
+  QueryService service({.num_workers = 4});
+  ASSERT_TRUE(service.Consult(kShortestPath).ok());
+  std::vector<std::future<Result<std::vector<Answer>>>> futures;
+  for (int round = 0; round < 4; ++round) {
+    futures.push_back(service.Submit("sp(a, Y, C)"));
+    futures.push_back(service.Submit("sp(b, Y, C)"));
+    futures.push_back(service.Submit("sp(c, Y, C)"));
+    futures.push_back(service.Submit("sp(X, Y, C)"));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<std::vector<Answer>> r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    // Every enumeration sees exactly one live answer per key.
+    std::set<std::pair<std::string, std::string>> keys;
+    for (const Answer& a : r.value()) {
+      EXPECT_TRUE(keys.insert({a["X"], a["Y"]}).second);
+    }
+    size_t expected = (i % 4 == 3) ? 9u : 3u;
+    EXPECT_EQ(r.value().size(), expected);
+  }
+  EXPECT_TRUE(service.Query("sp(a, c, 7)").ok());
+}
+
+// --- Mode oracle regression --------------------------------------------------
+
+// Under XSB_MODE_ORACLE builds (asan-ubsan / tsan presets) the inferred-mode
+// runtime check must fire only for answers that are actually stored: a
+// subsumed-dropped or replaced-then-retired answer must not be re-checked
+// once its leaf is retired. A replacement-heavy cyclic min query would
+// abort here if the oracle walked retired leaves.
+TEST(SubsumptionModeOracle, ReplacementHeavyQueryPassesOracle) {
+  Engine engine;
+  ASSERT_TRUE(engine.ConsultString(kShortestPath).ok());
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(engine.Count("sp(X, Y, C)").value(), 9u);
+    engine.AbolishAllTables();
+  }
+}
+
+}  // namespace
+}  // namespace xsb
