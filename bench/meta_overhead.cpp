@@ -6,10 +6,23 @@
 // asserted ans/1 relation and the fixpoint is driven by repeated passes —
 // the interpretive strategy one is forced into without engine support
 // (section 3.2's discussion of why interpreters/preprocessors are slow).
+//
+// Two tables:
+//   1. the paper's original comparison — meta-interpreted SLG vs the engine
+//      on cycles (tabling required: plain SLD loops);
+//   2. the full execution-tier ladder on acyclic chains, where every tier
+//      terminates: meta-interpreter → engine SLG → WAM emulator → WAM JIT
+//      (DESIGN.md "Execution tiers"; the JIT column is the ISSUE 9 tier).
+//
+// Usage: meta_overhead [OUT.json]  (JSON carries the ladder rows)
 
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/wam_tier.h"
 #include "xsb/engine.h"
 
 namespace {
@@ -45,9 +58,51 @@ constexpr char kMetaInterpreter[] = R"PROGRAM(
     mi_solve(G) :- retractall(ans(_)), mi_fixpoint, ans(G).
 )PROGRAM";
 
+// Right recursion, so SLD terminates on acyclic data (the non-tabled tiers).
+constexpr char kChainTc[] =
+    "path(X,Y) :- edge(X,Y).\n"
+    "path(X,Y) :- edge(X,Z), path(Z,Y).\n";
+
+double TimeEngine(const std::string& edges) {
+  xsb::Engine engine;
+  if (!engine
+           .ConsultString(":- table path/2.\n"
+                          "path(X,Y) :- edge(X,Y).\n"
+                          "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges)
+           .ok()) {
+    std::abort();
+  }
+  return xsb::bench::TimeBest([&]() {
+    engine.AbolishAllTables();
+    auto r = engine.Count("path(1, X)");
+    if (!r.ok()) std::abort();
+  });
+}
+
+double TimeMeta(const std::string& edges) {
+  xsb::Engine meta;
+  if (!meta.ConsultString(std::string(kMetaInterpreter) + edges).ok()) {
+    std::abort();
+  }
+  return xsb::bench::TimeBest(
+      [&]() {
+        auto r = meta.Count("mi_solve(path(1, X))");
+        if (!r.ok()) std::abort();
+      },
+      /*min_seconds=*/0.05, /*max_repeats=*/3);
+}
+
+struct LadderRow {
+  int size = 0;
+  double meta = -1;  // < 0: skipped (meta is too slow at this size)
+  double engine = 0;
+  xsb::bench::WamTierRun emu;
+  xsb::bench::WamTierRun jit;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using xsb::bench::Fmt;
   using xsb::bench::FmtMs;
   using xsb::bench::PrintHeader;
@@ -55,38 +110,44 @@ int main() {
 
   PrintHeader("engine SLG vs meta-interpreted SLG: ?- path(1,X) on a cycle");
   PrintRow("cycle size", {"engine ms", "meta ms", "meta/engine"}, 18, 14);
-
   for (int n : {8, 12, 16}) {
     std::string edges = xsb::bench::CycleEdges(n);
-
-    xsb::Engine engine;
-    if (!engine
-             .ConsultString(":- table path/2.\n"
-                            "path(X,Y) :- edge(X,Y).\n"
-                            "path(X,Y) :- path(X,Z), edge(Z,Y).\n" + edges)
-             .ok()) {
-      std::abort();
-    }
-    double native = xsb::bench::TimeBest([&]() {
-      engine.AbolishAllTables();
-      auto r = engine.Count("path(1, X)");
-      if (!r.ok()) std::abort();
-    });
-
-    xsb::Engine meta;
-    if (!meta.ConsultString(std::string(kMetaInterpreter) + edges).ok()) {
-      std::abort();
-    }
-    double interpreted = xsb::bench::TimeBest(
-        [&]() {
-          auto r = meta.Count("mi_solve(path(1, X))");
-          if (!r.ok()) std::abort();
-        },
-        /*min_seconds=*/0.05, /*max_repeats=*/3);
-
+    double native = TimeEngine(edges);
+    double interpreted = TimeMeta(edges);
     PrintRow(std::to_string(n),
              {FmtMs(native), FmtMs(interpreted), Fmt(interpreted / native, 0)},
              18, 14);
+  }
+
+  PrintHeader(
+      "execution tiers: ?- path(1,X) on a chain (meta -> SLG -> WAM -> JIT)");
+  PrintRow("chain size",
+           {"meta ms", "SLG ms", "WAM emu ms", "WAM jit ms", "emu/jit"}, 14,
+           12);
+  std::vector<LadderRow> rows;
+  for (int n : {8, 16, 64, 256}) {
+    LadderRow row;
+    row.size = n;
+    std::string edges = xsb::bench::ChainEdges(n);
+    std::string program = std::string(kChainTc) + edges;
+    // The meta-interpreter recomputes whole passes per fixpoint round
+    // (O(n^3)-ish); past tiny sizes it would dominate the bench's runtime.
+    if (n <= 16) row.meta = TimeMeta(edges);
+    row.engine = TimeEngine(edges);
+    // Small chains solve in microseconds: amplify with in-loop repetitions
+    // so the per-solve time is above timer noise.
+    int reps = n <= 16 ? 400 : (n <= 64 ? 50 : 5);
+    row.emu = xsb::bench::TimeWamTier(program, "path(1, X)",
+                                      /*jit_threshold=*/-1, reps);
+    row.jit = xsb::bench::TimeWamTier(program, "path(1, X)",
+                                      /*jit_threshold=*/0, reps);
+    if (row.emu.answers != row.jit.answers) std::abort();
+    PrintRow(std::to_string(n),
+             {row.meta < 0 ? "-" : FmtMs(row.meta), FmtMs(row.engine),
+              FmtMs(row.emu.seconds), FmtMs(row.jit.seconds),
+              Fmt(row.emu.seconds / row.jit.seconds, 2)},
+             14, 12);
+    rows.push_back(row);
   }
 
   std::printf(
@@ -95,6 +156,37 @@ int main() {
       "instead of interpreting or preprocessing (section 3.2). Our\n"
       "assert-based meta-interpreter recomputes whole passes per fixpoint\n"
       "round, so its gap *grows* with the cycle length; at small sizes it\n"
-      "sits in the paper's hundreds-of-x regime.\n");
+      "sits in the paper's hundreds-of-x regime. The chain ladder extends\n"
+      "Table 3 downward: the same query, each tier dropping one layer of\n"
+      "interpretation (jit column requires x64 + executable pages;\n"
+      "jit_active=%d here).\n",
+      rows.empty() ? 0 : static_cast<int>(rows.back().jit.jit_active));
+
+  if (argc > 1) {
+    std::string json = "{\n  \"bench\": \"meta_overhead\",\n";
+    json += "  \"jit_active\": ";
+    json += (!rows.empty() && rows.back().jit.jit_active) ? "true" : "false";
+    json += ",\n  \"ladder_rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const LadderRow& r = rows[i];
+      json += "    {\"chain_size\": " + std::to_string(r.size) +
+              ", \"answers\": " + std::to_string(r.emu.answers) +
+              ", \"meta_ms\": " +
+              (r.meta < 0 ? std::string("null") : xsb::bench::Fmt(r.meta * 1e3, 3)) +
+              ", \"engine_slg_ms\": " + xsb::bench::Fmt(r.engine * 1e3, 3) +
+              ", \"wam_emulator_ms\": " +
+              xsb::bench::Fmt(r.emu.seconds * 1e3, 3) +
+              ", \"wam_jit_ms\": " + xsb::bench::Fmt(r.jit.seconds * 1e3, 3) +
+              ", \"jit_speedup\": " +
+              xsb::bench::Fmt(r.emu.seconds / r.jit.seconds, 2) +
+              ", \"instructions\": " + std::to_string(r.emu.instructions) +
+              "}";
+      json += (i + 1 < rows.size()) ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    std::ofstream out(argv[1]);
+    out << json;
+    std::printf("wrote %s\n", argv[1]);
+  }
   return 0;
 }

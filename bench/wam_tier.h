@@ -1,0 +1,82 @@
+#ifndef XSB_BENCH_WAM_TIER_H_
+#define XSB_BENCH_WAM_TIER_H_
+
+// Shared harness for timing a goal on the raw WAM layer at a chosen
+// execution tier: jit_threshold = -1 pins the bytecode emulator,
+// jit_threshold = 0 compiles every predicate to native code on first entry
+// (the top rung of the Table 3 ladder; see DESIGN.md "Execution tiers").
+// Benches must pin the tier explicitly — a default-constructed Emulator
+// reads XSB_JIT_THRESHOLD and would tier up mid-measurement.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "db/loader.h"
+#include "parser/reader.h"
+#include "wam/compile.h"
+#include "wam/emulator.h"
+
+namespace xsb::bench {
+
+struct WamTierRun {
+  double seconds = 0;          // best per-solve wall time
+  size_t answers = 0;          // answers from one solve
+  uint64_t instructions = 0;   // WAM instructions retired by one solve
+  bool jit_active = false;     // a native tier exists on this emulator
+  uint64_t jit_compiled = 0;   // predicates actually compiled to x64
+};
+
+// Consults `program`, compiles it, and times `goal` on one emulator built
+// with the given tier-up threshold. Each timed iteration runs the solve
+// `reps` times (amplifies sub-millisecond workloads above timer noise); the
+// returned per-solve time divides that back out. The first solve is untimed
+// warmup, so with threshold 0 the timed runs are all-native.
+inline WamTierRun TimeWamTier(const std::string& program,
+                              const std::string& goal, int64_t jit_threshold,
+                              int reps = 1, double min_seconds = 0.05,
+                              int max_repeats = 7) {
+  SymbolTable symbols;
+  TermStore store(&symbols);
+  Program prog(&symbols);
+  Loader loader(&store, &prog);
+  if (!loader.ConsultString(program).ok()) std::abort();
+  Result<wam::CompiledModule> compiled = wam::CompileModule(&store, prog, {});
+  if (!compiled.ok()) std::abort();
+  wam::EmulatorOptions opts;
+  opts.jit_threshold = jit_threshold;
+  wam::Emulator emulator(&store, &compiled.value(), opts);
+  Result<Word> g = ParseTermString(&store, prog.ops(), goal);
+  if (!g.ok()) std::abort();
+
+  WamTierRun run;
+  run.jit_active = emulator.jit_active();
+  auto solve = [&]() {
+    size_t trail = store.TrailMark();
+    size_t count = 0;
+    Status s = emulator.Solve(g.value(), [&count]() {
+      ++count;
+      return wam::WamAction::kContinue;
+    });
+    store.UndoTrail(trail);
+    if (!s.ok()) std::abort();
+    run.answers = count;
+  };
+  solve();  // warmup: tier-up (if any) happens here, off the clock
+  uint64_t instr0 = emulator.stats().instructions;
+  solve();
+  run.instructions = emulator.stats().instructions - instr0;
+  run.seconds = TimeBest(
+                    [&]() {
+                      for (int i = 0; i < reps; ++i) solve();
+                    },
+                    min_seconds, max_repeats) /
+                reps;
+  run.jit_compiled = emulator.stats().jit_compiled_preds;
+  return run;
+}
+
+}  // namespace xsb::bench
+
+#endif  // XSB_BENCH_WAM_TIER_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "term/cell.h"
+#include "term/rawbuf.h"
 #include "term/symbols.h"
 
 namespace xsb {
@@ -122,10 +123,18 @@ class TermStore {
   // Copies t to fresh heap cells with fresh variables (copy_term/2).
   Word CopyTerm(Word t);
 
+  // --- Native-code access --------------------------------------------------
+
+  // The live heap and trail buffers, exposed so the WAM JIT can bake their
+  // (stable) addresses into generated code and bump-allocate inline. Regular
+  // engine code must keep going through the methods above.
+  RawBuf<Word>& heap_buf() { return heap_; }
+  RawBuf<uint64_t>& trail_buf() { return trail_; }
+
  private:
   SymbolTable* symbols_;
-  std::vector<Word> heap_;
-  std::vector<uint64_t> trail_;
+  RawBuf<Word> heap_;
+  RawBuf<uint64_t> trail_;
   // Scratch for Unify; reused across calls to avoid per-call allocation.
   std::vector<std::pair<Word, Word>> unify_stack_;
 };

@@ -16,7 +16,7 @@ const std::unordered_map<std::string, BuiltinOp>& BuiltinNames() {
       {">/2", BuiltinOp::kGreater},   {">=/2", BuiltinOp::kGreaterEq},
       {"=:=/2", BuiltinOp::kArithEq}, {"=\\=/2", BuiltinOp::kArithNeq},
       {"true/0", BuiltinOp::kTrue},   {"fail/0", BuiltinOp::kFail},
-      {"false/0", BuiltinOp::kFail},
+      {"false/0", BuiltinOp::kFail},  {"wam_stats/2", BuiltinOp::kWamStats},
   };
   return *map;
 }
@@ -102,7 +102,8 @@ class Compiler {
       }
     }
 
-    module_.entries[functor] = Here();
+    size_t begin = Here();
+    module_.entries[functor] = begin;
 
     // Mode specialization: when the published modes prove arguments bound
     // at every analyzed call site and that buys at least one cheaper head
@@ -123,7 +124,11 @@ class Compiler {
       if (!s.ok()) return s;
       module_.code[check_pc].c = static_cast<uint32_t>(Here());
     }
-    return EmitPredicateBody(pred, live, first_keys, switchable, arity);
+    Status s = EmitPredicateBody(pred, live, first_keys, switchable, arity);
+    if (!s.ok()) return s;
+    module_.pred_ranges.push_back(PredRange{
+        functor, static_cast<uint32_t>(begin), static_cast<uint32_t>(Here())});
+    return Status::Ok();
   }
 
   // True when `mode` proves the argument has a known outer symbol.

@@ -1,19 +1,99 @@
 #include "wam/emulator.h"
 
+#include <mutex>
+
 #include "db/program.h"
 
 namespace xsb::wam {
 
 namespace {
 constexpr uint32_t kFailTarget = 0xffffffffu;
+
+std::mutex& GlobalStatsMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+WamStats& GlobalStatsTotals() {
+  static WamStats* t = new WamStats;
+  return *t;
+}
 }  // namespace
 
+WamStats GlobalWamStats() {
+  std::lock_guard<std::mutex> lock(GlobalStatsMutex());
+  return GlobalStatsTotals();
+}
+
+Emulator::Emulator(TermStore* store, const CompiledModule* module,
+                   EmulatorOptions options)
+    : store_(store), module_(module) {
+  if (options.jit_threshold >= 0 && !module->pred_ranges.empty() &&
+      Jit::HostSupported()) {
+    jit_ = std::make_unique<Jit>(this, module, store, options.jit_threshold);
+    if (!jit_->available()) jit_.reset();
+  }
+}
+
+Emulator::~Emulator() { FlushGlobalStats(); }
+
+void Emulator::FlushGlobalStats() {
+  std::lock_guard<std::mutex> lock(GlobalStatsMutex());
+  WamStats& t = GlobalStatsTotals();
+  t.instructions += stats_.instructions - flushed_.instructions;
+  t.choice_points += stats_.choice_points - flushed_.choice_points;
+  t.mode_checks += stats_.mode_checks - flushed_.mode_checks;
+  t.mode_fallbacks += stats_.mode_fallbacks - flushed_.mode_fallbacks;
+  t.jit_compiled_preds +=
+      stats_.jit_compiled_preds - flushed_.jit_compiled_preds;
+  t.jit_entries += stats_.jit_entries - flushed_.jit_entries;
+  t.jit_bailouts += stats_.jit_bailouts - flushed_.jit_bailouts;
+  flushed_ = stats_;
+}
+
+bool Emulator::GroundForMode(Word w) {
+  std::vector<Word>& work = ground_work_;  // reused scratch space
+  work.clear();
+  work.push_back(w);
+  while (!work.empty()) {
+    Word v = store_->Deref(work.back());
+    work.pop_back();
+    if (IsRef(v)) return false;
+    if (IsStruct(v)) {
+      int n = store_->StructArity(v);
+      for (int k = 0; k < n; ++k) work.push_back(store_->Arg(v, k));
+    }
+  }
+  return true;
+}
+
+bool Emulator::BuiltinWamStats() {
+  SymbolTable* symbols = store_->symbols();
+  WamStats snap = stats_;
+  AtomId dash = symbols->InternAtom("-");
+  auto pair = [&](const char* name, uint64_t v) {
+    return store_->MakeStruct2(dash, AtomCell(symbols->InternAtom(name)),
+                               IntCell(static_cast<int64_t>(v)));
+  };
+  std::vector<Word> items = {
+      pair("instructions", snap.instructions),
+      pair("choice_points", snap.choice_points),
+      pair("mode_checks", snap.mode_checks),
+      pair("mode_fallbacks", snap.mode_fallbacks),
+      pair("jit_compiled_preds", snap.jit_compiled_preds),
+      pair("jit_entries", snap.jit_entries),
+      pair("jit_bailouts", snap.jit_bailouts),
+  };
+  Word list = store_->MakeList(items, AtomCell(symbols->nil()));
+  return store_->Unify(x_[1], AtomCell(symbols->InternAtom("all"))) &&
+         store_->Unify(x_[2], list);
+}
+
 bool Emulator::Backtrack(size_t* pc) {
-  if (cps_.empty()) return false;
-  Choice& cp = cps_.back();
+  if (cps_size_ == 0) return false;
+  Choice& cp = cps_[cps_size_ - 1];
   store_->UndoTrail(cp.trail_mark);
   store_->TruncateHeap(cp.heap_mark);
-  frames_.resize(cp.frames_size);
+  frames_size_ = cp.frames_size;
   cur_frame_ = cp.frame;
   if (x_.size() < cp.args.size()) x_.resize(cp.args.size(), 0);
   for (size_t i = 0; i < cp.args.size(); ++i) x_[i] = cp.args[i];
@@ -63,6 +143,12 @@ Result<int64_t> Emulator::Eval(Word expression) {
 }
 
 Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
+  Status status = SolveImpl(goal, on_solution);
+  FlushGlobalStats();
+  return status;
+}
+
+Status Emulator::SolveImpl(Word goal, const WamSolutionFn& on_solution) {
   goal = store_->Deref(goal);
   std::optional<FunctorId> functor = Program::CallableFunctor(*store_, goal);
   if (!functor.has_value()) return TypeError("wam: goal is not callable");
@@ -71,11 +157,14 @@ Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
     return InvalidError("wam: predicate not compiled in this module");
   }
 
-  // Reset machine state.
-  x_.assign(16, 0);
-  frames_.clear();
+  // Reset machine state. The JIT bakes X-register slots into native code, so
+  // keep x_ at least as large as any compiled predicate needs.
+  size_t min_x = jit_ != nullptr ? std::max<size_t>(16, jit_->max_xreg_plus1())
+                                 : 16;
+  x_.assign(min_x, 0);
+  frames_size_ = 0;  // storage kept: see the high-water-mark stack comment
   cur_frame_ = 0;
-  cps_.clear();
+  cps_size_ = 0;
   size_t base_trail = store_->TrailMark();
   size_t base_heap = store_->HeapMark();
 
@@ -101,7 +190,27 @@ Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
     }
   };
 
+  Jit* jit = jit_.get();
+
   while (running) {
+    if (jit != nullptr) {
+      uint8_t jf = jit->FlagsAt(pc);
+      if (jf != 0) {
+        if ((jf & Jit::kFlagEntry) != 0) {
+          jit->OnEntry(pc);
+          jf = jit->FlagsAt(pc);  // compilation may have set kFlagNative
+        }
+        if ((jf & Jit::kFlagNative) != 0) {
+          uint64_t next = jit->Execute(pc, &cont, &s, &write_mode);
+          if (next == Jit::kFailStop) {
+            running = false;
+          } else {
+            pc = next;
+          }
+          continue;
+        }
+      }
+    }
     const Instr& instr = code[pc];
     ++stats_.instructions;
     switch (instr.op) {
@@ -216,25 +325,14 @@ Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
         ++pc;
         break;
       }
-      case Op::kAllocate: {
-        Frame frame;
-        frame.cont_pc = cont;
-        frame.prev_frame = cur_frame_;
-        frame.y.assign(instr.a, 0);
-        frames_.push_back(std::move(frame));
-        cur_frame_ = frames_.size();
+      case Op::kAllocate:
+        AllocateFrame(instr.a, cont);
         ++pc;
         break;
-      }
-      case Op::kDeallocate: {
-        // The frame's storage survives (a choice point below may still
-        // need it); only the E register moves, as in the real WAM.
-        Frame& frame = frames_[cur_frame_ - 1];
-        cont = frame.cont_pc;
-        cur_frame_ = frame.prev_frame;
+      case Op::kDeallocate:
+        cont = DeallocateFrame();
         ++pc;
         break;
-      }
       case Op::kCall:
         cont = pc + 1;
         pc = instr.a;
@@ -244,38 +342,25 @@ Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
         break;
       case Op::kTryMeElse:
       case Op::kTry: {
-        Choice cp;
-        cp.alt_pc = instr.op == Op::kTryMeElse ? instr.a : pc + 1;
-        cp.cont_pc = cont;
-        cp.frame = cur_frame_;
-        cp.frames_size = frames_.size();
-        cp.trail_mark = store_->TrailMark();
-        cp.heap_mark = store_->HeapMark();
-        cp.args.assign(x_.begin(),
-                       x_.begin() + std::min<size_t>(x_.size(), instr.b + 1));
-        cps_.push_back(std::move(cp));
-        ++stats_.choice_points;
-        pc = instr.op == Op::kTryMeElse ? pc + 1 : instr.a;
+        bool me = instr.op == Op::kTryMeElse;
+        PushChoice(me ? instr.a : pc + 1, instr.b, cont);
+        pc = me ? pc + 1 : instr.a;
         break;
       }
       case Op::kRetryMeElse:
-        cont = cps_.back().cont_pc;
-        cps_.back().alt_pc = instr.a;
+        cont = RetryTop(instr.a);
         ++pc;
         break;
       case Op::kRetry:
-        cont = cps_.back().cont_pc;
-        cps_.back().alt_pc = pc + 1;
+        cont = RetryTop(pc + 1);
         pc = instr.a;
         break;
       case Op::kTrustMe:
-        cont = cps_.back().cont_pc;
-        cps_.pop_back();
+        cont = TrustTop();
         ++pc;
         break;
       case Op::kTrust:
-        cont = cps_.back().cont_pc;
-        cps_.pop_back();
+        cont = TrustTop();
         pc = instr.a;
         break;
       case Op::kSwitchOnTerm: {
@@ -317,6 +402,9 @@ Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
             break;
           case BuiltinOp::kUnify:
             ok = store_->Unify(x_[1], x_[2]);
+            break;
+          case BuiltinOp::kWamStats:
+            ok = BuiltinWamStats();
             break;
           case BuiltinOp::kIs: {
             Result<int64_t> v = Eval(x_[2]);
@@ -380,28 +468,13 @@ Status Emulator::Solve(Word goal, const WamSolutionFn& on_solution) {
         // analysis is a verified hint, never trusted).
         ++stats_.mode_checks;
         const std::vector<uint8_t>& spec = module_->mode_specs[instr.a];
-        auto is_ground = [&](Word w) {
-          std::vector<Word>& work = ground_work_;  // reused scratch space
-          work.clear();
-          work.push_back(w);
-          while (!work.empty()) {
-            Word v = store_->Deref(work.back());
-            work.pop_back();
-            if (IsRef(v)) return false;
-            if (IsStruct(v)) {
-              int n = store_->StructArity(v);
-              for (int k = 0; k < n; ++k) work.push_back(store_->Arg(v, k));
-            }
-          }
-          return true;
-        };
         bool ok = true;
         for (uint32_t i = 0; i < instr.b && ok; ++i) {
           uint8_t m = spec[i];
           if (m == kModeNonvar) {
             ok = !IsRef(store_->Deref(x_[i + 1]));
           } else if (m == kModeGround) {
-            ok = is_ground(x_[i + 1]);
+            ok = GroundForMode(x_[i + 1]);
           }
         }
         if (ok) {

@@ -1,12 +1,15 @@
 #ifndef XSB_WAM_EMULATOR_H_
 #define XSB_WAM_EMULATOR_H_
 
+#include <algorithm>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "base/status.h"
 #include "term/store.h"
 #include "wam/instr.h"
+#include "wam/jit.h"
 
 namespace xsb::wam {
 
@@ -21,24 +24,100 @@ struct WamStats {
   // back to the generic copy (a call violating its inferred mode pattern).
   uint64_t mode_checks = 0;
   uint64_t mode_fallbacks = 0;
+  // JIT tier: predicates compiled to native code, native-code entries from
+  // the interpreter loop, and bailouts back into it (every native entry that
+  // did not end the search returns through a bailout at some bytecode pc).
+  uint64_t jit_compiled_preds = 0;
+  uint64_t jit_entries = 0;
+  uint64_t jit_bailouts = 0;
+};
+
+// Aggregate counters across every Emulator in the process, flushed at the
+// end of each Solve. The engine-level wam_stats/2 builtin reports these.
+WamStats GlobalWamStats();
+
+struct EmulatorOptions {
+  // JIT tier-up threshold: <0 disables the JIT, 0 compiles every predicate
+  // on its first call, N>0 tiers a predicate up after N entries. Defaults to
+  // the XSB_JIT_THRESHOLD environment variable (see DefaultJitThreshold).
+  int64_t jit_threshold = DefaultJitThreshold();
 };
 
 // The WAM bytecode emulator: registers, environment stack and choice-point
 // stack over the shared TermStore heap/trail. This is the "compiled"
 // execution tier of the reproduction (Table 3's fastest rows are the
-// WAM-based systems).
+// WAM-based systems); hot predicates additionally tier up to native code
+// through the Jit, which shares the primitives below.
 class Emulator {
  public:
-  Emulator(TermStore* store, const CompiledModule* module)
-      : store_(store), module_(module) {}
+  explicit Emulator(TermStore* store, const CompiledModule* module,
+                    EmulatorOptions options = EmulatorOptions());
+  ~Emulator();
 
   // Proves `goal` (a heap term whose predicate is compiled in the module),
   // invoking the callback per solution with bindings live.
   Status Solve(Word goal, const WamSolutionFn& on_solution);
 
   WamStats& stats() { return stats_; }
+  bool jit_active() const { return jit_ != nullptr; }
+
+  // --- Choice-point / environment / guard primitives ------------------------
+  // Shared verbatim by the interpreter's dispatch switch and the JIT's
+  // runtime helpers, so both tiers execute identical semantics by
+  // construction.
+
+  // Choice points and environment frames live in high-water-mark stacks:
+  // popping only moves the logical size (cps_size_/frames_size_), so the
+  // per-entry vectors (saved A registers, Y slots) keep their capacity and
+  // a push after warmup allocates nothing. A malloc+free per choice point
+  // would otherwise dominate backtracking-heavy programs on both execution
+  // tiers (every two-clause call pushes one).
+  void PushChoice(size_t alt_pc, uint32_t arity, size_t cont) {
+    if (cps_.size() == cps_size_) cps_.emplace_back();
+    Choice& cp = cps_[cps_size_++];
+    cp.alt_pc = alt_pc;
+    cp.cont_pc = cont;
+    cp.frame = cur_frame_;
+    cp.frames_size = frames_size_;
+    cp.trail_mark = store_->TrailMark();
+    cp.heap_mark = store_->HeapMark();
+    cp.args.assign(x_.begin(),
+                   x_.begin() + std::min<size_t>(x_.size(), arity + 1));
+    ++stats_.choice_points;
+  }
+
+  // retry/trust: restore the saved continuation; update or pop the choice.
+  size_t RetryTop(size_t new_alt) {
+    cps_[cps_size_ - 1].alt_pc = new_alt;
+    return cps_[cps_size_ - 1].cont_pc;
+  }
+  size_t TrustTop() {
+    return cps_[--cps_size_].cont_pc;
+  }
+
+  void AllocateFrame(uint32_t n, size_t cont) {
+    if (frames_.size() == frames_size_) frames_.emplace_back();
+    Frame& frame = frames_[frames_size_++];
+    frame.cont_pc = cont;
+    frame.prev_frame = cur_frame_;
+    frame.y.assign(n, 0);
+    cur_frame_ = frames_size_;
+  }
+  // The frame's storage survives (a choice point below may still need it);
+  // only the E register moves, as in the real WAM. Returns the saved cont.
+  size_t DeallocateFrame() {
+    Frame& frame = frames_[cur_frame_ - 1];
+    cur_frame_ = frame.prev_frame;
+    return frame.cont_pc;
+  }
+
+  bool Backtrack(size_t* pc);
+  // The kCheckMode groundness walk (iterative, reused scratch).
+  bool GroundForMode(Word w);
 
  private:
+  friend class Jit;
+
   struct Frame {
     size_t cont_pc;
     size_t prev_frame;  // index+1; 0 = none
@@ -61,17 +140,23 @@ class Emulator {
     return x_[ix];
   }
 
-  bool Backtrack(size_t* pc);
+  Status SolveImpl(Word goal, const WamSolutionFn& on_solution);
   Result<int64_t> Eval(Word expression);
+  bool BuiltinWamStats();
+  void FlushGlobalStats();
 
   TermStore* store_;
   const CompiledModule* module_;
   std::vector<Word> x_;
-  std::vector<Frame> frames_;
+  std::vector<Frame> frames_;   // storage high-water mark; logical top below
+  size_t frames_size_ = 0;
   size_t cur_frame_ = 0;  // index+1; 0 = none
-  std::vector<Choice> cps_;
+  std::vector<Choice> cps_;     // storage high-water mark; logical top below
+  size_t cps_size_ = 0;
   std::vector<Word> ground_work_;  // kCheckMode ground-walk scratch
   WamStats stats_;
+  WamStats flushed_;  // portion of stats_ already added to the global totals
+  std::unique_ptr<Jit> jit_;  // null: interpret only
 };
 
 }  // namespace xsb::wam

@@ -1,0 +1,84 @@
+#ifndef XSB_WAM_EXEC_ARENA_H_
+#define XSB_WAM_EXEC_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define XSB_EXEC_ARENA_HAVE_MMAP 1
+#endif
+
+namespace xsb::wam {
+
+// W^X executable memory for JIT output. Chunks are mmap'd writable, code is
+// copied in, and the whole chunk is flipped to read+execute; appending to a
+// partially-used chunk flips it back to writable first. Nothing runs native
+// code while a commit is in progress (compilation happens from the bytecode
+// interpreter loop), so the flip is safe. Any mmap/mprotect refusal — seccomp
+// filters, PaX/SELinux-style exec restrictions, noexec maps — makes Commit
+// return null and the caller stays on the emulator.
+class ExecArena {
+ public:
+  ExecArena() = default;
+  ExecArena(const ExecArena&) = delete;
+  ExecArena& operator=(const ExecArena&) = delete;
+
+  ~ExecArena() {
+#if XSB_EXEC_ARENA_HAVE_MMAP
+    for (const Chunk& c : chunks_) munmap(c.base, c.size);
+#endif
+  }
+
+  // Copies `code` into executable memory; returns its start address, or
+  // nullptr when the host refuses executable pages.
+  void* Commit(const uint8_t* code, size_t size) {
+#if XSB_EXEC_ARENA_HAVE_MMAP
+    if (size == 0) return nullptr;
+    Chunk* chunk = nullptr;
+    if (!chunks_.empty() && chunks_.back().used + size <= chunks_.back().size) {
+      chunk = &chunks_.back();
+      if (mprotect(chunk->base, chunk->size, PROT_READ | PROT_WRITE) != 0) {
+        return nullptr;
+      }
+    } else {
+      size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+      size_t want = size < kChunkSize ? kChunkSize : size;
+      want = (want + page - 1) & ~(page - 1);
+      void* base = mmap(nullptr, want, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+      if (base == MAP_FAILED) return nullptr;
+      chunks_.push_back(Chunk{static_cast<uint8_t*>(base), want, 0});
+      chunk = &chunks_.back();
+    }
+    uint8_t* dst = chunk->base + chunk->used;
+    std::memcpy(dst, code, size);
+    chunk->used += size;
+    if (mprotect(chunk->base, chunk->size, PROT_READ | PROT_EXEC) != 0) {
+      // The chunk may hold previously-committed code that is now
+      // non-executable; the caller must stop issuing native entries.
+      return nullptr;
+    }
+    return dst;
+#else
+    (void)code;
+    (void)size;
+    return nullptr;
+#endif
+  }
+
+ private:
+  static constexpr size_t kChunkSize = 256 * 1024;
+  struct Chunk {
+    uint8_t* base;
+    size_t size;
+    size_t used;
+  };
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace xsb::wam
+
+#endif  // XSB_WAM_EXEC_ARENA_H_

@@ -80,6 +80,8 @@ enum class BuiltinOp : uint32_t {
   kArithNeq,   // A1 =\= A2
   kTrue,
   kFail,
+  kWamStats,   // wam_stats(Scope, Pairs): unify A2 with the emulator's
+               // WamStats counters as a [name-Value, ...] list
 };
 
 // Register operands: X (temporary) registers share the space with argument
@@ -98,6 +100,16 @@ struct Instr {
   uint32_t c = 0;
 };
 
+// The code range a predicate's instructions occupy: [begin, end), with
+// `begin` also its entry pc. The JIT compiles whole ranges so every static
+// branch target (switch arms, clause blocks, check_mode fallbacks) stays
+// inside the compiled unit.
+struct PredRange {
+  FunctorId functor;
+  uint32_t begin;
+  uint32_t end;
+};
+
 // A compiled module: code, constants, switch tables and predicate entries.
 struct CompiledModule {
   std::vector<Instr> code;
@@ -107,6 +119,8 @@ struct CompiledModule {
   // kCheckMode argument-mode specs (kMode* bytes per argument position;
   // kModeAny positions are not checked).
   std::vector<std::vector<uint8_t>> mode_specs;
+  // Per-predicate pc extents, in emission order (the JIT's unit of work).
+  std::vector<PredRange> pred_ranges;
 
   size_t AddConstant(Word w) {
     for (size_t i = 0; i < constants.size(); ++i) {

@@ -1,0 +1,842 @@
+#include "wam/jit.h"
+
+#include <cstddef>
+#include <cstdlib>
+
+#include "db/program.h"
+#include "wam/emulator.h"
+#include "wam/jit_x64.h"
+
+// Native-tier support: x86-64 with mmap-based executable pages. Everything
+// else compiles to a stub Jit that never reports HostSupported().
+#if defined(__x86_64__) && defined(XSB_EXEC_ARENA_HAVE_MMAP)
+#define XSB_WAM_JIT_NATIVE 1
+#else
+#define XSB_WAM_JIT_NATIVE 0
+#endif
+
+namespace xsb::wam {
+
+namespace {
+constexpr uint32_t kFailTarget = 0xffffffffu;
+}  // namespace
+
+int64_t DefaultJitThreshold() {
+  const char* env = std::getenv("XSB_JIT_THRESHOLD");
+  if (env == nullptr || *env == '\0') return kDefaultJitThreshold;
+  return std::strtoll(env, nullptr, 10);
+}
+
+#if XSB_WAM_JIT_NATIVE
+
+// Generated-code register map (all callee-saved so helper calls preserve
+// them): rbx = JitContext*, r12 = x_base, r13 = S, r14 = retired-instruction
+// accumulator, r15 = write_mode, rbp = heap data pointer (generated code has
+// no frames, so the frame register is free; reloaded after every helper call
+// because an allocating helper may grow and move the heap buffer).
+// Everything else is scratch between WAM instructions. The bytecode `cont`
+// register lives in ctx->cont (memory) so helpers can read and write it.
+static_assert(offsetof(JitContext, x_base) == 0, "baked into generated code");
+static_assert(offsetof(JitContext, y_base) == 8, "baked into generated code");
+static_assert(offsetof(JitContext, cont) == 16, "baked into generated code");
+static_assert(offsetof(JitContext, s) == 24, "baked into generated code");
+static_assert(offsetof(JitContext, write_mode) == 32,
+              "baked into generated code");
+static_assert(offsetof(JitContext, jit) == 40, "baked into generated code");
+static_assert(offsetof(JitContext, heap_base) == 48,
+              "baked into generated code");
+
+// RawBuf field offsets the inline trail fast path depends on.
+static_assert(offsetof(RawBuf<Word>, data) == 0, "baked into generated code");
+static_assert(offsetof(RawBuf<Word>, len) == 8, "baked into generated code");
+static_assert(offsetof(RawBuf<Word>, cap) == 16, "baked into generated code");
+
+extern "C" uint64_t xsb_jit_enter(JitContext* ctx, const void* entry);
+extern "C" void xsb_jit_exit_thunk();
+
+// Entry: save callee-saved registers, load the machine registers from the
+// context, and jump into generated code. The `sub $8` keeps rsp 16-byte
+// aligned at every helper call site inside generated code. r14 is the
+// retired-instruction accumulator: counting in a register instead of a
+// memory inc per instruction avoids a store-forwarding dependency chain on
+// stats_.instructions (the interpreter's ++ gets the same treatment from
+// the C++ optimizer); generated code flushes it at the exit funnel. Exit
+// (reached by an indirect jump from generated code, never a call): spill
+// S/write_mode back and return to xsb_jit_enter's caller with rax = resume
+// pc.
+asm(".text\n"
+    ".globl xsb_jit_enter\n"
+    "xsb_jit_enter:\n"
+    "  pushq %rbp\n"
+    "  pushq %rbx\n"
+    "  pushq %r12\n"
+    "  pushq %r13\n"
+    "  pushq %r14\n"
+    "  pushq %r15\n"
+    "  subq $8, %rsp\n"
+    "  movq %rdi, %rbx\n"
+    "  movq 0(%rbx), %r12\n"
+    "  movq 24(%rbx), %r13\n"
+    "  movq 32(%rbx), %r15\n"
+    "  movq 48(%rbx), %rbp\n"
+    "  xorl %r14d, %r14d\n"
+    "  jmpq *%rsi\n"
+    ".globl xsb_jit_exit_thunk\n"
+    "xsb_jit_exit_thunk:\n"
+    "  movq %r13, 24(%rbx)\n"
+    "  movq %r15, 32(%rbx)\n"
+    "  addq $8, %rsp\n"
+    "  popq %r15\n"
+    "  popq %r14\n"
+    "  popq %r13\n"
+    "  popq %r12\n"
+    "  popq %rbx\n"
+    "  popq %rbp\n"
+    "  retq\n");
+
+// --- Runtime helpers -------------------------------------------------------
+// Called from generated code with the SysV ABI; each is a thin wrapper over
+// the exact routine the interpreter switch uses, so both tiers share
+// semantics. Helpers that move or grow emulator-owned storage refresh the
+// context bases; generated code reloads r12 afterwards.
+
+extern "C" uint64_t xsb_jit_backtrack_rt(JitContext* ctx) {
+  Jit* jit = ctx->jit;
+  size_t pc = 0;
+  if (!jit->emu()->Backtrack(&pc)) return Jit::kFailStop;
+  jit->RefreshBases();
+  return pc;
+}
+
+extern "C" void xsb_jit_bind_rt(JitContext* ctx, uint64_t ref,
+                                uint64_t value) {
+  ctx->jit->store()->Bind(ref, value);
+}
+
+extern "C" uint64_t xsb_jit_make_var_rt(JitContext* ctx) {
+  return ctx->jit->store()->MakeVar();
+}
+
+extern "C" uint64_t xsb_jit_put_struct_rt(JitContext* ctx, uint64_t functor) {
+  return ctx->jit->store()->MakeStructUninit(static_cast<FunctorId>(functor));
+}
+
+// get_structure against an unbound argument: build, bind, return the new S.
+extern "C" uint64_t xsb_jit_get_struct_write_rt(JitContext* ctx,
+                                                uint64_t functor,
+                                                uint64_t ref) {
+  TermStore* store = ctx->jit->store();
+  Word built = store->MakeStructUninit(static_cast<FunctorId>(functor));
+  store->Bind(ref, built);
+  return PayloadOf(built) + 1;
+}
+
+extern "C" uint64_t xsb_jit_unify_rt(JitContext* ctx, uint64_t a, uint64_t b) {
+  return ctx->jit->store()->Unify(a, b) ? 1 : 0;
+}
+
+extern "C" void xsb_jit_allocate_rt(JitContext* ctx, uint64_t n) {
+  Jit* jit = ctx->jit;
+  jit->emu()->AllocateFrame(static_cast<uint32_t>(n), ctx->cont);
+  jit->RefreshBases();
+}
+
+extern "C" void xsb_jit_deallocate_rt(JitContext* ctx) {
+  Jit* jit = ctx->jit;
+  ctx->cont = jit->emu()->DeallocateFrame();
+  jit->RefreshBases();
+}
+
+extern "C" void xsb_jit_try_rt(JitContext* ctx, uint64_t alt, uint64_t arity) {
+  ctx->jit->emu()->PushChoice(alt, static_cast<uint32_t>(arity), ctx->cont);
+}
+
+extern "C" void xsb_jit_retry_rt(JitContext* ctx, uint64_t new_alt) {
+  ctx->cont = ctx->jit->emu()->RetryTop(new_alt);
+}
+
+extern "C" void xsb_jit_trust_rt(JitContext* ctx) {
+  ctx->cont = ctx->jit->emu()->TrustTop();
+}
+
+extern "C" uint64_t xsb_jit_switch_const_rt(JitContext* ctx, uint64_t table_ix,
+                                            uint64_t key) {
+  const auto& table = ctx->jit->module()->switch_tables[table_ix];
+  auto it = table.find(key);
+  return it == table.end() ? ~0ull : static_cast<uint64_t>(it->second);
+}
+
+extern "C" uint64_t xsb_jit_is_ground_rt(JitContext* ctx, uint64_t w) {
+  return ctx->jit->emu()->GroundForMode(w) ? 1 : 0;
+}
+
+#endif  // XSB_WAM_JIT_NATIVE
+
+bool Jit::HostSupported() {
+#if XSB_WAM_JIT_NATIVE
+  // Prove the host will actually run arena code: seccomp/SELinux-style
+  // policies can refuse PROT_EXEC even where the syscalls exist.
+  static const bool supported = [] {
+    ExecArena arena;
+    const uint8_t probe[] = {0xB8, 0x2A, 0x00, 0x00, 0x00, 0xC3};  // mov
+                                                                   // eax,42;
+                                                                   // ret
+    void* p = arena.Commit(probe, sizeof(probe));
+    if (p == nullptr) return false;
+    using ProbeFn = uint32_t (*)();
+    return reinterpret_cast<ProbeFn>(reinterpret_cast<uintptr_t>(p))() == 42u;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Jit::Jit(Emulator* emu, const CompiledModule* module, TermStore* store,
+         int64_t threshold)
+    : emu_(emu), module_(module), store_(store), threshold_(threshold) {
+  if (threshold_ < 0 || !HostSupported() || module_->code.empty()) return;
+  flags_.assign(module_->code.size(), 0);
+  native_addrs_.assign(module_->code.size(), nullptr);
+  entry_pred_.assign(module_->code.size(), 0);
+  entry_counts_.assign(module_->pred_ranges.size(), 0);
+  compiled_.assign(module_->pred_ranges.size(), false);
+  for (size_t i = 0; i < module_->pred_ranges.size(); ++i) {
+    const PredRange& range = module_->pred_ranges[i];
+    flags_[range.begin] |= kFlagEntry;
+    entry_pred_[range.begin] = static_cast<uint32_t>(i) + 1;
+  }
+  ctx_.jit = this;
+  available_ = true;
+}
+
+void Jit::OnEntry(size_t pc) {
+  if (!available_) return;
+  uint32_t ix = entry_pred_[pc];
+  if (ix == 0) return;
+  size_t pred = ix - 1;
+  if (compiled_[pred]) return;
+  if (static_cast<int64_t>(++entry_counts_[pred]) > threshold_) {
+    CompilePredicate(pred);
+  }
+}
+
+void Jit::RefreshBases() {
+  ctx_.x_base = emu_->x_.data();
+  ctx_.y_base = emu_->cur_frame_ != 0
+                    ? emu_->frames_[emu_->cur_frame_ - 1].y.data()
+                    : nullptr;
+  ctx_.heap_base = store_->heap_buf().data;
+}
+
+WamStats& Jit::EmuStats() { return emu_->stats_; }
+
+void Jit::DisableNative() {
+  available_ = false;
+  for (uint8_t& f : flags_) f &= static_cast<uint8_t>(~kFlagNative);
+}
+
+uint64_t Jit::Execute(size_t pc, size_t* cont, uint64_t* s, bool* write_mode) {
+#if XSB_WAM_JIT_NATIVE
+  if (emu_->x_.size() < max_xreg_plus1_) emu_->x_.resize(max_xreg_plus1_, 0);
+  RefreshBases();
+  ctx_.cont = *cont;
+  ctx_.s = *s;
+  ctx_.write_mode = *write_mode ? 1 : 0;
+  ++emu_->stats_.jit_entries;
+  uint64_t resume = xsb_jit_enter(&ctx_, native_addrs_[pc]);
+  *cont = static_cast<size_t>(ctx_.cont);
+  *s = ctx_.s;
+  *write_mode = ctx_.write_mode != 0;
+  if (resume != kFailStop) ++emu_->stats_.jit_bailouts;
+  return resume;
+#else
+  (void)pc;
+  (void)cont;
+  (void)s;
+  (void)write_mode;
+  return kFailStop;
+#endif
+}
+
+#if XSB_WAM_JIT_NATIVE
+
+// Template compiler: one predicate's bytecode range to native code, in pc
+// order, one code block per instruction. Machine registers as documented at
+// the top of the file; between instructions only rbx/r12/r13/r15 and memory
+// are live. Every compiled instruction starts by retiring itself into
+// stats_.instructions so the two tiers report identical counters.
+class JitCompiler {
+ public:
+  JitCompiler(Jit* jit, const PredRange& range)
+      : jit_(jit),
+        mod_(jit->module()),
+        begin_(range.begin),
+        end_(range.end) {}
+
+  // Emits, commits and publishes the whole range. On false the caller must
+  // DisableNative(): the arena may hold earlier code left non-executable by
+  // a failed mprotect.
+  bool Compile();
+
+  size_t max_x_plus1() const { return max_x_plus1_; }
+
+ private:
+  using R = X64Reg;
+
+  void TouchX(uint32_t index) {
+    if (index + 1 > max_x_plus1_) max_x_plus1_ = index + 1;
+  }
+
+  // mov d, [x_base + i*8] — X register load (A registers are X registers).
+  void LoadX(R d, uint32_t i) {
+    TouchX(i);
+    a_.MovRegMem(d, R::kR12, static_cast<int32_t>(i) * 8);
+  }
+  void StoreX(uint32_t i, R s) {
+    TouchX(i);
+    a_.MovMemReg(R::kR12, static_cast<int32_t>(i) * 8, s);
+  }
+
+  // Operand registers may be X or Y; Y lives behind ctx->y_base, reloaded on
+  // every access because frame pushes move it. Clobbers rcx in the Y case,
+  // so `s`/`d` must not be rcx.
+  void LoadReg(R d, uint32_t reg) {
+    if (IsYReg(reg)) {
+      a_.MovRegMem(d, R::kRbx, 8);
+      a_.MovRegMem(d, d, static_cast<int32_t>(RegIndex(reg)) * 8);
+    } else {
+      LoadX(d, RegIndex(reg));
+    }
+  }
+  void StoreReg(uint32_t reg, R s) {
+    if (IsYReg(reg)) {
+      a_.MovRegMem(R::kRcx, R::kRbx, 8);
+      a_.MovMemReg(R::kRcx, static_cast<int32_t>(RegIndex(reg)) * 8, s);
+    } else {
+      StoreX(RegIndex(reg), s);
+    }
+  }
+
+  // d = heap data pointer, cached in rbp (reloaded from the RawBuf after
+  // every helper call — an allocating helper may grow and move the buffer —
+  // and by dyn_dispatch/entry, so it is valid at every instruction).
+  void LoadHeap(R d) { a_.MovRegReg(d, R::kRbp); }
+
+  void ReloadHeapBase() {
+    a_.MovRegImm64(R::kRbp,
+                   reinterpret_cast<uint64_t>(&jit_->store()->heap_buf()));
+    a_.MovRegMem(R::kRbp, R::kRbp, 0);
+  }
+
+  // Dereference rax in place (heap data in rdx, clobbers rcx). Afterwards
+  // `test al, 7` distinguishes an unbound ref (zero) from a bound value.
+  void Deref() {
+    int loop = a_.NewLabel();
+    int done = a_.NewLabel();
+    a_.BindLabel(loop);
+    a_.TestAlImm8(7);
+    a_.Jcc(X64Cond::kNe, done);
+    a_.MovRegReg(R::kRcx, R::kRax);
+    a_.ShrRegImm8(R::kRcx, 3);
+    a_.MovRegMemIdx8(R::kRcx, R::kRdx, R::kRcx);
+    a_.CmpRegReg(R::kRcx, R::kRax);
+    a_.Jcc(X64Cond::kEq, done);  // self-reference: unbound
+    a_.MovRegReg(R::kRax, R::kRcx);
+    a_.Jmp(loop);
+    a_.BindLabel(done);
+  }
+
+  // heap_moves: the helper can grow (and so move) the heap buffer — only
+  // the allocating ones (make_var/put_struct/get_struct_write) do; binding,
+  // choice-point and frame helpers leave the heap data pointer intact, so
+  // the rbp cache stays valid across them. The reload clobbers only rbp
+  // itself; the rax result stays intact.
+  void CallHelper(const void* fn, bool heap_moves = false) {
+    a_.MovRegImm64(R::kRax, reinterpret_cast<uint64_t>(fn));
+    a_.CallReg(R::kRax);
+    if (heap_moves) ReloadHeapBase();
+  }
+
+  void CountStat(uint64_t* counter) {
+    a_.IncMemAbs(R::kRcx, reinterpret_cast<uint64_t>(counter));
+  }
+
+  // Retired-instruction counting stays in r14 (callee-saved, so helpers
+  // preserve it; dyn_dispatch keeps it live across predicates) and is
+  // flushed to stats_.instructions once at the exit funnel — a per-instr
+  // memory RMW would serialize the whole trace on one cache line.
+  void CountInstr() { a_.IncReg(R::kR14); }
+
+  // Jump to a static bytecode target: fail, an in-range label, or the
+  // dynamic dispatcher for anything outside this predicate.
+  void JumpTo(uint32_t target) {
+    if (target == kFailTarget) {
+      a_.Jmp(fail_);
+    } else if (target >= begin_ && target < end_) {
+      a_.Jmp(pc_labels_[target - begin_]);
+    } else {
+      a_.MovReg32Imm32(R::kRax, target);
+      a_.Jmp(dyn_dispatch_);
+    }
+  }
+
+  void EmitInstr(size_t pc, const Instr& instr);
+  void EmitTails();
+
+  Jit* jit_;
+  const CompiledModule* mod_;
+  X64Assembler a_;
+  size_t begin_;
+  size_t end_;
+  std::vector<int> pc_labels_;
+  std::vector<size_t> pc_offsets_;
+  std::vector<bool> is_native_;  // false: bail stub only
+  int dyn_dispatch_ = -1;
+  int fail_ = -1;
+  int exit_rax_ = -1;
+  size_t max_x_plus1_ = 0;
+};
+
+bool JitCompiler::Compile() {
+  size_t count = end_ - begin_;
+  pc_labels_.resize(count);
+  pc_offsets_.resize(count);
+  is_native_.assign(count, true);
+  for (size_t i = 0; i < count; ++i) pc_labels_[i] = a_.NewLabel();
+  dyn_dispatch_ = a_.NewLabel();
+  fail_ = a_.NewLabel();
+  exit_rax_ = a_.NewLabel();
+
+  for (size_t pc = begin_; pc < end_; ++pc) {
+    pc_offsets_[pc - begin_] = a_.Here();
+    a_.BindLabel(pc_labels_[pc - begin_]);
+    EmitInstr(pc, mod_->code[pc]);
+  }
+  EmitTails();
+  if (!a_.Finalize()) return false;
+
+  void* base = jit_->arena_.Commit(a_.code().data(), a_.code().size());
+  if (base == nullptr) return false;
+  uint8_t* bytes = static_cast<uint8_t*>(base);
+  for (size_t i = 0; i < count; ++i) {
+    jit_->native_addrs_[begin_ + i] = bytes + pc_offsets_[i];
+    if (is_native_[i]) jit_->flags_[begin_ + i] |= Jit::kFlagNative;
+  }
+  return true;
+}
+
+void JitCompiler::EmitTails() {
+  // fail: backtrack through the shared helper; a resume pc goes back through
+  // the dispatcher, exhaustion falls through to exit with kFailStop in rax.
+  a_.BindLabel(fail_);
+  a_.MovRegReg(R::kRdi, R::kRbx);
+  CallHelper(reinterpret_cast<const void*>(&xsb_jit_backtrack_rt));
+  a_.CmpRegImm8(R::kRax, -1);
+  a_.Jcc(X64Cond::kNe, dyn_dispatch_);
+  // exit: every path out of native code funnels through here (bail stubs,
+  // dyn_dispatch misses, search exhaustion), so this is the one place the
+  // r14 instruction accumulator must reach stats_.instructions.
+  a_.BindLabel(exit_rax_);
+  a_.MovRegImm64(R::kRcx,
+                 reinterpret_cast<uint64_t>(&jit_->EmuStats().instructions));
+  a_.AddMemReg(R::kRcx, 0, R::kR14);
+  a_.MovRegImm64(R::kRcx, reinterpret_cast<uint64_t>(&xsb_jit_exit_thunk));
+  a_.JmpReg(R::kRcx);
+
+  // dyn_dispatch: rax = bytecode pc. Stay native when that pc has code
+  // (its own range or any other compiled predicate), else exit to the
+  // interpreter. Reload x_base: a helper may have refreshed it. The rbp
+  // heap cache needs no reload here — every heap-moving helper call already
+  // reloaded it at its call site.
+  a_.BindLabel(dyn_dispatch_);
+  a_.MovRegImm64(R::kRcx,
+                 reinterpret_cast<uint64_t>(jit_->native_addrs_.data()));
+  a_.MovRegMemIdx8(R::kRcx, R::kRcx, R::kRax);
+  a_.TestRegReg(R::kRcx, R::kRcx);
+  a_.Jcc(X64Cond::kEq, exit_rax_);
+  a_.MovRegMem(R::kR12, R::kRbx, 0);
+  a_.JmpReg(R::kRcx);
+}
+
+void JitCompiler::EmitInstr(size_t pc, const Instr& instr) {
+  switch (instr.op) {
+    case Op::kBuiltin:
+    case Op::kSolution:
+    case Op::kHalt:
+      // Outside the native subset: bail to the interpreter at this exact pc.
+      // Not kFlagNative (entering here would just bounce) and not counted —
+      // the interpreter retires it.
+      is_native_[pc - begin_] = false;
+      a_.MovReg32Imm32(R::kRax, static_cast<uint32_t>(pc));
+      a_.Jmp(exit_rax_);
+      return;
+    default:
+      break;
+  }
+
+  CountInstr();
+
+  switch (instr.op) {
+    case Op::kGetVariable:  // Reg(a) = A_b
+      LoadX(R::kRax, instr.b);
+      StoreReg(instr.a, R::kRax);
+      break;
+
+    case Op::kGetValue: {  // unify(Reg(a), A_b)
+      LoadReg(R::kRsi, instr.a);
+      LoadX(R::kRdx, instr.b);
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_unify_rt));
+      a_.TestRegReg(R::kRax, R::kRax);
+      a_.Jcc(X64Cond::kEq, fail_);
+      break;
+    }
+
+    case Op::kGetConstant: {
+      Word c = mod_->constants[instr.a];
+      int bound = a_.NewLabel();
+      int done = a_.NewLabel();
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, instr.b);
+      Deref();
+      a_.TestAlImm8(7);
+      a_.Jcc(X64Cond::kNe, bound);
+      a_.MovRegReg(R::kRdi, R::kRbx);  // unbound: bind to the constant
+      a_.MovRegReg(R::kRsi, R::kRax);
+      a_.MovRegImm64(R::kRdx, c);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_bind_rt));
+      a_.Jmp(done);
+      a_.BindLabel(bound);
+      a_.MovRegImm64(R::kRcx, c);
+      a_.CmpRegReg(R::kRax, R::kRcx);
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.BindLabel(done);
+      break;
+    }
+
+    case Op::kGetStructure: {
+      int bound = a_.NewLabel();
+      int done = a_.NewLabel();
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, instr.b);
+      Deref();
+      a_.TestAlImm8(7);
+      a_.Jcc(X64Cond::kNe, bound);
+      // Unbound: build + bind via helper, enter write mode.
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovRegImm64(R::kRsi, instr.a);
+      a_.MovRegReg(R::kRdx, R::kRax);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_get_struct_write_rt), /*heap_moves=*/true);
+      a_.MovRegReg(R::kR13, R::kRax);  // S
+      a_.MovReg32Imm32(R::kR15, 1);    // write mode
+      a_.Jmp(done);
+      // Bound: must be a struct with the right functor; enter read mode.
+      a_.BindLabel(bound);
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.AndReg32Imm8(R::kRcx, 7);
+      a_.CmpRegImm8(R::kRcx, static_cast<int8_t>(Tag::kStruct));
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.ShrRegImm8(R::kRcx, 3);
+      a_.MovRegMemIdx8(R::kRdx, R::kRdx, R::kRcx);  // functor cell
+      a_.MovRegImm64(R::kRsi, FunctorCell(instr.a));
+      a_.CmpRegReg(R::kRdx, R::kRsi);
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.MovRegReg(R::kR13, R::kRcx);
+      a_.AddRegImm32(R::kR13, 1);  // S = payload + 1
+      a_.XorReg32(R::kR15);        // read mode
+      a_.BindLabel(done);
+      break;
+    }
+
+    case Op::kUnifyVariable: {
+      int read = a_.NewLabel();
+      int done = a_.NewLabel();
+      a_.TestRegReg(R::kR15, R::kR15);
+      a_.Jcc(X64Cond::kEq, read);
+      a_.LeaRegScaled8(R::kRax, R::kR13);  // RefCell(S): the arg cell itself
+      a_.Jmp(done);
+      a_.BindLabel(read);
+      LoadHeap(R::kRdx);
+      a_.MovRegMemIdx8(R::kRax, R::kRdx, R::kR13);
+      a_.BindLabel(done);
+      StoreReg(instr.a, R::kRax);
+      a_.IncReg(R::kR13);
+      break;
+    }
+
+    case Op::kUnifyValue: {
+      int read = a_.NewLabel();
+      int done = a_.NewLabel();
+      a_.TestRegReg(R::kR15, R::kR15);
+      a_.Jcc(X64Cond::kEq, read);
+      LoadHeap(R::kRdx);  // write: heap[S] = Reg(a)
+      LoadReg(R::kRax, instr.a);
+      a_.MovMemIdx8Reg(R::kRdx, R::kR13, R::kRax);
+      a_.Jmp(done);
+      a_.BindLabel(read);  // read: unify(Reg(a), RefCell(S))
+      LoadReg(R::kRsi, instr.a);
+      a_.LeaRegScaled8(R::kRdx, R::kR13);
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_unify_rt));
+      a_.TestRegReg(R::kRax, R::kRax);
+      a_.Jcc(X64Cond::kEq, fail_);
+      a_.BindLabel(done);
+      a_.IncReg(R::kR13);
+      break;
+    }
+
+    case Op::kUnifyConstant: {
+      Word c = mod_->constants[instr.a];
+      int read = a_.NewLabel();
+      int bound = a_.NewLabel();
+      int done = a_.NewLabel();
+      a_.TestRegReg(R::kR15, R::kR15);
+      a_.Jcc(X64Cond::kEq, read);
+      LoadHeap(R::kRdx);  // write: heap[S] = c
+      a_.MovRegImm64(R::kRax, c);
+      a_.MovMemIdx8Reg(R::kRdx, R::kR13, R::kRax);
+      a_.Jmp(done);
+      a_.BindLabel(read);
+      LoadHeap(R::kRdx);
+      a_.MovRegMemIdx8(R::kRax, R::kRdx, R::kR13);
+      Deref();
+      a_.TestAlImm8(7);
+      a_.Jcc(X64Cond::kNe, bound);
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovRegReg(R::kRsi, R::kRax);
+      a_.MovRegImm64(R::kRdx, c);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_bind_rt));
+      a_.Jmp(done);
+      a_.BindLabel(bound);
+      a_.MovRegImm64(R::kRcx, c);
+      a_.CmpRegReg(R::kRax, R::kRcx);
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.BindLabel(done);
+      a_.IncReg(R::kR13);
+      break;
+    }
+
+    case Op::kUnifyVoid:
+      a_.AddRegImm32(R::kR13, static_cast<int32_t>(instr.a));
+      break;
+
+    case Op::kPutVariable: {  // fresh var into Reg(a) and A_b
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_make_var_rt), /*heap_moves=*/true);
+      StoreReg(instr.a, R::kRax);
+      StoreX(instr.b, R::kRax);
+      break;
+    }
+
+    case Op::kPutValue:
+      LoadReg(R::kRax, instr.a);
+      StoreX(instr.b, R::kRax);
+      break;
+
+    case Op::kPutConstant:
+      a_.MovRegImm64(R::kRax, mod_->constants[instr.a]);
+      StoreX(instr.b, R::kRax);
+      break;
+
+    case Op::kPutStructure: {
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovRegImm64(R::kRsi, instr.a);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_put_struct_rt), /*heap_moves=*/true);
+      StoreX(instr.b, R::kRax);
+      a_.MovRegReg(R::kR13, R::kRax);
+      a_.ShrRegImm8(R::kR13, 3);
+      a_.AddRegImm32(R::kR13, 1);  // S = payload + 1
+      a_.MovReg32Imm32(R::kR15, 1);
+      break;
+    }
+
+    case Op::kAllocate:
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovReg32Imm32(R::kRsi, instr.a);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_allocate_rt));
+      a_.MovRegMem(R::kR12, R::kRbx, 0);  // frames moved; bases refreshed
+      break;
+
+    case Op::kDeallocate:
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_deallocate_rt));
+      a_.MovRegMem(R::kR12, R::kRbx, 0);
+      break;
+
+    case Op::kCall:
+      a_.MovMemImm32(R::kRbx, 16, static_cast<int32_t>(pc) + 1);  // cont
+      JumpTo(instr.a);
+      return;  // control transferred
+
+    case Op::kProceed:
+      a_.MovRegMem(R::kRax, R::kRbx, 16);
+      a_.Jmp(dyn_dispatch_);
+      return;
+
+    case Op::kTryMeElse:
+    case Op::kTry: {
+      bool me = instr.op == Op::kTryMeElse;
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovReg32Imm32(R::kRsi, me ? instr.a : static_cast<uint32_t>(pc) + 1);
+      a_.MovReg32Imm32(R::kRdx, instr.b);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_try_rt));
+      if (!me) JumpTo(instr.a);  // try_me_else falls through to pc+1
+      break;
+    }
+
+    case Op::kRetryMeElse:
+    case Op::kRetry: {
+      bool me = instr.op == Op::kRetryMeElse;
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovReg32Imm32(R::kRsi, me ? instr.a : static_cast<uint32_t>(pc) + 1);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_retry_rt));
+      if (!me) JumpTo(instr.a);
+      break;
+    }
+
+    case Op::kTrustMe:
+    case Op::kTrust:
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_trust_rt));
+      if (instr.op == Op::kTrust) JumpTo(instr.a);
+      break;
+
+    case Op::kSwitchOnTerm: {
+      int on_var = a_.NewLabel();
+      int on_const = a_.NewLabel();
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, 1);
+      Deref();
+      a_.TestAlImm8(7);
+      a_.Jcc(X64Cond::kEq, on_var);
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.AndReg32Imm8(R::kRcx, 7);
+      a_.CmpRegImm8(R::kRcx, static_cast<int8_t>(Tag::kAtom));
+      a_.Jcc(X64Cond::kEq, on_const);
+      a_.CmpRegImm8(R::kRcx, static_cast<int8_t>(Tag::kInt));
+      a_.Jcc(X64Cond::kEq, on_const);
+      JumpTo(instr.c);  // structures
+      a_.BindLabel(on_var);
+      JumpTo(instr.a);
+      a_.BindLabel(on_const);
+      JumpTo(instr.b);
+      return;
+    }
+
+    case Op::kSwitchOnConstant:
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, 1);
+      Deref();
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovReg32Imm32(R::kRsi, instr.a);
+      a_.MovRegReg(R::kRdx, R::kRax);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_switch_const_rt));
+      a_.CmpRegImm8(R::kRax, -1);
+      a_.Jcc(X64Cond::kEq, fail_);  // miss
+      a_.Jmp(dyn_dispatch_);
+      return;
+
+    case Op::kCheckMode: {
+      CountStat(&jit_->EmuStats().mode_checks);
+      const std::vector<uint8_t>& spec = mod_->mode_specs[instr.a];
+      int fallback = a_.NewLabel();
+      int pass = a_.NewLabel();
+      for (uint32_t i = 0; i < instr.b; ++i) {
+        uint8_t m = spec[i];
+        if (m == kModeNonvar) {
+          LoadHeap(R::kRdx);
+          LoadX(R::kRax, i + 1);
+          Deref();
+          a_.TestAlImm8(7);
+          a_.Jcc(X64Cond::kEq, fallback);
+        } else if (m == kModeGround) {
+          a_.MovRegReg(R::kRdi, R::kRbx);
+          LoadX(R::kRsi, i + 1);
+          CallHelper(reinterpret_cast<const void*>(&xsb_jit_is_ground_rt));
+          a_.TestRegReg(R::kRax, R::kRax);
+          a_.Jcc(X64Cond::kEq, fallback);
+        }
+      }
+      a_.Jmp(pass);
+      a_.BindLabel(fallback);
+      CountStat(&jit_->EmuStats().mode_fallbacks);
+      JumpTo(instr.c);
+      a_.BindLabel(pass);
+      break;
+    }
+
+    case Op::kGetConstantNv: {  // proven nonvar: compare only
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, instr.b);
+      Deref();
+      a_.MovRegImm64(R::kRcx, mod_->constants[instr.a]);
+      a_.CmpRegReg(R::kRax, R::kRcx);
+      a_.Jcc(X64Cond::kNe, fail_);
+      break;
+    }
+
+    case Op::kGetStructureRd: {  // proven nonvar: read mode only
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, instr.b);
+      Deref();
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.AndReg32Imm8(R::kRcx, 7);
+      a_.CmpRegImm8(R::kRcx, static_cast<int8_t>(Tag::kStruct));
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.ShrRegImm8(R::kRcx, 3);
+      a_.MovRegMemIdx8(R::kRdx, R::kRdx, R::kRcx);
+      a_.MovRegImm64(R::kRsi, FunctorCell(instr.a));
+      a_.CmpRegReg(R::kRdx, R::kRsi);
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.MovRegReg(R::kR13, R::kRcx);
+      a_.AddRegImm32(R::kR13, 1);
+      a_.XorReg32(R::kR15);
+      break;
+    }
+
+    case Op::kUnifyConstantRd: {  // ground root: cell cannot be unbound
+      LoadHeap(R::kRdx);
+      a_.MovRegMemIdx8(R::kRax, R::kRdx, R::kR13);
+      Deref();
+      a_.MovRegImm64(R::kRcx, mod_->constants[instr.a]);
+      a_.CmpRegReg(R::kRax, R::kRcx);
+      a_.Jcc(X64Cond::kNe, fail_);
+      a_.IncReg(R::kR13);
+      break;
+    }
+
+    case Op::kBuiltin:
+    case Op::kSolution:
+    case Op::kHalt:
+      break;  // handled above
+  }
+  // Fall through to the next instruction's code (bytecode pc + 1).
+}
+
+void Jit::CompilePredicate(size_t pred_ix) {
+  compiled_[pred_ix] = true;
+  if (!available_) return;
+  JitCompiler compiler(this, module_->pred_ranges[pred_ix]);
+  if (!compiler.Compile()) {
+    DisableNative();
+    return;
+  }
+  if (max_xreg_plus1_ < compiler.max_x_plus1()) {
+    max_xreg_plus1_ = compiler.max_x_plus1();
+  }
+  if (emu_->x_.size() < max_xreg_plus1_) emu_->x_.resize(max_xreg_plus1_, 0);
+  ++emu_->stats_.jit_compiled_preds;
+}
+
+#else  // !XSB_WAM_JIT_NATIVE
+
+void Jit::CompilePredicate(size_t pred_ix) {
+  compiled_[pred_ix] = true;  // unreachable: available_ is never true
+}
+
+#endif  // XSB_WAM_JIT_NATIVE
+
+}  // namespace xsb::wam

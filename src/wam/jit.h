@@ -1,0 +1,107 @@
+#ifndef XSB_WAM_JIT_H_
+#define XSB_WAM_JIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "term/store.h"
+#include "wam/exec_arena.h"
+#include "wam/instr.h"
+
+namespace xsb::wam {
+
+class Emulator;
+class Jit;
+struct WamStats;
+
+// The mutable machine state the native tier shares with the emulator across
+// one Execute() round trip. Field offsets are baked into generated code
+// (static_asserts in jit.cc).
+struct JitContext {
+  Word* x_base = nullptr;    // x_.data(); refreshed on entry and backtracking
+  Word* y_base = nullptr;    // current frame's Y block (null: no frame)
+  uint64_t cont = 0;         // continuation pc
+  uint64_t s = 0;            // structure cursor
+  uint64_t write_mode = 0;   // 0/1
+  Jit* jit = nullptr;        // back-pointer for the runtime helpers
+  Word* heap_base = nullptr; // heap_buf().data; see the rbp cache in jit.cc
+};
+
+// The JIT tier-up threshold from XSB_JIT_THRESHOLD: <0 disables the JIT,
+// 0 compiles every predicate on its first call, N>0 tiers a predicate up
+// once it has been entered more than N times. Unset: kDefaultJitThreshold.
+constexpr int64_t kDefaultJitThreshold = 64;
+int64_t DefaultJitThreshold();
+
+// Tier-up JIT: counts predicate entries in the interpreter loop and compiles
+// hot predicates' bytecode ranges to x86-64 in an executable arena. The
+// native subset covers the get/put/unify groups (both modes), first-argument
+// switching, kCheckMode guards and the choice-point/environment instructions
+// (the latter through runtime helpers that call the exact routines the
+// interpreter switch uses); everything else — builtins, the solution/halt
+// epilogue, calls into uncompiled predicates — exits to the emulator at the
+// precise bytecode pc, so observable semantics (including every WamStats
+// counter) are the emulator's by construction. Hosts that are not x86-64 or
+// refuse executable pages are detected at runtime and never tier up.
+class Jit {
+ public:
+  static constexpr uint8_t kFlagEntry = 1;   // predicate entry: count here
+  static constexpr uint8_t kFlagNative = 2;  // real native code at this pc
+  static constexpr uint64_t kFailStop = ~0ull;  // Execute: search exhausted
+
+  // True when this build/host can map and run generated code (checked once
+  // by actually executing a probe function from the arena).
+  static bool HostSupported();
+
+  Jit(Emulator* emu, const CompiledModule* module, TermStore* store,
+      int64_t threshold);
+
+  bool available() const { return available_; }
+  uint8_t FlagsAt(size_t pc) const { return flags_[pc]; }
+
+  // Interpreter hook at a predicate-entry pc: bump the invocation counter,
+  // compile past the threshold.
+  void OnEntry(size_t pc);
+
+  // Runs native code from `pc` (which must have kFlagNative), syncing
+  // cont/s/write_mode both ways. Returns the bytecode pc to resume
+  // interpreting at, or kFailStop when backtracking exhausted the stack.
+  uint64_t Execute(size_t pc, size_t* cont, uint64_t* s, bool* write_mode);
+
+  // Largest X register index + 1 any compiled predicate touches; the emulator
+  // pre-sizes x_ to this so native X accesses never need to grow it.
+  size_t max_xreg_plus1() const { return max_xreg_plus1_; }
+
+  Emulator* emu() { return emu_; }
+  TermStore* store() { return store_; }
+  const CompiledModule* module() { return module_; }
+  // The emulator's counters, for the compiler to bake their addresses into
+  // generated increments (JitCompiler is not the Emulator's friend).
+  WamStats& EmuStats();
+  // Re-derives ctx x_base/y_base from the emulator after a runtime helper
+  // moved or grew them (backtracking, frame push/pop).
+  void RefreshBases();
+
+ private:
+  friend class JitCompiler;
+  void CompilePredicate(size_t pred_ix);
+  void DisableNative();
+
+  Emulator* emu_;
+  const CompiledModule* module_;
+  TermStore* store_;
+  int64_t threshold_;
+  bool available_ = false;
+  ExecArena arena_;
+  JitContext ctx_;
+  std::vector<uint8_t> flags_;             // per pc
+  std::vector<const void*> native_addrs_;  // per pc; null = interpret
+  std::vector<uint64_t> entry_counts_;     // per predicate (pred_ranges order)
+  std::vector<bool> compiled_;             // per predicate
+  std::vector<uint32_t> entry_pred_;       // per pc: predicate index + 1
+  size_t max_xreg_plus1_ = 16;  // x_ pre-size so native X access never grows
+};
+
+}  // namespace xsb::wam
+
+#endif  // XSB_WAM_JIT_H_

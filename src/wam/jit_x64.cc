@@ -1,0 +1,285 @@
+#include "wam/jit_x64.h"
+
+#include <cstring>
+
+namespace xsb::wam {
+
+namespace {
+inline uint8_t Low3(X64Reg r) { return static_cast<uint8_t>(r) & 7; }
+inline bool Ext(X64Reg r) { return static_cast<uint8_t>(r) >= 8; }
+}  // namespace
+
+void X64Assembler::Imm32(int32_t v) {
+  uint8_t b[4];
+  std::memcpy(b, &v, 4);
+  for (uint8_t x : b) Byte(x);
+}
+
+void X64Assembler::Imm64(uint64_t v) {
+  uint8_t b[8];
+  std::memcpy(b, &v, 8);
+  for (uint8_t x : b) Byte(x);
+}
+
+void X64Assembler::Rex(bool w, X64Reg reg, X64Reg index, X64Reg rm) {
+  uint8_t rex = 0x40;
+  if (w) rex |= 0x08;
+  if (Ext(reg)) rex |= 0x04;
+  if (Ext(index)) rex |= 0x02;
+  if (Ext(rm)) rex |= 0x01;
+  if (rex != 0x40 || w) Byte(rex);
+}
+
+void X64Assembler::Mem(uint8_t reg_field, X64Reg base, int32_t disp) {
+  uint8_t base3 = Low3(base);
+  bool need_sib = base3 == 4;                       // rsp/r12
+  bool no_disp0 = base3 == 5;                       // rbp/r13 need a disp
+  uint8_t mod;
+  if (disp == 0 && !no_disp0) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  Byte(static_cast<uint8_t>((mod << 6) | ((reg_field & 7) << 3) |
+                            (need_sib ? 4 : base3)));
+  if (need_sib) Byte(static_cast<uint8_t>((0 << 6) | (4 << 3) | base3));
+  if (mod == 1) Byte(static_cast<uint8_t>(disp));
+  if (mod == 2) Imm32(disp);
+}
+
+void X64Assembler::MemIdx8(uint8_t reg_field, X64Reg base, X64Reg index,
+                           int32_t disp) {
+  // index must not be rsp (unencodable); r12 as index is fine via REX.X.
+  uint8_t base3 = Low3(base);
+  bool no_disp0 = base3 == 5;  // rbp/r13 base needs a disp byte
+  uint8_t mod;
+  if (disp == 0 && !no_disp0) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  Byte(static_cast<uint8_t>((mod << 6) | ((reg_field & 7) << 3) | 4));
+  Byte(static_cast<uint8_t>((3 << 6) | (Low3(index) << 3) | base3));  // *8
+  if (mod == 1) Byte(static_cast<uint8_t>(disp));
+  if (mod == 2) Imm32(disp);
+}
+
+int X64Assembler::NewLabel() {
+  label_offsets_.push_back(SIZE_MAX);
+  return static_cast<int>(label_offsets_.size() - 1);
+}
+
+void X64Assembler::BindLabel(int label) {
+  label_offsets_[static_cast<size_t>(label)] = code_.size();
+}
+
+bool X64Assembler::Finalize() {
+  for (const Fixup& f : fixups_) {
+    size_t target = label_offsets_[static_cast<size_t>(f.label)];
+    if (target == SIZE_MAX) return false;
+    int32_t rel = static_cast<int32_t>(static_cast<int64_t>(target) -
+                                       static_cast<int64_t>(f.pos + 4));
+    std::memcpy(&code_[f.pos], &rel, 4);
+  }
+  fixups_.clear();
+  return true;
+}
+
+void X64Assembler::MovRegImm64(X64Reg d, uint64_t imm) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, d);
+  Byte(static_cast<uint8_t>(0xB8 + Low3(d)));
+  Imm64(imm);
+}
+
+void X64Assembler::MovReg32Imm32(X64Reg d, uint32_t imm) {
+  Rex(false, X64Reg::kRax, X64Reg::kRax, d);
+  Byte(static_cast<uint8_t>(0xB8 + Low3(d)));
+  Imm32(static_cast<int32_t>(imm));
+}
+
+void X64Assembler::MovRegReg(X64Reg d, X64Reg s) {
+  Rex(true, d, X64Reg::kRax, s);
+  Byte(0x8B);
+  Byte(static_cast<uint8_t>(0xC0 | (Low3(d) << 3) | Low3(s)));
+}
+
+void X64Assembler::MovRegMem(X64Reg d, X64Reg base, int32_t disp) {
+  Rex(true, d, X64Reg::kRax, base);
+  Byte(0x8B);
+  Mem(Low3(d), base, disp);
+}
+
+void X64Assembler::MovMemReg(X64Reg base, int32_t disp, X64Reg s) {
+  Rex(true, s, X64Reg::kRax, base);
+  Byte(0x89);
+  Mem(Low3(s), base, disp);
+}
+
+void X64Assembler::MovMemImm32(X64Reg base, int32_t disp, int32_t imm) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, base);
+  Byte(0xC7);
+  Mem(0, base, disp);
+  Imm32(imm);
+}
+
+void X64Assembler::MovRegMemIdx8(X64Reg d, X64Reg base, X64Reg index,
+                                 int32_t disp) {
+  Rex(true, d, index, base);
+  Byte(0x8B);
+  MemIdx8(Low3(d), base, index, disp);
+}
+
+void X64Assembler::MovMemIdx8Reg(X64Reg base, X64Reg index, X64Reg s,
+                                 int32_t disp) {
+  Rex(true, s, index, base);
+  Byte(0x89);
+  MemIdx8(Low3(s), base, index, disp);
+}
+
+void X64Assembler::LeaRegMemIdx8(X64Reg d, X64Reg base, X64Reg index,
+                                 int32_t disp) {
+  Rex(true, d, index, base);
+  Byte(0x8D);
+  MemIdx8(Low3(d), base, index, disp);
+}
+
+void X64Assembler::LeaRegScaled8(X64Reg d, X64Reg index) {
+  // lea d, [index*8]: mod=00, rm=100 (SIB), SIB base=101 + disp32.
+  Rex(true, d, index, X64Reg::kRax);
+  Byte(0x8D);
+  Byte(static_cast<uint8_t>((0 << 6) | (Low3(d) << 3) | 4));
+  Byte(static_cast<uint8_t>((3 << 6) | (Low3(index) << 3) | 5));
+  Imm32(0);
+}
+
+void X64Assembler::AddRegImm32(X64Reg d, int32_t imm) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, d);
+  if (imm >= -128 && imm <= 127) {
+    Byte(0x83);
+    Byte(static_cast<uint8_t>(0xC0 | Low3(d)));
+    Byte(static_cast<uint8_t>(imm));
+  } else {
+    Byte(0x81);
+    Byte(static_cast<uint8_t>(0xC0 | Low3(d)));
+    Imm32(imm);
+  }
+}
+
+void X64Assembler::AddMemReg(X64Reg base, int32_t disp, X64Reg s) {
+  Rex(true, s, X64Reg::kRax, base);
+  Byte(0x01);
+  Mem(Low3(s), base, disp);
+}
+
+void X64Assembler::IncReg(X64Reg d) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, d);
+  Byte(0xFF);
+  Byte(static_cast<uint8_t>(0xC0 | Low3(d)));
+}
+
+void X64Assembler::IncMem(X64Reg base, int32_t disp) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, base);
+  Byte(0xFF);
+  Mem(0, base, disp);
+}
+
+void X64Assembler::IncMemAbs(X64Reg scratch, uint64_t abs) {
+  MovRegImm64(scratch, abs);
+  IncMem(scratch, 0);
+}
+
+void X64Assembler::ShrRegImm8(X64Reg d, uint8_t imm) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, d);
+  Byte(0xC1);
+  Byte(static_cast<uint8_t>(0xE8 | Low3(d)));  // /5
+  Byte(imm);
+}
+
+void X64Assembler::ShlRegImm8(X64Reg d, uint8_t imm) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, d);
+  Byte(0xC1);
+  Byte(static_cast<uint8_t>(0xE0 | Low3(d)));  // /4
+  Byte(imm);
+}
+
+void X64Assembler::AndReg32Imm8(X64Reg d, uint8_t imm) {
+  Rex(false, X64Reg::kRax, X64Reg::kRax, d);
+  Byte(0x83);
+  Byte(static_cast<uint8_t>(0xE0 | Low3(d)));  // /4
+  Byte(imm);
+}
+
+void X64Assembler::XorReg32(X64Reg d) {
+  Rex(false, d, X64Reg::kRax, d);
+  Byte(0x33);
+  Byte(static_cast<uint8_t>(0xC0 | (Low3(d) << 3) | Low3(d)));
+}
+
+void X64Assembler::CmpRegReg(X64Reg a, X64Reg b) {
+  Rex(true, a, X64Reg::kRax, b);
+  Byte(0x3B);
+  Byte(static_cast<uint8_t>(0xC0 | (Low3(a) << 3) | Low3(b)));
+}
+
+void X64Assembler::CmpRegImm8(X64Reg a, int8_t imm) {
+  Rex(true, X64Reg::kRax, X64Reg::kRax, a);
+  Byte(0x83);
+  Byte(static_cast<uint8_t>(0xF8 | Low3(a)));  // /7
+  Byte(static_cast<uint8_t>(imm));
+}
+
+void X64Assembler::CmpRegMem(X64Reg a, X64Reg base, int32_t disp) {
+  Rex(true, a, X64Reg::kRax, base);
+  Byte(0x3B);
+  Mem(Low3(a), base, disp);
+}
+
+void X64Assembler::CmpMemIdx8Reg(X64Reg base, X64Reg index, X64Reg s) {
+  Rex(true, s, index, base);
+  Byte(0x39);
+  MemIdx8(Low3(s), base, index, 0);
+}
+
+void X64Assembler::TestRegReg(X64Reg a, X64Reg b) {
+  Rex(true, b, X64Reg::kRax, a);
+  Byte(0x85);
+  Byte(static_cast<uint8_t>(0xC0 | (Low3(b) << 3) | Low3(a)));
+}
+
+void X64Assembler::TestAlImm8(uint8_t imm) {
+  Byte(0xA8);
+  Byte(imm);
+}
+
+void X64Assembler::Jcc(X64Cond cond, int label) {
+  Byte(0x0F);
+  Byte(static_cast<uint8_t>(0x80 | static_cast<uint8_t>(cond)));
+  fixups_.push_back(Fixup{code_.size(), label});
+  Imm32(0);
+}
+
+void X64Assembler::Jmp(int label) {
+  Byte(0xE9);
+  fixups_.push_back(Fixup{code_.size(), label});
+  Imm32(0);
+}
+
+void X64Assembler::JmpReg(X64Reg r) {
+  Rex(false, X64Reg::kRax, X64Reg::kRax, r);
+  Byte(0xFF);
+  Byte(static_cast<uint8_t>(0xE0 | Low3(r)));  // /4
+}
+
+void X64Assembler::CallReg(X64Reg r) {
+  Rex(false, X64Reg::kRax, X64Reg::kRax, r);
+  Byte(0xFF);
+  Byte(static_cast<uint8_t>(0xD0 | Low3(r)));  // /2
+}
+
+void X64Assembler::Ret() { Byte(0xC3); }
+
+}  // namespace xsb::wam

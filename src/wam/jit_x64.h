@@ -1,0 +1,111 @@
+#ifndef XSB_WAM_JIT_X64_H_
+#define XSB_WAM_JIT_X64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xsb::wam {
+
+// Minimal x86-64 encoder for the WAM JIT: the mov/lea/cmp/test/jcc/call/ret
+// subset the template compiler in jit.cc needs, with rel32 labels. Operand
+// order is Intel (destination first). All register operations are 64-bit
+// unless the name says otherwise.
+enum class X64Reg : uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRsp = 4,
+  kRbp = 5,
+  kRsi = 6,
+  kRdi = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+};
+
+enum class X64Cond : uint8_t {
+  kEq = 0x4,   // je  / jz
+  kNe = 0x5,   // jne / jnz
+  kAe = 0x3,   // jae (unsigned >=)
+  kBelow = 0x2,  // jb (unsigned <)
+};
+
+class X64Assembler {
+ public:
+  const std::vector<uint8_t>& code() const { return code_; }
+  size_t Here() const { return code_.size(); }
+
+  // --- Labels (rel32, resolved by Finalize) ---
+  int NewLabel();
+  void BindLabel(int label);
+  bool Finalize();  // patches fixups; false if a label was never bound
+
+  // --- Moves ---
+  void MovRegImm64(X64Reg d, uint64_t imm);
+  void MovReg32Imm32(X64Reg d, uint32_t imm);  // zero-extends into the full reg
+  void MovRegReg(X64Reg d, X64Reg s);
+  void MovRegMem(X64Reg d, X64Reg base, int32_t disp);
+  void MovMemReg(X64Reg base, int32_t disp, X64Reg s);
+  void MovMemImm32(X64Reg base, int32_t disp, int32_t imm);  // qword, sext
+  // d = [base + index*8 + disp] and the store form.
+  void MovRegMemIdx8(X64Reg d, X64Reg base, X64Reg index, int32_t disp = 0);
+  void MovMemIdx8Reg(X64Reg base, X64Reg index, X64Reg s, int32_t disp = 0);
+
+  // --- Arithmetic / logic ---
+  void LeaRegMemIdx8(X64Reg d, X64Reg base, X64Reg index, int32_t disp = 0);
+  void LeaRegScaled8(X64Reg d, X64Reg index);  // d = index*8 (no base)
+  void AddRegImm32(X64Reg d, int32_t imm);
+  void AddMemReg(X64Reg base, int32_t disp, X64Reg s);  // add [base+disp], s
+  void IncReg(X64Reg d);
+  void IncMem(X64Reg base, int32_t disp);        // inc qword [base+disp]
+  void IncMemAbs(X64Reg scratch, uint64_t abs);  // mov scratch,abs; inc [it]
+  void ShrRegImm8(X64Reg d, uint8_t imm);
+  void ShlRegImm8(X64Reg d, uint8_t imm);
+  void AndReg32Imm8(X64Reg d, uint8_t imm);
+  void XorReg32(X64Reg d);  // zero the register
+
+  // --- Compare / test ---
+  void CmpRegReg(X64Reg a, X64Reg b);
+  void CmpRegImm8(X64Reg a, int8_t imm);  // sign-extended
+  void CmpRegMem(X64Reg a, X64Reg base, int32_t disp);
+  void CmpMemIdx8Reg(X64Reg base, X64Reg index, X64Reg s);
+  void TestRegReg(X64Reg a, X64Reg b);
+  void TestAlImm8(uint8_t imm);  // test al, imm (deref tag check on rax)
+
+  // --- Control flow ---
+  void Jcc(X64Cond cond, int label);
+  void Jmp(int label);
+  void JmpReg(X64Reg r);
+  void CallReg(X64Reg r);
+  void Ret();
+
+ private:
+  void Byte(uint8_t b) { code_.push_back(b); }
+  void Imm32(int32_t v);
+  void Imm64(uint64_t v);
+  void Rex(bool w, X64Reg reg, X64Reg index, X64Reg rm);
+  // ModRM (+SIB) for [base + disp]; handles rsp/r12 (SIB) and rbp/r13
+  // (forced disp) bases. `reg_field` is the /r operand or opcode extension.
+  void Mem(uint8_t reg_field, X64Reg base, int32_t disp);
+  // ModRM+SIB for [base + index*8 + disp].
+  void MemIdx8(uint8_t reg_field, X64Reg base, X64Reg index, int32_t disp);
+
+  struct Fixup {
+    size_t pos;  // offset of the rel32 to patch
+    int label;
+  };
+  std::vector<uint8_t> code_;
+  std::vector<size_t> label_offsets_;  // SIZE_MAX = unbound
+  std::vector<Fixup> fixups_;
+};
+
+}  // namespace xsb::wam
+
+#endif  // XSB_WAM_JIT_X64_H_

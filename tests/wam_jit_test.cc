@@ -1,0 +1,200 @@
+// Differential tests for the WAM tier-up JIT (src/wam/jit.cc): a module run
+// with XSB_JIT_THRESHOLD=0 (every predicate compiled to native code on first
+// entry) must produce byte-identical answers, in identical order, with
+// identical WamStats counters, to the same module run interpreter-only —
+// including on calls that violate kCheckMode guards and take the bailout
+// into the generic copy. On hosts without native support the JIT must
+// detect that, compile nothing, and change nothing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/loader.h"
+#include "parser/reader.h"
+#include "parser/writer.h"
+#include "wam/compile.h"
+#include "wam/emulator.h"
+
+namespace xsb::wam {
+namespace {
+
+struct RunOutcome {
+  bool ok = false;
+  std::vector<std::string> solutions;
+  WamStats stats;
+  bool jit_active = false;
+};
+
+class WamJitTest : public ::testing::Test {
+ protected:
+  // Consults `program` and runs `goals` in order on one emulator built with
+  // the given tier-up threshold, collecting every rendered solution.
+  RunOutcome Run(const std::string& program,
+                 const std::vector<std::string>& goals, int64_t threshold) {
+    RunOutcome out;
+    SymbolTable symbols;
+    TermStore store(&symbols);
+    Program prog(&symbols);
+    Loader loader(&store, &prog);
+    Status s = loader.ConsultString(program);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    if (!s.ok()) return out;
+    Result<CompiledModule> compiled = CompileModule(&store, prog, {});
+    EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+    if (!compiled.ok()) return out;
+    EmulatorOptions opts;
+    opts.jit_threshold = threshold;
+    Emulator emulator(&store, &compiled.value(), opts);
+    out.jit_active = emulator.jit_active();
+    out.ok = true;
+    for (const std::string& goal : goals) {
+      Result<Word> g = ParseTermString(&store, prog.ops(), goal);
+      EXPECT_TRUE(g.ok()) << g.status().ToString();
+      if (!g.ok()) continue;
+      size_t trail = store.TrailMark();
+      Status st = emulator.Solve(g.value(), [&] {
+        out.solutions.push_back(WriteTerm(store, *prog.ops(), g.value()));
+        return WamAction::kContinue;
+      });
+      store.UndoTrail(trail);
+      EXPECT_TRUE(st.ok()) << goal << ": " << st.ToString();
+      out.ok = out.ok && st.ok();
+    }
+    out.stats = emulator.stats();
+    return out;
+  }
+
+  // The differential property: both tiers agree on every solution (bindings
+  // rendered byte-for-byte, in derivation order) and on every counter the
+  // interpreter maintains.
+  void ExpectTiersAgree(const std::string& program,
+                        const std::vector<std::string>& goals) {
+    RunOutcome interp = Run(program, goals, /*threshold=*/-1);
+    RunOutcome jit = Run(program, goals, /*threshold=*/0);
+    ASSERT_TRUE(interp.ok);
+    ASSERT_TRUE(jit.ok);
+    EXPECT_FALSE(interp.jit_active);
+    EXPECT_EQ(interp.solutions, jit.solutions);
+    EXPECT_EQ(interp.stats.instructions, jit.stats.instructions);
+    EXPECT_EQ(interp.stats.choice_points, jit.stats.choice_points);
+    EXPECT_EQ(interp.stats.mode_checks, jit.stats.mode_checks);
+    EXPECT_EQ(interp.stats.mode_fallbacks, jit.stats.mode_fallbacks);
+    EXPECT_EQ(interp.stats.jit_compiled_preds, 0u);
+    EXPECT_EQ(interp.stats.jit_entries, 0u);
+    if (Jit::HostSupported()) {
+      EXPECT_TRUE(jit.jit_active);
+      EXPECT_GT(jit.stats.jit_compiled_preds, 0u);
+      EXPECT_GT(jit.stats.jit_entries, 0u);
+    } else {
+      // Unsupported host: the zero threshold must change nothing at all.
+      EXPECT_EQ(jit.stats.jit_compiled_preds, 0u);
+      EXPECT_EQ(jit.stats.jit_entries, 0u);
+      EXPECT_EQ(jit.stats.jit_bailouts, 0u);
+    }
+  }
+};
+
+TEST_F(WamJitTest, FactsAndBacktracking) {
+  ExpectTiersAgree("e(1,2). e(2,3). e(3,4). e(2,5).\n",
+                   {"e(X,Y)", "e(2,X)", "e(X,5)", "e(9,X)"});
+}
+
+TEST_F(WamJitTest, RecursionOverChains) {
+  ExpectTiersAgree(
+      "edge(a,b). edge(b,c). edge(c,d). edge(d,e).\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- edge(X,Y), path(Y,Z).\n",
+      {"path(a,X)", "path(X,e)", "path(X,Y)", "path(e,X)"});
+}
+
+TEST_F(WamJitTest, StructuresReadAndWriteModes) {
+  ExpectTiersAgree(
+      "shape(point(0,0)). shape(line(point(0,0), point(3,4))).\n"
+      "wrap(X, box(X, X)).\n",
+      {"shape(S)", "shape(line(A,B))", "shape(point(X,Y))", "wrap(7, B)",
+       "wrap(W, box(a, a))"});
+}
+
+TEST_F(WamJitTest, ListRecursionBothDirections) {
+  ExpectTiersAgree(
+      "app([], L, L).\n"
+      "app([H|T], L, [H|R]) :- app(T, L, R).\n",
+      {"app([1,2,3], [4,5], X)", "app(X, Y, [1,2,3,4])", "app([a], X, [a,b])"});
+}
+
+TEST_F(WamJitTest, ArithmeticBuiltinsBailOutCorrectly) {
+  // Builtins are outside the native subset: every one is a bailout to the
+  // interpreter at its exact pc, and results must still agree.
+  ExpectTiersAgree(
+      "len([], 0).\n"
+      "len([_|T], N) :- len(T, M), N is M + 1.\n"
+      "big(X) :- X > 10.\n",
+      {"len([a,b,c,d], N)", "len([], 0)", "big(11)", "big(3)"});
+}
+
+TEST_F(WamJitTest, ModeGuardViolationsFallBackIdentically) {
+  // lookup/2 gets a ground-argument guard from the analyzer; calling it with
+  // an unbound first argument must fail the native guard, jump to the
+  // generic copy, and count exactly like the interpreter.
+  std::string program =
+      "lookup(a, 1). lookup(b, 2). lookup(c, 3).\n"
+      "use(V) :- lookup(a, V).\n";
+  ExpectTiersAgree(program, {"lookup(a, X)", "lookup(Z, 2)", "use(V)"});
+  RunOutcome jit = Run(program, {"lookup(Z, 2)"}, /*threshold=*/0);
+  ASSERT_TRUE(jit.ok);
+  EXPECT_GT(jit.stats.mode_fallbacks, 0u);
+}
+
+TEST_F(WamJitTest, PermanentVariablesAcrossCalls) {
+  ExpectTiersAgree(
+      "p(1). p(2). p(3). q(2). q(3). r(3).\n"
+      "conj(X) :- p(X), q(X), r(X).\n"
+      "pair(X, Y) :- p(X), q(Y).\n",
+      {"conj(X)", "pair(X,Y)"});
+}
+
+TEST_F(WamJitTest, TierUpThresholdCountsEntries) {
+  if (!Jit::HostSupported()) GTEST_SKIP() << "no native tier on this host";
+  // With a threshold of 3 the first three calls interpret; the fourth tiers
+  // up. Solutions agree throughout the transition.
+  std::string program = "f(1). f(2).\n";
+  RunOutcome warm = Run(program, {"f(X)", "f(X)", "f(X)"}, /*threshold=*/3);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.stats.jit_compiled_preds, 0u);
+  RunOutcome hot =
+      Run(program, {"f(X)", "f(X)", "f(X)", "f(X)", "f(X)"}, /*threshold=*/3);
+  ASSERT_TRUE(hot.ok);
+  EXPECT_EQ(hot.stats.jit_compiled_preds, 1u);
+  EXPECT_EQ(hot.solutions,
+            std::vector<std::string>({"f(1)", "f(2)", "f(1)", "f(2)", "f(1)",
+                                      "f(2)", "f(1)", "f(2)", "f(1)",
+                                      "f(2)"}));
+}
+
+TEST_F(WamJitTest, NegativeThresholdDisablesJit) {
+  RunOutcome out = Run("f(1).\n", {"f(X)"}, /*threshold=*/-1);
+  ASSERT_TRUE(out.ok);
+  EXPECT_FALSE(out.jit_active);
+  EXPECT_EQ(out.stats.jit_compiled_preds, 0u);
+  EXPECT_EQ(out.stats.jit_entries, 0u);
+}
+
+TEST_F(WamJitTest, WamStatsBuiltinReportsJitCounters) {
+  // wam_stats/2 compiled as a WAM builtin: reads this emulator's counters,
+  // including the JIT tier's, as a name-Value list.
+  std::string program =
+      "f(1). f(2).\n"
+      "report(S) :- f(_), wam_stats(all, S).\n";
+  RunOutcome out = Run(program, {"report(S)"}, /*threshold=*/0);
+  ASSERT_TRUE(out.ok);
+  ASSERT_EQ(out.solutions.size(), 2u);
+  EXPECT_NE(out.solutions[0].find("instructions -"), std::string::npos);
+  EXPECT_NE(out.solutions[0].find("jit_compiled_preds -"), std::string::npos);
+  EXPECT_NE(out.solutions[0].find("jit_bailouts -"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xsb::wam

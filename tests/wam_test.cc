@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+
 #include "db/loader.h"
+#include "db/program.h"
 #include "engine/machine.h"
 #include "parser/reader.h"
 #include "parser/writer.h"
@@ -185,6 +189,76 @@ TEST_F(WamTest, DisassemblerProducesListing) {
   EXPECT_NE(listing.find("get_constant"), std::string::npos);
   EXPECT_NE(listing.find("call e/2"), std::string::npos);
   EXPECT_NE(listing.find("proceed"), std::string::npos);
+}
+
+TEST_F(WamTest, DisassembleRoundTripsEveryOpcode) {
+  // Property: every opcode in the instruction set has a distinct, stable
+  // disassembly. The case table below must stay exhaustive — the set-size
+  // check fails when an opcode is added without a rendering here, and the
+  // one-line-per-instruction check fails when Disassemble skips an op.
+  CompiledModule m;
+  FunctorId f2 = symbols_.InternFunctor(symbols_.InternAtom("f"), 2);
+  uint32_t seven = static_cast<uint32_t>(m.AddConstant(IntCell(7)));
+  m.switch_tables.emplace_back();
+  m.mode_specs.push_back({kModeGround, kModeNonvar});
+  struct Case {
+    Instr instr;
+    const char* text;
+  };
+  const Case cases[] = {
+      {{Op::kGetVariable, XReg(4), 2, 0}, "get_variable X4, A2"},
+      {{Op::kGetValue, YReg(1), 3, 0}, "get_value Y1, A3"},
+      {{Op::kGetConstant, seven, 1, 0}, "get_constant 7, A1"},
+      {{Op::kGetStructure, f2, 1, 0}, "get_structure f/2, A1"},
+      {{Op::kUnifyVariable, XReg(5), 0, 0}, "unify_variable X5"},
+      {{Op::kUnifyValue, YReg(2), 0, 0}, "unify_value Y2"},
+      {{Op::kUnifyConstant, seven, 0, 0}, "unify_constant 7"},
+      {{Op::kUnifyVoid, 3, 0, 0}, "unify_void 3"},
+      {{Op::kPutVariable, YReg(0), 2, 0}, "put_variable Y0, A2"},
+      {{Op::kPutValue, XReg(6), 1, 0}, "put_value X6, A1"},
+      {{Op::kPutConstant, seven, 2, 0}, "put_constant 7, A2"},
+      {{Op::kPutStructure, f2, 1, 0}, "put_structure f/2, A1"},
+      {{Op::kAllocate, 4, 0, 0}, "allocate 4"},
+      {{Op::kDeallocate, 0, 0, 0}, "deallocate"},
+      {{Op::kCall, 0, f2, 0}, "call f/2"},
+      {{Op::kProceed, 0, 0, 0}, "proceed"},
+      {{Op::kTryMeElse, 9, 2, 0}, "try_me_else 9"},
+      {{Op::kRetryMeElse, 11, 0, 0}, "retry_me_else 11"},
+      {{Op::kTrustMe, 0, 0, 0}, "trust_me"},
+      {{Op::kSwitchOnTerm, 1, 2, 3}, "switch_on_term var=1 const=2 struct=3"},
+      {{Op::kSwitchOnConstant, 0, 0, 0}, "switch_on_constant table#0"},
+      {{Op::kTry, 21, 2, 0}, "try 21"},
+      {{Op::kRetry, 22, 0, 0}, "retry 22"},
+      {{Op::kTrust, 23, 0, 0}, "trust 23"},
+      {{Op::kBuiltin, 0, 2, 0}, "builtin #0/2"},
+      {{Op::kSolution, 0, 0, 0}, "solution"},
+      {{Op::kHalt, 0, 0, 0}, "halt"},
+      {{Op::kCheckMode, 0, 2, 31}, "check_mode spec#0/2, generic=31"},
+      {{Op::kGetConstantNv, seven, 1, 0}, "get_constant_nv 7, A1"},
+      {{Op::kGetStructureRd, f2, 1, 0}, "get_structure_rd f/2, A1"},
+      {{Op::kUnifyConstantRd, seven, 0, 0}, "unify_constant_rd 7"},
+  };
+  std::set<uint8_t> covered;
+  for (const Case& c : cases) {
+    covered.insert(static_cast<uint8_t>(c.instr.op));
+    m.code.push_back(c.instr);
+  }
+  // Exhaustive: one case per enumerator, contiguous from zero.
+  EXPECT_EQ(covered.size(), std::size(cases));
+  EXPECT_EQ(*covered.rbegin(),
+            static_cast<uint8_t>(Op::kUnifyConstantRd));
+  EXPECT_EQ(covered.size(),
+            static_cast<size_t>(*covered.rbegin()) + 1);
+
+  std::string listing = m.Disassemble(symbols_);
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(listing.begin(), listing.end(), '\n')),
+            m.code.size());
+  for (const Case& c : cases) {
+    EXPECT_NE(listing.find(c.text), std::string::npos)
+        << "missing disassembly: " << c.text << "\n"
+        << listing;
+  }
 }
 
 TEST_F(WamTest, AgreesWithInterpreterOnJoins) {
