@@ -100,6 +100,32 @@ struct LadderRow {
   xsb::bench::WamTierRun jit;
 };
 
+// The nrev ladder runs WAM-only (nrev is not a tabling workload): naive
+// reverse of an n-element ground list on both WAM tiers, carrying the
+// choice-point and structure-switch counters so the first-argument-indexing
+// win is diffable in the JSON snapshot.
+struct NrevRow {
+  int size = 0;
+  xsb::bench::WamTierRun emu;
+  xsb::bench::WamTierRun jit;
+};
+
+std::string NrevProgram() {
+  return "app([], L, L).\n"
+         "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+         "nrev([], []).\n"
+         "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n";
+}
+
+std::string NrevGoal(int n) {
+  std::string list = "[";
+  for (int i = 1; i <= n; ++i) {
+    if (i > 1) list += ",";
+    list += std::to_string(i);
+  }
+  return "nrev(" + list + "], R)";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,6 +176,33 @@ int main(int argc, char** argv) {
     rows.push_back(row);
   }
 
+  PrintHeader("nrev ladder: ?- nrev([1..n], R) on both WAM tiers");
+  PrintRow("list size",
+           {"WAM emu ms", "WAM jit ms", "emu/jit", "choice pts", "struct hits"},
+           14, 12);
+  std::vector<NrevRow> nrev_rows;
+  for (int n : {10, 30, 100}) {
+    NrevRow row;
+    row.size = n;
+    int reps = n <= 30 ? 400 : 50;
+    row.emu = xsb::bench::TimeWamTier(NrevProgram(), NrevGoal(n),
+                                      /*jit_threshold=*/-1, reps);
+    row.jit = xsb::bench::TimeWamTier(NrevProgram(), NrevGoal(n),
+                                      /*jit_threshold=*/0, reps);
+    if (row.emu.answers != row.jit.answers ||
+        row.emu.choice_points != row.jit.choice_points ||
+        row.emu.instructions != row.jit.instructions) {
+      std::abort();  // the tiers must be byte-identical on counters
+    }
+    PrintRow(std::to_string(n),
+             {FmtMs(row.emu.seconds), FmtMs(row.jit.seconds),
+              Fmt(row.emu.seconds / row.jit.seconds, 2),
+              std::to_string(row.emu.choice_points),
+              std::to_string(row.emu.switch_structure_hits)},
+             14, 12);
+    nrev_rows.push_back(row);
+  }
+
   std::printf(
       "\nPaper: the engine is roughly two orders of magnitude faster than\n"
       "the meta-interpreter — the gap that justified building the SLG-WAM\n"
@@ -180,8 +233,24 @@ int main(int argc, char** argv) {
               ", \"jit_speedup\": " +
               xsb::bench::Fmt(r.emu.seconds / r.jit.seconds, 2) +
               ", \"instructions\": " + std::to_string(r.emu.instructions) +
+              ", \"choice_points\": " + std::to_string(r.emu.choice_points) +
               "}";
       json += (i + 1 < rows.size()) ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"nrev_rows\": [\n";
+    for (size_t i = 0; i < nrev_rows.size(); ++i) {
+      const NrevRow& r = nrev_rows[i];
+      json += "    {\"list_size\": " + std::to_string(r.size) +
+              ", \"wam_emulator_ms\": " +
+              xsb::bench::Fmt(r.emu.seconds * 1e3, 3) +
+              ", \"wam_jit_ms\": " + xsb::bench::Fmt(r.jit.seconds * 1e3, 3) +
+              ", \"jit_speedup\": " +
+              xsb::bench::Fmt(r.emu.seconds / r.jit.seconds, 2) +
+              ", \"instructions\": " + std::to_string(r.emu.instructions) +
+              ", \"choice_points\": " + std::to_string(r.emu.choice_points) +
+              ", \"switch_structure_hits\": " +
+              std::to_string(r.emu.switch_structure_hits) + "}";
+      json += (i + 1 < nrev_rows.size()) ? ",\n" : "\n";
     }
     json += "  ]\n}\n";
     std::ofstream out(argv[1]);

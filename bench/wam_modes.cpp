@@ -44,6 +44,8 @@ struct Column {
   uint64_t instructions = 0;
   uint64_t mode_checks = 0;
   uint64_t mode_fallbacks = 0;
+  uint64_t choice_points = 0;
+  uint64_t switch_structure_hits = 0;
   size_t answers = 0;
 };
 
@@ -83,10 +85,15 @@ Column RunOne(TermStore* store, Program* program,
   uint64_t instr0 = emulator.stats().instructions;
   uint64_t checks0 = emulator.stats().mode_checks;
   uint64_t falls0 = emulator.stats().mode_fallbacks;
+  uint64_t cps0 = emulator.stats().choice_points;
+  uint64_t swh0 = emulator.stats().switch_structure_hits;
   solve();
   col.instructions = emulator.stats().instructions - instr0;
   col.mode_checks = emulator.stats().mode_checks - checks0;
   col.mode_fallbacks = emulator.stats().mode_fallbacks - falls0;
+  col.choice_points = emulator.stats().choice_points - cps0;
+  col.switch_structure_hits =
+      emulator.stats().switch_structure_hits - swh0;
   col.time_ms = bench::TimeBest(solve, 0.1, 400) * 1e3;
   return col;
 }
@@ -130,16 +137,19 @@ Row Run(const Workload& w) {
   if (row.spec.answers != row.generic.answers) std::abort();
   if (row.jit.answers != row.spec.answers) std::abort();
   if (row.jit.instructions != row.spec.instructions) std::abort();
+  if (row.jit.choice_points != row.spec.choice_points) std::abort();
   std::printf(
-      "%-16s answers=%5zu  spec: time_ms=%8.3f instr=%8llu checks=%6llu "
-      "fallbacks=%3llu | generic: time_ms=%8.3f instr=%8llu | jit: "
-      "time_ms=%8.3f speedup=%.2f\n",
+      "%-16s answers=%5zu  spec: time_ms=%8.3f instr=%8llu cps=%5llu "
+      "checks=%6llu fallbacks=%3llu | generic: time_ms=%8.3f instr=%8llu "
+      "cps=%5llu | jit: time_ms=%8.3f speedup=%.2f\n",
       row.key, row.spec.answers, row.spec.time_ms,
       static_cast<unsigned long long>(row.spec.instructions),
+      static_cast<unsigned long long>(row.spec.choice_points),
       static_cast<unsigned long long>(row.spec.mode_checks),
       static_cast<unsigned long long>(row.spec.mode_fallbacks),
       row.generic.time_ms,
       static_cast<unsigned long long>(row.generic.instructions),
+      static_cast<unsigned long long>(row.generic.choice_points),
       row.jit.time_ms, row.spec.time_ms / row.jit.time_ms);
   return row;
 }
@@ -187,7 +197,9 @@ int main(int argc, char** argv) {
              ", \"instructions\": " + std::to_string(c.instructions) +
              ", \"mode_checks\": " + std::to_string(c.mode_checks) +
              ", \"mode_fallbacks\": " + std::to_string(c.mode_fallbacks) +
-             "}";
+             ", \"choice_points\": " + std::to_string(c.choice_points) +
+             ", \"switch_structure_hits\": " +
+             std::to_string(c.switch_structure_hits) + "}";
     };
     std::string json = "{\n  \"bench\": \"wam_modes\",\n  \"jit_active\": ";
     json += (!rows.empty() && rows.front().jit_active) ? "true" : "false";

@@ -24,6 +24,8 @@ struct WamTierRun {
   double seconds = 0;          // best per-solve wall time
   size_t answers = 0;          // answers from one solve
   uint64_t instructions = 0;   // WAM instructions retired by one solve
+  uint64_t choice_points = 0;  // choice points pushed by one solve
+  uint64_t switch_structure_hits = 0;  // functor-keyed dispatches in one solve
   bool jit_active = false;     // a native tier exists on this emulator
   uint64_t jit_compiled = 0;   // predicates actually compiled to x64
 };
@@ -65,8 +67,13 @@ inline WamTierRun TimeWamTier(const std::string& program,
   };
   solve();  // warmup: tier-up (if any) happens here, off the clock
   uint64_t instr0 = emulator.stats().instructions;
+  uint64_t cps0 = emulator.stats().choice_points;
+  uint64_t swh0 = emulator.stats().switch_structure_hits;
   solve();
   run.instructions = emulator.stats().instructions - instr0;
+  run.choice_points = emulator.stats().choice_points - cps0;
+  run.switch_structure_hits =
+      emulator.stats().switch_structure_hits - swh0;
   run.seconds = TimeBest(
                     [&]() {
                       for (int i = 0; i < reps; ++i) solve();

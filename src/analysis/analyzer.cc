@@ -680,7 +680,42 @@ void Analyzer::AdvisorPass() {
       continue;  // a hand-written directive wins
     }
     if (profile.calls == 0 || profile.bound_count.empty()) continue;
-    if (profile.bound_count[0] > 0) continue;  // first-arg index is usable
+    // First-argument key census, mirroring the WAM compiler's switchability
+    // test (src/wam/compile.cc): constant (atom/int) and structure-functor
+    // keys both dispatch through the two-level switch_on_term tables since
+    // switch_on_structure, so structure-keyed predicates no longer earn
+    // advice. The remaining defeat is a variable-keyed clause, which forces
+    // the whole predicate onto the linear chain for every call.
+    size_t live = 0, var_keyed = 0;
+    SourceSpan var_span;
+    for (const Clause& clause : pred->clauses()) {
+      if (clause.erased) continue;
+      ++live;
+      size_t pos =
+          FlatArgPos(symbols_, clause.term.cells, clause.head_pos, 0);
+      Word key = clause.term.cells[pos];
+      if (!IsAtom(key) && !IsInt(key) && !IsFunctor(key)) {
+        ++var_keyed;
+        if (var_keyed == 1) var_span = clause.span;
+      }
+    }
+    if (profile.bound_count[0] > 0) {
+      // Bound-first-argument call sites are served by the switch whether
+      // the keys are constants or functors — unless one variable-keyed
+      // clause in an otherwise keyed set pins dispatch to the chain. An
+      // all-variable head is ordinary Prolog (nothing to switch on) and
+      // stays silent.
+      if (var_keyed > 0 && var_keyed < live) {
+        Diag(DiagCode::kChainDispatch, Severity::kInfo, f,
+             std::to_string(var_keyed) + " of " + std::to_string(live) +
+                 " clauses key argument 1 on a variable, which disables the "
+                 "constant/structure switch for the whole predicate: every "
+                 "call walks the full clause chain. Key the clause on a "
+                 "symbol or split the predicate.",
+             var_span);
+      }
+      continue;  // first-arg dispatch (constant or functor keys) is usable
+    }
     bool suggested = false;
     for (size_t i = 1; i < profile.bound_count.size(); ++i) {
       if (profile.bound_count[i] == profile.calls) {

@@ -16,6 +16,8 @@ const char* DiagCodeName(DiagCode code) {
       return "A001";
     case DiagCode::kIndexAdvice:
       return "A002";
+    case DiagCode::kChainDispatch:
+      return "A003";
     case DiagCode::kSingletonVar:
       return "L001";
     case DiagCode::kDiscontiguous:

@@ -34,6 +34,8 @@ enum class DiagCode {
   // Advisors (A...)
   kAutoTable,        // A001: predicate in a recursive SCC should be tabled
   kIndexAdvice,      // A002: call sites suggest a different index directive
+  kChainDispatch,    // A003: a variable-keyed clause defeats the first-arg
+                     // constant/structure switch for the whole predicate
   // Style lints (L...)
   kSingletonVar,     // L001: named variable occurs once in its clause
   kDiscontiguous,    // L002: clauses of a predicate are not contiguous

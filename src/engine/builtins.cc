@@ -906,7 +906,8 @@ BuiltinResult BuiltinTableStats(Machine& m, Word goal, const GoalNode*) {
 
 // wam_stats/2: wam_stats(all, Stats) unifies Stats with the process-wide WAM
 // execution-tier counters as [instructions-N, choice_points-N, mode_checks-N,
-// mode_fallbacks-N, jit_compiled_preds-N, jit_entries-N, jit_bailouts-N].
+// mode_fallbacks-N, jit_compiled_preds-N, jit_entries-N, jit_bailouts-N,
+// switch_structure_hits-N, switch_miss_linear-N].
 // Counters aggregate over every emulator instance the process has run
 // (flushed at the end of each Solve), so benches and the shell can read the
 // tier ladder — including how much work ran natively — without touching C++
@@ -930,6 +931,8 @@ BuiltinResult BuiltinWamStatsEngine(Machine& m, Word goal, const GoalNode*) {
       pair("jit_compiled_preds", stats.jit_compiled_preds),
       pair("jit_entries", stats.jit_entries),
       pair("jit_bailouts", stats.jit_bailouts),
+      pair("switch_structure_hits", stats.switch_structure_hits),
+      pair("switch_miss_linear", stats.switch_miss_linear),
   };
   Word list = store->MakeList(items, AtomCell(symbols->nil()));
   if (!store->Unify(Arg(m, goal, 0), AtomCell(symbols->InternAtom("all")))) {

@@ -85,8 +85,10 @@ class Compiler {
       if (!pred->clause(id).erased) live.push_back(id);
     }
 
-    // Decide whether a first-arg constant switch applies.
-    bool switchable = arity >= 1 && live.size() > 1;
+    // Decide whether a first-arg switch applies: every clause must key on
+    // a constant (atom/int) or a structure functor. The key cell's own tag
+    // separates the two sides of the dispatch downstream.
+    bool switchable = options_.index && arity >= 1 && live.size() > 1;
     std::vector<Word> first_keys(live.size());
     if (switchable) {
       for (size_t i = 0; i < live.size(); ++i) {
@@ -94,7 +96,7 @@ class Compiler {
         size_t pos = FlatArgPos(*symbols_, clause.term.cells,
                                 clause.head_pos, 0);
         Word cell = clause.term.cells[pos];
-        if (!IsAtom(cell) && !IsInt(cell)) {
+        if (!IsAtom(cell) && !IsInt(cell) && !IsFunctor(cell)) {
           switchable = false;
           break;
         }
@@ -227,25 +229,47 @@ class Compiler {
       return Status::Ok();
     }
 
-    // switch_on_term + switch_on_constant + shared clause blocks. With a
-    // spec proving the first argument bound, the var test (and the full
-    // chain behind it) is dead: dispatch straight through the constant
-    // table, and the clause blocks skip their first-argument get — the
-    // switch already verified it.
+    // Two-level dispatch: switch_on_term splits var/constant/structure,
+    // below it a constant table, a functor table and a './2' fast path
+    // share the clause blocks. With a spec proving the first argument
+    // bound, the var test (and the full chain behind it) is dead — and
+    // when only one key kind occurs, the entry dispatches straight into
+    // that table; constant-keyed clause blocks then skip their
+    // first-argument get, the switch already verified it.
     bool first_arg_known =
         !cur_spec_.empty() && ModeBound(cur_spec_[0]);
+    bool has_const = false;
+    bool has_struct = false;
+    for (Word key : first_keys) (IsFunctor(key) ? has_struct : has_const) = true;
+    const FunctorId cons = symbols_->InternFunctor(symbols_->dot(), 2);
+    const Word list_key = FunctorCell(cons);
+
+    bool need_term_switch = !first_arg_known || (has_const && has_struct);
     size_t switch_pc = 0;
-    if (!first_arg_known) {
+    if (need_term_switch) {
       switch_pc = Here();
-      Emit(Op::kSwitchOnTerm, 0, 0, kFailTarget);  // var/const patched below
+      // All three arms patched below; an absent side stays kFailTarget.
+      Emit(Op::kSwitchOnTerm, kFailTarget, kFailTarget, kFailTarget);
     }
-    size_t const_pc = Here();
-    uint32_t table_index = static_cast<uint32_t>(
-        module_.switch_tables.size());
-    module_.switch_tables.emplace_back();
-    Emit(Op::kSwitchOnConstant, table_index);
-    if (!first_arg_known) {
-      module_.code[switch_pc].b = static_cast<uint32_t>(const_pc);
+    uint32_t const_table = 0;
+    uint32_t struct_table = 0;
+    size_t struct_switch_pc = 0;
+    if (has_const) {
+      if (need_term_switch) {
+        module_.code[switch_pc].b = static_cast<uint32_t>(Here());
+      }
+      const_table = static_cast<uint32_t>(module_.switch_tables.size());
+      module_.switch_tables.emplace_back();
+      Emit(Op::kSwitchOnConstant, const_table);
+    }
+    if (has_struct) {
+      if (need_term_switch) {
+        module_.code[switch_pc].c = static_cast<uint32_t>(Here());
+      }
+      struct_switch_pc = Here();
+      struct_table = static_cast<uint32_t>(module_.switch_tables.size());
+      module_.switch_tables.emplace_back();
+      Emit(Op::kSwitchOnStructure, struct_table, cons, kFailTarget);
     }
 
     // Clause blocks (each ends in proceed); record their pcs.
@@ -310,11 +334,21 @@ class Compiler {
     for (const ChainRef& ref : refs) {
       module_.code[ref.pc].a = static_cast<uint32_t>(clause_pc[ref.clause_ix]);
     }
-    // The constant table: single-clause keys jump straight to the block.
-    auto& table = module_.switch_tables[table_index];
+    // Fill the dispatch tables: single-clause keys jump straight to the
+    // block (no choice point at all); './2' rides the list fast path on
+    // the switch_on_structure instruction itself.
     for (auto& [key, members] : groups) {
-      table[key] = members.size() == 1 ? clause_pc[members[0]]
-                                       : bucket_chain_pc[key];
+      uint32_t target = static_cast<uint32_t>(
+          members.size() == 1 ? clause_pc[members[0]] : bucket_chain_pc[key]);
+      if (IsFunctor(key)) {
+        if (key == list_key) {
+          module_.code[struct_switch_pc].c = target;
+        } else {
+          module_.switch_tables[struct_table].Set(key, target);
+        }
+      } else {
+        module_.switch_tables[const_table].Set(key, target);
+      }
     }
     return Status::Ok();
   }

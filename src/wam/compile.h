@@ -16,11 +16,17 @@ struct CompileOptions {
   // the actual arguments against the spec (kCheckMode) and falls back to a
   // generic copy on mismatch, so the analysis is verified, never trusted.
   bool specialize = true;
+  // Build first-argument dispatch (switch_on_term / switch_on_constant /
+  // switch_on_structure). Off forces every multi-clause predicate onto a
+  // try_me_else chain — the ablation baseline the property sweeps and the
+  // bench decomposition compare against.
+  bool index = true;
 };
 
 // Compiles `predicates` ({} = every predicate with clauses) of `program`
-// into WAM code with first-argument switch_on_constant indexing where all
-// clause heads key on a constant.
+// into WAM code with two-level first-argument indexing (constant table,
+// functor table, list fast path) where every clause head keys on a
+// constant or structure.
 //
 // Supported clause bodies: conjunctions of user predicate calls (which must
 // themselves be compiled in the same module) and the arithmetic/unification

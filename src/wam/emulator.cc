@@ -47,6 +47,10 @@ void Emulator::FlushGlobalStats() {
       stats_.jit_compiled_preds - flushed_.jit_compiled_preds;
   t.jit_entries += stats_.jit_entries - flushed_.jit_entries;
   t.jit_bailouts += stats_.jit_bailouts - flushed_.jit_bailouts;
+  t.switch_structure_hits +=
+      stats_.switch_structure_hits - flushed_.switch_structure_hits;
+  t.switch_miss_linear +=
+      stats_.switch_miss_linear - flushed_.switch_miss_linear;
   flushed_ = stats_;
 }
 
@@ -82,6 +86,8 @@ bool Emulator::BuiltinWamStats() {
       pair("jit_compiled_preds", snap.jit_compiled_preds),
       pair("jit_entries", snap.jit_entries),
       pair("jit_bailouts", snap.jit_bailouts),
+      pair("switch_structure_hits", snap.switch_structure_hits),
+      pair("switch_miss_linear", snap.switch_miss_linear),
   };
   Word list = store_->MakeList(items, AtomCell(symbols->nil()));
   return store_->Unify(x_[1], AtomCell(symbols->InternAtom("all"))) &&
@@ -343,6 +349,9 @@ Status Emulator::SolveImpl(Word goal, const WamSolutionFn& on_solution) {
       case Op::kTryMeElse:
       case Op::kTry: {
         bool me = instr.op == Op::kTryMeElse;
+        // try_me_else only heads unindexed chains: entering one means this
+        // call never saw a switch.
+        if (me) ++stats_.switch_miss_linear;
         PushChoice(me ? instr.a : pc + 1, instr.b, cont);
         pc = me ? pc + 1 : instr.a;
         break;
@@ -368,6 +377,9 @@ Status Emulator::SolveImpl(Word goal, const WamSolutionFn& on_solution) {
         uint32_t target;
         if (IsRef(v)) {
           target = instr.a;
+          // An unbound first argument falls through to the full linear
+          // chain — the dispatch the index could not help.
+          if (target != kFailTarget) ++stats_.switch_miss_linear;
         } else if (IsAtom(v) || IsInt(v)) {
           target = instr.b;
         } else {
@@ -381,13 +393,36 @@ Status Emulator::SolveImpl(Word goal, const WamSolutionFn& on_solution) {
         break;
       }
       case Op::kSwitchOnConstant: {
-        const auto& table = module_->switch_tables[instr.a];
-        Word key = store_->Deref(x_[1]);
-        auto it = table.find(key);
-        if (it == table.end()) {
+        const SwitchTable& table = module_->switch_tables[instr.a];
+        uint32_t target = table.Lookup(store_->Deref(x_[1]));
+        if (target == SwitchTable::kMiss) {
           fail();
         } else {
-          pc = it->second;
+          pc = target;
+        }
+        break;
+      }
+      case Op::kSwitchOnStructure: {
+        // Dispatch on the functor/arity key of A1; './2' takes the one-
+        // compare list fast path ahead of the table.
+        Word v = store_->Deref(x_[1]);
+        if (!IsStruct(v)) {
+          fail();
+          break;
+        }
+        if (instr.c != kFailTarget &&
+            store_->StructFunctor(v) == static_cast<FunctorId>(instr.b)) {
+          ++stats_.switch_structure_hits;
+          pc = instr.c;
+          break;
+        }
+        const SwitchTable& table = module_->switch_tables[instr.a];
+        uint32_t target = table.Lookup(FunctorCell(store_->StructFunctor(v)));
+        if (target == SwitchTable::kMiss) {
+          fail();
+        } else {
+          ++stats_.switch_structure_hits;
+          pc = target;
         }
         break;
       }

@@ -30,6 +30,12 @@ struct WamStats {
   uint64_t jit_compiled_preds = 0;
   uint64_t jit_entries = 0;
   uint64_t jit_bailouts = 0;
+  // First-argument indexing: structure-key dispatches that hit (functor
+  // table or './2' fast path), and calls that fell through to a linear
+  // clause chain — a switch_on_term taking its var arm, or an unindexed
+  // try_me_else chain entry.
+  uint64_t switch_structure_hits = 0;
+  uint64_t switch_miss_linear = 0;
 };
 
 // Aggregate counters across every Emulator in the process, flushed at the

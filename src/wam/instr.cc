@@ -139,6 +139,10 @@ std::string CompiledModule::Disassemble(const SymbolTable& symbols) const {
       case Op::kUnifyConstantRd:
         emit("unify_constant_rd " + constant_name(i.a));
         break;
+      case Op::kSwitchOnStructure:
+        emit("switch_on_structure table#" + std::to_string(i.a) +
+             " list=" + std::to_string(i.c));
+        break;
     }
   }
   return out;

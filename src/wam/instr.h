@@ -67,6 +67,14 @@ enum class Op : uint8_t {
                     // no write-mode branch
   kUnifyConstantRd, // a: const ix — inside kGetStructureRd with a ground
                     // root: argument cells cannot be unbound
+
+  // Second level of first-argument indexing, structure side: dispatch on
+  // the functor/arity key of A1 (which must deref to a structure; anything
+  // else fails). a: table index (functor cell -> pc; miss = fail),
+  // b: the list cons functor id, c: list fast-path pc — the './2' bucket
+  // is dispatched by one compare, before the table lookup (kFailTarget:
+  // no list-keyed clauses, './2' falls through to the table miss).
+  kSwitchOnStructure,
 };
 
 enum class BuiltinOp : uint32_t {
@@ -110,11 +118,55 @@ struct PredRange {
   uint32_t end;
 };
 
+// One first-argument dispatch table (constant- or functor-keyed). Small
+// fanouts stay an insertion-ordered vector scanned linearly — for the 2-4
+// key predicates that dominate real programs a scan beats hashing — and
+// escalate to a hash map once the key count passes kHashFanout. Both the
+// emulator's switch dispatch and the JIT's runtime helpers read the same
+// table, so the tiers cannot disagree on a lookup.
+struct SwitchTable {
+  static constexpr uint32_t kMiss = 0xffffffffu;
+  static constexpr size_t kHashFanout = 8;
+
+  std::vector<std::pair<Word, uint32_t>> entries;  // insertion order
+  std::unordered_map<Word, uint32_t> hash;         // built above kHashFanout
+
+  void Set(Word key, uint32_t target) {
+    for (auto& e : entries) {
+      if (e.first == key) {
+        e.second = target;
+        if (!hash.empty()) hash[key] = target;
+        return;
+      }
+    }
+    entries.emplace_back(key, target);
+    if (!hash.empty()) {
+      hash.emplace(key, target);
+    } else if (entries.size() > kHashFanout) {
+      for (const auto& e : entries) hash.emplace(e.first, e.second);
+    }
+  }
+
+  uint32_t Lookup(Word key) const {
+    if (!hash.empty()) {
+      auto it = hash.find(key);
+      return it == hash.end() ? kMiss : it->second;
+    }
+    for (const auto& e : entries) {
+      if (e.first == key) return e.second;
+    }
+    return kMiss;
+  }
+
+  size_t size() const { return entries.size(); }
+  bool hashed() const { return !hash.empty(); }
+};
+
 // A compiled module: code, constants, switch tables and predicate entries.
 struct CompiledModule {
   std::vector<Instr> code;
   std::vector<Word> constants;
-  std::vector<std::unordered_map<Word, size_t>> switch_tables;
+  std::vector<SwitchTable> switch_tables;
   std::unordered_map<FunctorId, size_t> entries;  // functor -> entry pc
   // kCheckMode argument-mode specs (kMode* bytes per argument position;
   // kModeAny positions are not checked).

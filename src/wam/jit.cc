@@ -161,9 +161,19 @@ extern "C" void xsb_jit_trust_rt(JitContext* ctx) {
 
 extern "C" uint64_t xsb_jit_switch_const_rt(JitContext* ctx, uint64_t table_ix,
                                             uint64_t key) {
-  const auto& table = ctx->jit->module()->switch_tables[table_ix];
-  auto it = table.find(key);
-  return it == table.end() ? ~0ull : static_cast<uint64_t>(it->second);
+  const SwitchTable& table = ctx->jit->module()->switch_tables[table_ix];
+  uint32_t target = table.Lookup(key);
+  return target == SwitchTable::kMiss ? ~0ull : static_cast<uint64_t>(target);
+}
+
+// switch_on_structure table lookup; `key` is the argument's functor cell.
+// Reads the same SwitchTable the interpreter dispatches through, so the two
+// tiers cannot disagree on a bucket.
+extern "C" uint64_t xsb_jit_switch_struct_rt(JitContext* ctx,
+                                             uint64_t table_ix, uint64_t key) {
+  const SwitchTable& table = ctx->jit->module()->switch_tables[table_ix];
+  uint32_t target = table.Lookup(key);
+  return target == SwitchTable::kMiss ? ~0ull : static_cast<uint64_t>(target);
 }
 
 extern "C" uint64_t xsb_jit_is_ground_rt(JitContext* ctx, uint64_t w) {
@@ -678,6 +688,8 @@ void JitCompiler::EmitInstr(size_t pc, const Instr& instr) {
     case Op::kTryMeElse:
     case Op::kTry: {
       bool me = instr.op == Op::kTryMeElse;
+      // try_me_else only heads unindexed chains (see the interpreter case).
+      if (me) CountStat(&jit_->EmuStats().switch_miss_linear);
       a_.MovRegReg(R::kRdi, R::kRbx);
       a_.MovReg32Imm32(R::kRsi, me ? instr.a : static_cast<uint32_t>(pc) + 1);
       a_.MovReg32Imm32(R::kRdx, instr.b);
@@ -719,6 +731,10 @@ void JitCompiler::EmitInstr(size_t pc, const Instr& instr) {
       a_.Jcc(X64Cond::kEq, on_const);
       JumpTo(instr.c);  // structures
       a_.BindLabel(on_var);
+      // Unbound first argument: the full linear chain (see the interpreter).
+      if (instr.a != kFailTarget) {
+        CountStat(&jit_->EmuStats().switch_miss_linear);
+      }
       JumpTo(instr.a);
       a_.BindLabel(on_const);
       JumpTo(instr.b);
@@ -737,6 +753,38 @@ void JitCompiler::EmitInstr(size_t pc, const Instr& instr) {
       a_.Jcc(X64Cond::kEq, fail_);  // miss
       a_.Jmp(dyn_dispatch_);
       return;
+
+    case Op::kSwitchOnStructure: {
+      LoadHeap(R::kRdx);
+      LoadX(R::kRax, 1);
+      Deref();
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.AndReg32Imm8(R::kRcx, 7);
+      a_.CmpRegImm8(R::kRcx, static_cast<int8_t>(Tag::kStruct));
+      a_.Jcc(X64Cond::kNe, fail_);  // non-structure input
+      a_.MovRegReg(R::kRcx, R::kRax);
+      a_.ShrRegImm8(R::kRcx, 3);
+      a_.MovRegMemIdx8(R::kRdx, R::kRdx, R::kRcx);  // rdx = functor cell
+      if (instr.c != kFailTarget) {
+        // './2' fast path: one compare beats the table for list traversal.
+        int not_list = a_.NewLabel();
+        a_.MovRegImm64(R::kRsi,
+                       FunctorCell(static_cast<FunctorId>(instr.b)));
+        a_.CmpRegReg(R::kRdx, R::kRsi);
+        a_.Jcc(X64Cond::kNe, not_list);
+        CountStat(&jit_->EmuStats().switch_structure_hits);
+        JumpTo(instr.c);
+        a_.BindLabel(not_list);
+      }
+      a_.MovRegReg(R::kRdi, R::kRbx);
+      a_.MovReg32Imm32(R::kRsi, instr.a);
+      CallHelper(reinterpret_cast<const void*>(&xsb_jit_switch_struct_rt));
+      a_.CmpRegImm8(R::kRax, -1);
+      a_.Jcc(X64Cond::kEq, fail_);  // miss
+      CountStat(&jit_->EmuStats().switch_structure_hits);
+      a_.Jmp(dyn_dispatch_);
+      return;
+    }
 
     case Op::kCheckMode: {
       CountStat(&jit_->EmuStats().mode_checks);

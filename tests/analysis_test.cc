@@ -269,6 +269,54 @@ TEST(AnalyzerAdvisors, IndexAdvisorReadsCallSiteBindings) {
   EXPECT_TRUE(clean.Analyze().index_suggestions.empty());
 }
 
+TEST(AnalyzerAdvisors, StructureKeyedPredicatesCountAsIndexed) {
+  // size/2 keys argument 1 on functors (plus one constant); since
+  // switch_on_structure those bound call sites dispatch through the
+  // structure table, so the advisor must not suggest an alternate index
+  // and must not flag the dispatch as chain-bound.
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString("size(box(W, H), A) :- A is W * H.\n"
+                                 "size(ball(R), A) :- A is 3 * R.\n"
+                                 "size(nil, 0).\n"
+                                 "probe(A) :- size(box(2, 3), A).\n")
+                  .ok());
+  AnalysisResult result = engine.Analyze();
+  EXPECT_TRUE(result.index_suggestions.empty());
+  EXPECT_EQ(FindCode(result, DiagCode::kIndexAdvice), nullptr);
+  EXPECT_EQ(FindCode(result, DiagCode::kChainDispatch), nullptr);
+}
+
+TEST(AnalyzerAdvisors, VarKeyedClauseIsFlaggedAsChainDispatch) {
+  // One variable-keyed clause in an otherwise keyed set disables the
+  // first-argument switch for the whole predicate: A003 points at the
+  // offending clause.
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .ConsultString("size(box(W, H), A) :- A is W * H.\n"
+                                 "size(nil, 0).\n"
+                                 "size(_Any, unknown).\n"
+                                 "probe(A) :- size(box(2, 3), A).\n")
+                  .ok());
+  AnalysisResult result = engine.Analyze();
+  const Diagnostic* a003 = FindCode(result, DiagCode::kChainDispatch);
+  ASSERT_NE(a003, nullptr);
+  EXPECT_EQ(PredName(engine, a003->functor), "size/2");
+  EXPECT_NE(a003->message.find("variable"), std::string::npos);
+  EXPECT_EQ(a003->span.line, 3);
+
+  // All-variable heads are ordinary Prolog — nothing to switch on, so no
+  // clause is singled out and the advisor stays silent.
+  Engine plain;
+  ASSERT_TRUE(plain
+                  .ConsultString("path(X,Y) :- edge(X,Y).\n"
+                                 "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+                                 "edge(1,2).\n"
+                                 "go :- path(1, _).\n")
+                  .ok());
+  EXPECT_EQ(FindCode(plain.Analyze(), DiagCode::kChainDispatch), nullptr);
+}
+
 // --- Lints (L001-L003) -------------------------------------------------------
 
 TEST(AnalyzerLints, SingletonVariableCarriesNameAndSpan) {

@@ -82,6 +82,9 @@ class WamJitTest : public ::testing::Test {
     EXPECT_EQ(interp.stats.choice_points, jit.stats.choice_points);
     EXPECT_EQ(interp.stats.mode_checks, jit.stats.mode_checks);
     EXPECT_EQ(interp.stats.mode_fallbacks, jit.stats.mode_fallbacks);
+    EXPECT_EQ(interp.stats.switch_structure_hits,
+              jit.stats.switch_structure_hits);
+    EXPECT_EQ(interp.stats.switch_miss_linear, jit.stats.switch_miss_linear);
     EXPECT_EQ(interp.stats.jit_compiled_preds, 0u);
     EXPECT_EQ(interp.stats.jit_entries, 0u);
     if (Jit::HostSupported()) {
@@ -123,6 +126,44 @@ TEST_F(WamJitTest, ListRecursionBothDirections) {
       "app([], L, L).\n"
       "app([H|T], L, [H|R]) :- app(T, L, R).\n",
       {"app([1,2,3], [4,5], X)", "app(X, Y, [1,2,3,4])", "app([a], X, [a,b])"});
+}
+
+TEST_F(WamJitTest, StructureSwitchDispatchesIdentically) {
+  // Mixed constant/structure clause sets share the two-level dispatch;
+  // both tiers must agree on answers AND on the new indexing counters
+  // (hits through the functor table and the './2' fast path, misses onto
+  // linear chains), byte for byte.
+  std::string program =
+      "g(nil, 0).\n"
+      "g(f(X), X).\n"
+      "g(h(X, Y), p(X, Y)).\n"
+      "g([H|_], H).\n"
+      "g(f(9), ninety).\n";
+  ExpectTiersAgree(program,
+                   {"g(nil, V)", "g(f(7), V)", "g(h(1,2), V)", "g([a,b], V)",
+                    "g(f(9), V)", "g(nosuch(1), V)", "g(99, V)", "g(X, V)"});
+  RunOutcome jit = Run(program, {"g(f(7), V)", "g([a], V)"}, /*threshold=*/0);
+  ASSERT_TRUE(jit.ok);
+  EXPECT_EQ(jit.stats.switch_structure_hits, 2u);
+  EXPECT_EQ(jit.stats.switch_miss_linear, 0u);
+}
+
+TEST_F(WamJitTest, NrevCountersAgreeWithChoicePointsDeleted) {
+  // The ISSUE 10 acceptance shape: nrev on both tiers, byte-identical
+  // stats, and the structure switch deleting every shallow choice point.
+  std::string list = "[";
+  for (int i = 1; i <= 30; ++i) list += (i > 1 ? "," : "") + std::to_string(i);
+  std::string program =
+      "app([], L, L).\n"
+      "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "nrev([], []).\n"
+      "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n";
+  ExpectTiersAgree(program, {"nrev(" + list + "], R)"});
+  RunOutcome jit = Run(program, {"nrev(" + list + "], R)"}, /*threshold=*/0);
+  ASSERT_TRUE(jit.ok);
+  EXPECT_LE(jit.stats.choice_points, 40u);
+  EXPECT_GT(jit.stats.switch_structure_hits, 0u);
+  EXPECT_EQ(jit.stats.switch_miss_linear, 0u);
 }
 
 TEST_F(WamJitTest, ArithmeticBuiltinsBailOutCorrectly) {

@@ -163,6 +163,91 @@ TEST_F(WamModesTest, InteriorConstantsKeepGroundGuardAndAgree) {
   });
 }
 
+TEST_F(WamModesTest, SpecializedEntryUsesStructureTable) {
+  // The mode-specialized copy must dispatch through the structure table
+  // exactly like the generic copy — a verified functor switch followed by
+  // read-mode heads (kGetStructureRd) — not degrade to a chain. nrev/app
+  // key on []/'.'/2, so each predicate body (specialized + generic copy)
+  // carries the two-level switch.
+  LoadAndCompile(
+      "app([], L, L).\n"
+      "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+      "nrev([], []).\n"
+      "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n"
+      "drive(R) :- nrev([1,2,3,4,5,6], R).\n");
+  ASSERT_FALSE(spec_module_.mode_specs.empty());
+  auto count_in = [](const std::string& listing, const std::string& needle) {
+    size_t n = 0;
+    for (size_t at = listing.find(needle); at != std::string::npos;
+         at = listing.find(needle, at + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  std::string spec_listing = spec_module_.Disassemble(symbols_);
+  std::string generic_listing = generic_module_.Disassemble(symbols_);
+  // Specialized copies dispatch on the structure key too: one switch per
+  // copy (app and nrev, specialized + generic) vs one per predicate.
+  EXPECT_EQ(count_in(spec_listing, "switch_on_structure"), 4u);
+  EXPECT_EQ(count_in(generic_listing, "switch_on_structure"), 2u);
+  // ...and their struct-keyed clause heads run read-mode after the switch.
+  EXPECT_GT(count_in(spec_listing, "get_structure_rd"), 0u);
+  EXPECT_EQ(count_in(generic_listing, "get_structure_rd"), 0u);
+  EXPECT_EQ(count_in(spec_listing, "try_me_else"), 0u);
+
+  // Differential regression: identical answers on every call shape,
+  // including guard violations, and on a conformant bound call the spec
+  // path costs at most one guard instruction per guarded entry over the
+  // generic path (the structure switch itself is shared, not duplicated).
+  ExpectAgreement({
+      "app([1,2], [3], Z)",
+      "app(X, Y, [1,2,3])",  // violates the pattern: guarded fallback walks
+                             // the var arm, bounded by the ground third arg
+      "nrev([1,2,3,4], R)",
+      "drive(R)",
+  });
+  uint64_t spec0 = spec_emulator_->stats().instructions;
+  uint64_t checks0 = spec_emulator_->stats().mode_checks;
+  Answers(spec_emulator_.get(), "drive(R)");
+  uint64_t spec_cost = spec_emulator_->stats().instructions - spec0;
+  uint64_t checks = spec_emulator_->stats().mode_checks - checks0;
+  uint64_t gen0 = generic_emulator_->stats().instructions;
+  Answers(generic_emulator_.get(), "drive(R)");
+  uint64_t gen_cost = generic_emulator_->stats().instructions - gen0;
+  EXPECT_LE(spec_cost, gen_cost + checks);
+  // Both modules dispatch every bound list call through the structure side.
+  EXPECT_GT(spec_emulator_->stats().switch_structure_hits, 0u);
+  EXPECT_GT(generic_emulator_->stats().switch_structure_hits, 0u);
+  EXPECT_EQ(spec_emulator_->stats().choice_points,
+            generic_emulator_->stats().choice_points);
+}
+
+TEST_F(WamModesTest, MixedKeySpecializedEntrySkipsVarChain) {
+  // A predicate whose clauses mix constant and structure keys keeps the
+  // shared switch_on_term in its specialized copy (both tables live), but
+  // the var arm is dead under the nonvar guard — no full chain runs on
+  // conformant calls, and violations still enumerate through the fallback.
+  LoadAndCompile(
+      "kind(nil, empty).\n"
+      "kind(leaf(X), l(X)).\n"
+      "kind(node(L, R), n(L, R)).\n"
+      "probe(K) :- kind(leaf(7), K).\n"
+      "probe2(K) :- kind(nil, K).\n");
+  ASSERT_FALSE(spec_module_.mode_specs.empty());
+  ExpectAgreement({
+      "kind(nil, K)",
+      "kind(leaf(9), K)",
+      "kind(node(a, b), K)",
+      "kind(V, l(2))",  // unbound first arg: guard fails, generic enumerates
+      "probe(K)",
+      "probe2(K)",
+  });
+  uint64_t cps0 = spec_emulator_->stats().choice_points;
+  Answers(spec_emulator_.get(), "probe(K)");
+  Answers(spec_emulator_.get(), "probe2(K)");
+  EXPECT_EQ(spec_emulator_->stats().choice_points, cps0);
+}
+
 TEST_F(WamModesTest, ArithmeticChainsAgree) {
   LoadAndCompile(
       "step(X, Y) :- Y is X + 7.\n"

@@ -105,6 +105,132 @@ TEST_F(WamTest, SwitchOnConstantIndexes) {
   EXPECT_EQ(Count("f(X, Y)"), 500u);  // unbound still enumerates all
 }
 
+TEST_F(WamTest, SwitchOnStructureIndexes) {
+  // 200 clauses keyed by distinct functors plus a few constants: a bound
+  // structure-keyed call must dispatch through the functor table, not scan.
+  std::string facts = "g(nil, base). g(0, zero).\n";
+  for (int i = 0; i < 200; ++i) {
+    facts += "g(k" + std::to_string(i) + "(a), " + std::to_string(i) + ").\n";
+  }
+  Load(facts);
+  CompileAll();
+  uint64_t before = emulator_->stats().instructions;
+  uint64_t hits_before = emulator_->stats().switch_structure_hits;
+  EXPECT_EQ(First("g(k150(a), V)"), "g(k150(a),150)");
+  EXPECT_LT(emulator_->stats().instructions - before, 40u);
+  EXPECT_GT(emulator_->stats().switch_structure_hits, hits_before);
+  // The constant side of the same two-level switch still works...
+  EXPECT_EQ(First("g(nil, V)"), "g(nil,base)");
+  EXPECT_EQ(First("g(0, V)"), "g(0,zero)");
+  // ...misses on either side fail, and unbound enumerates everything.
+  EXPECT_FALSE(Holds("g(nosuch(a), V)"));
+  EXPECT_FALSE(Holds("g(nosuchatom, V)"));
+  EXPECT_EQ(Count("g(X, Y)"), 202u);
+}
+
+TEST_F(WamTest, ListFastPathAndBucketChains) {
+  // './2' rides the switch_on_structure list fast path; same-key clauses
+  // share an order-preserving try/retry/trust bucket.
+  Load("m([], empty).\n"
+       "m([_|_], cons_a).\n"
+       "m([_,_|_], cons_b).\n"
+       "m(f(_), fun).\n");
+  CompileAll();
+  EXPECT_EQ(Count("m([1,2], V)"), 2u);  // both './2' bucket clauses
+  EXPECT_EQ(First("m([1,2], V)"), "m([1,2],cons_a)");  // source order kept
+  EXPECT_EQ(Count("m([1], V)"), 1u);
+  EXPECT_EQ(First("m([], V)"), "m([],empty)");
+  EXPECT_EQ(First("m(f(9), V)"), "m(f(9),fun)");
+  EXPECT_EQ(Count("m(X, V)"), 4u);
+}
+
+TEST_F(WamTest, StructureSwitchDeletesNrevChoicePoints) {
+  // EXPERIMENTS.md §3.2's headroom item: nrev30 used to push 496 choice
+  // points through try_me_else chains because app/nrev key on []/'.'(H,T).
+  // With the structure side of the switch, every bound call lands in a
+  // single-clause bucket: zero choice points.
+  Load("app([], L, L).\n"
+       "app([H|T], L, [H|R]) :- app(T, L, R).\n"
+       "nrev([], []).\n"
+       "nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).\n");
+  CompileAll();
+  std::string list = "[";
+  for (int i = 1; i <= 30; ++i) {
+    list += (i > 1 ? "," : "") + std::to_string(i);
+  }
+  uint64_t cps_before = emulator_->stats().choice_points;
+  uint64_t miss_before = emulator_->stats().switch_miss_linear;
+  EXPECT_EQ(Count("nrev(" + list + "], R)"), 1u);
+  EXPECT_LE(emulator_->stats().choice_points - cps_before, 40u);
+  EXPECT_EQ(emulator_->stats().switch_miss_linear - miss_before, 0u);
+  EXPECT_GT(emulator_->stats().switch_structure_hits, 0u);
+}
+
+TEST_F(WamTest, IndexingOffForcesLinearChains) {
+  // CompileOptions::index = false is the ablation baseline: same answers,
+  // try_me_else chains instead of switches, and the miss counter shows it.
+  Load("app([], L, L).\n"
+       "app([H|T], L, [H|R]) :- app(T, L, R).\n");
+  Result<CompiledModule> plain = CompileModule(&store_, program_, {});
+  ASSERT_TRUE(plain.ok());
+  CompileOptions off;
+  off.index = false;
+  Result<CompiledModule> linear = CompileModule(&store_, program_, {}, off);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(linear.value().switch_tables.size(), 0u);
+  EXPECT_NE(linear.value().Disassemble(symbols_).find("try_me_else"),
+            std::string::npos);
+
+  Emulator indexed(&store_, &plain.value());
+  Emulator chained(&store_, &linear.value());
+  auto count_goal = [&](Emulator* emu, const char* goal) {
+    size_t count = 0;
+    size_t trail = store_.TrailMark();
+    Status s = emu->Solve(Parse(goal), [&count]() {
+      ++count;
+      return WamAction::kContinue;
+    });
+    store_.UndoTrail(trail);
+    EXPECT_TRUE(s.ok()) << goal;
+    return count;
+  };
+  // Bound first argument: indexed dispatch never touches a linear chain,
+  // the forced-linear module enters one per call.
+  EXPECT_EQ(count_goal(&indexed, "app([1,2,3], [4], R)"), 1u);
+  EXPECT_EQ(count_goal(&chained, "app([1,2,3], [4], R)"), 1u);
+  EXPECT_EQ(indexed.stats().switch_miss_linear, 0u);
+  EXPECT_GT(chained.stats().switch_miss_linear, 0u);
+  // Unbound first argument: both degrade to a linear chain (counted), with
+  // identical answers.
+  EXPECT_EQ(count_goal(&indexed, "app(X, Y, [1,2,3])"), 4u);
+  EXPECT_EQ(count_goal(&chained, "app(X, Y, [1,2,3])"), 4u);
+  EXPECT_GT(indexed.stats().switch_miss_linear, 0u);
+}
+
+TEST_F(WamTest, HashEscalationAboveFanoutThreshold) {
+  // SwitchTable escalates from linear scan to hash above kHashFanout keys;
+  // both regimes must dispatch identically.
+  std::string small = "s(f1(x), 1).\ns(f2(x), 2).\ns(f3(x), 3).\n";
+  std::string big;
+  for (int i = 0; i < 2 * static_cast<int>(SwitchTable::kHashFanout); ++i) {
+    big += "b(g" + std::to_string(i) + "(x), " + std::to_string(i) + ").\n";
+  }
+  Load(small + big);
+  CompileAll();
+  ASSERT_EQ(module_.switch_tables.size(), 2u);
+  bool saw_linear = false;
+  bool saw_hashed = false;
+  for (const SwitchTable& t : module_.switch_tables) {
+    (t.hashed() ? saw_hashed : saw_linear) = true;
+    EXPECT_EQ(t.hashed(), t.size() > SwitchTable::kHashFanout);
+  }
+  EXPECT_TRUE(saw_linear);
+  EXPECT_TRUE(saw_hashed);
+  EXPECT_EQ(First("s(f2(x), V)"), "s(f2(x),2)");
+  EXPECT_EQ(First("b(g11(x), V)"), "b(g11(x),11)");
+  EXPECT_FALSE(Holds("b(g99(x), V)"));
+}
+
 TEST_F(WamTest, RulesWithConjunctions) {
   Load("e(1,2). e(2,3). e(3,4).\n"
        "p2(X,Y) :- e(X,Z), e(Z,Y).\n"
@@ -237,6 +363,8 @@ TEST_F(WamTest, DisassembleRoundTripsEveryOpcode) {
       {{Op::kGetConstantNv, seven, 1, 0}, "get_constant_nv 7, A1"},
       {{Op::kGetStructureRd, f2, 1, 0}, "get_structure_rd f/2, A1"},
       {{Op::kUnifyConstantRd, seven, 0, 0}, "unify_constant_rd 7"},
+      {{Op::kSwitchOnStructure, 0, 0, 17},
+       "switch_on_structure table#0 list=17"},
   };
   std::set<uint8_t> covered;
   for (const Case& c : cases) {
@@ -246,7 +374,7 @@ TEST_F(WamTest, DisassembleRoundTripsEveryOpcode) {
   // Exhaustive: one case per enumerator, contiguous from zero.
   EXPECT_EQ(covered.size(), std::size(cases));
   EXPECT_EQ(*covered.rbegin(),
-            static_cast<uint8_t>(Op::kUnifyConstantRd));
+            static_cast<uint8_t>(Op::kSwitchOnStructure));
   EXPECT_EQ(covered.size(),
             static_cast<size_t>(*covered.rbegin()) + 1);
 
